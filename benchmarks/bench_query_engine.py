@@ -1,0 +1,87 @@
+"""E4 — "how efficient the query engine evaluates queries".
+
+Regenerates the cost comparison behind the paper's motivation (§I):
+subgraph isomorphism (NP-complete) vs graph simulation (quadratic) vs
+bounded simulation (cubic), across growing collaboration networks.
+
+Expected shape: simulation <= bounded simulation << isomorphism-enumeration,
+with superlinear growth for the bounded matcher.
+"""
+
+import pytest
+
+from benchmarks.conftest import cached_collab, team_pattern, unit_pattern
+from repro.matching.bounded import match_bounded
+from repro.matching.isomorphism import count_isomorphisms, has_isomorphism
+from repro.matching.simulation import match_simulation
+
+SIZES = (300, 1000, 2500)
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.benchmark(group="E4-simulation")
+def test_simulation_scaling(benchmark, size):
+    graph = cached_collab(size)
+    pattern = unit_pattern()
+    result = benchmark(lambda: match_simulation(graph, pattern))
+    benchmark.extra_info["graph_size"] = graph.size
+    benchmark.extra_info["match_pairs"] = result.relation.num_pairs
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.benchmark(group="E4-bounded")
+def test_bounded_simulation_scaling(benchmark, size):
+    graph = cached_collab(size)
+    pattern = team_pattern()
+    result = benchmark(lambda: match_bounded(graph, pattern))
+    benchmark.extra_info["graph_size"] = graph.size
+    benchmark.extra_info["match_pairs"] = result.relation.num_pairs
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.benchmark(group="E4-isomorphism")
+def test_isomorphism_existence_scaling(benchmark, size):
+    """Existence check only; full enumeration is exponential (see below)."""
+    graph = cached_collab(size)
+    pattern = unit_pattern()
+    benchmark(lambda: has_isomorphism(graph, pattern))
+    benchmark.extra_info["graph_size"] = graph.size
+
+
+@pytest.mark.benchmark(group="E4-isomorphism")
+def test_isomorphism_enumeration_blowup(benchmark):
+    """Counting embeddings shows the combinatorial blow-up isomorphism
+    carries even on a small graph (capped at 20k embeddings)."""
+    graph = cached_collab(300)
+    pattern = unit_pattern(senior=4)
+    count = benchmark(lambda: count_isomorphisms(graph, pattern, limit=20_000))
+    benchmark.extra_info["embeddings"] = count
+
+
+@pytest.mark.benchmark(group="E4-shape")
+def test_shape_bounded_costs_more_than_simulation(benchmark):
+    """Shape check: the cubic matcher pays more than the quadratic one on
+    the same graph, and both complete in interactive time."""
+    import time
+
+    graph = cached_collab(2500)
+    bounded_pattern = team_pattern()
+    simulation_pattern = unit_pattern()
+
+    def measure():
+        started = time.perf_counter()
+        match_simulation(graph, simulation_pattern)
+        simulation_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        match_bounded(graph, bounded_pattern)
+        bounded_seconds = time.perf_counter() - started
+        return simulation_seconds, bounded_seconds
+
+    simulation_seconds, bounded_seconds = benchmark.pedantic(
+        measure, rounds=3, iterations=1
+    )
+    benchmark.extra_info["simulation_seconds"] = round(simulation_seconds, 4)
+    benchmark.extra_info["bounded_seconds"] = round(bounded_seconds, 4)
+    # Bounded simulation does strictly more work (per-candidate truncated
+    # BFS); allow generous noise margin.
+    assert bounded_seconds > simulation_seconds * 0.8

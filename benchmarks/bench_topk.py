@@ -1,0 +1,88 @@
+"""E10 — "how top-K matches are selected based on the ranking function".
+
+Times the two stages of top-K expert selection: building the weighted
+result graph from the match state, and ranking every output-node match by
+social impact.  Expected shape: result-graph construction dominates; the
+ranking stage is Dijkstra-per-match over a graph that is much smaller than
+G; K itself is almost free (ranking sorts once).
+"""
+
+import pytest
+
+from benchmarks.conftest import cached_collab, team_pattern
+from repro.matching.bounded import match_bounded
+from repro.matching.result_graph import build_result_graph
+from repro.ranking.metrics import METRICS
+from repro.ranking.social_impact import rank_matches, top_k
+
+SIZES = (500, 1500)
+
+
+def _matched(size):
+    graph = cached_collab(size)
+    pattern = team_pattern(senior=4)
+    result = match_bounded(graph, pattern)
+    assert result.is_match, "benchmark workload must produce matches"
+    return result
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.benchmark(group="E10-result-graph")
+def test_result_graph_construction(benchmark, size):
+    result = _matched(size)
+    result_graph = benchmark(
+        lambda: build_result_graph(
+            result.graph, result.pattern, result.relation, state=result._state
+        )
+    )
+    benchmark.extra_info["matches"] = result_graph.num_nodes
+    benchmark.extra_info["witness_edges"] = result_graph.num_edges
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.benchmark(group="E10-ranking")
+def test_rank_all_matches(benchmark, size):
+    result_graph = _matched(size).result_graph()
+    ranked = benchmark(lambda: rank_matches(result_graph))
+    benchmark.extra_info["candidates_ranked"] = len(ranked)
+
+
+@pytest.mark.parametrize("k", (1, 5, 25))
+@pytest.mark.benchmark(group="E10-topk")
+def test_top_k_selection(benchmark, k):
+    result_graph = _matched(1500).result_graph()
+    experts = benchmark(lambda: top_k(result_graph, k))
+    benchmark.extra_info["k"] = k
+    benchmark.extra_info["returned"] = len(experts)
+
+
+@pytest.mark.parametrize("metric_name", sorted(METRICS))
+@pytest.mark.benchmark(group="E10-metrics")
+def test_alternative_metrics(benchmark, metric_name):
+    """'Other metrics can be readily supported': their relative costs."""
+    result_graph = _matched(500).result_graph()
+    metric = METRICS[metric_name]
+    scored = benchmark(lambda: metric.rank_all(result_graph))
+    benchmark.extra_info["candidates_ranked"] = len(scored)
+
+
+@pytest.mark.benchmark(group="E10-shape")
+def test_shape_topk_cost_independent_of_k(benchmark):
+    """Selecting K=1 vs K=25 costs the same: ranking happens once."""
+    import time
+
+    result_graph = _matched(1500).result_graph()
+
+    def measure():
+        started = time.perf_counter()
+        top_k(result_graph, 1)
+        small_k = time.perf_counter() - started
+        started = time.perf_counter()
+        top_k(result_graph, 25)
+        large_k = time.perf_counter() - started
+        return small_k, large_k
+
+    small_k, large_k = benchmark.pedantic(measure, rounds=5, iterations=1)
+    benchmark.extra_info["k1_ms"] = round(small_k * 1e3, 3)
+    benchmark.extra_info["k25_ms"] = round(large_k * 1e3, 3)
+    assert large_k < small_k * 3 + 0.01  # same order of magnitude

@@ -1,0 +1,85 @@
+"""Shared workloads for the benchmark harness (experiments E4-E10).
+
+Benchmarks regenerate the quantitative claims of the demo's §III.  Absolute
+numbers depend on hardware and on Python; the *shapes* (who wins, by
+roughly what factor, where crossovers fall) are what EXPERIMENTS.md records
+against the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.digraph import Graph
+from repro.graph.generators import collaboration_graph, twitter_like_graph
+from repro.pattern.builder import PatternBuilder
+from repro.pattern.pattern import Pattern
+
+
+def team_pattern(bound: int = 2, senior: int = 5) -> Pattern:
+    """The recurring hiring query: SA leading SD/BA/ST within ``bound`` hops."""
+    return (
+        PatternBuilder("team")
+        .node("SA", f"experience >= {senior}", field="SA", output=True)
+        .node("SD", "experience >= 2", field="SD")
+        .node("BA", "experience >= 2", field="BA")
+        .node("ST", "experience >= 2", field="ST")
+        .edge("SA", "SD", bound)
+        .edge("SA", "BA", bound + 1)
+        .edge("SD", "ST", bound)
+        .edge("BA", "ST", bound)
+        .build(require_output=True)
+    )
+
+
+def unit_pattern(senior: int = 5) -> Pattern:
+    """The same query with every bound 1 (plain simulation)."""
+    return (
+        PatternBuilder("team-unit")
+        .node("SA", f"experience >= {senior}", field="SA", output=True)
+        .node("SD", "experience >= 2", field="SD")
+        .node("BA", "experience >= 2", field="BA")
+        .node("ST", "experience >= 2", field="ST")
+        .edge("SA", "SD", 1)
+        .edge("SA", "BA", 1)
+        .edge("SD", "ST", 1)
+        .edge("BA", "ST", 1)
+        .build(require_output=True)
+    )
+
+
+_GRAPH_CACHE: dict[tuple, Graph] = {}
+
+
+def cached_collab(n: int, seed: int = 0) -> Graph:
+    key = ("collab", n, seed)
+    if key not in _GRAPH_CACHE:
+        _GRAPH_CACHE[key] = collaboration_graph(n, seed=seed)
+    return _GRAPH_CACHE[key]
+
+
+def cached_twitter(n: int, seed: int = 0) -> Graph:
+    key = ("twitter", n, seed)
+    if key not in _GRAPH_CACHE:
+        _GRAPH_CACHE[key] = twitter_like_graph(n, seed=seed)
+    return _GRAPH_CACHE[key]
+
+
+@pytest.fixture(scope="session")
+def collab_small() -> Graph:
+    return cached_collab(300)
+
+
+@pytest.fixture(scope="session")
+def collab_medium() -> Graph:
+    return cached_collab(1000)
+
+
+@pytest.fixture(scope="session")
+def collab_large() -> Graph:
+    return cached_collab(2500)
+
+
+@pytest.fixture(scope="session")
+def twitter_graph() -> Graph:
+    return cached_twitter(3000)

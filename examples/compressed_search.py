@@ -1,0 +1,85 @@
+"""Querying compressed graphs: same answers, much less graph.
+
+Compresses a Twitter-like social graph with both partition algorithms,
+verifies that a bounded-simulation query returns exactly the same experts
+on the compressed graph (after linear decompression), and measures the
+evaluation speed-up — the behaviour behind the paper's "reduced by 57% ...
+reduces query evaluation time by 70%" claims.
+
+Run:  python examples/compressed_search.py
+"""
+
+import time
+
+from repro.compression.compress import compress
+from repro.compression.decompress import decompress_relation
+from repro.graph.generators import twitter_like_graph
+from repro.matching.bounded import match_bounded
+from repro.pattern.builder import PatternBuilder
+
+
+def build_query():
+    """Find an experienced architect two hops from developers and testers."""
+    return (
+        PatternBuilder("influencer")
+        .node("SA", field="SA", output=True)
+        .node("SD", field="SD")
+        .node("ST", field="ST")
+        .edge("SA", "SD", bound=2)
+        .edge("SA", "ST", bound=2)
+        .edge("SD", "ST", bound=2)
+        .build(require_output=True)
+    )
+
+
+def timed_match(graph, query):
+    started = time.perf_counter()
+    result = match_bounded(graph, query)
+    return result, time.perf_counter() - started
+
+
+def main() -> None:
+    graph = twitter_like_graph(3000, seed=11)
+    # Compression must preserve every attribute the query reads — here the
+    # queries only test `field`, so `field` is the compression label.
+    query = build_query()
+    print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges")
+    print()
+
+    original_result, original_seconds = timed_match(graph, query)
+    print(f"direct evaluation: {original_seconds * 1e3:.1f} ms, "
+          f"{original_result.relation.num_pairs} match pairs")
+    print()
+
+    for method in ("bisimulation", "simulation"):
+        started = time.perf_counter()
+        compressed = compress(graph, attrs=("field",), method=method)
+        compress_seconds = time.perf_counter() - started
+
+        quotient_result, quotient_seconds = timed_match(compressed.quotient, query)
+        started = time.perf_counter()
+        recovered = decompress_relation(quotient_result.relation, compressed)
+        decompress_seconds = time.perf_counter() - started
+
+        identical = recovered == original_result.relation
+        total = quotient_seconds + decompress_seconds
+        speedup = original_seconds / total if total > 0 else float("inf")
+        print(f"[{method}]")
+        print(
+            f"  quotient: {compressed.quotient.num_nodes} nodes / "
+            f"{compressed.quotient.num_edges} edges "
+            f"(size reduction {compressed.size_reduction:.0%}; "
+            f"built in {compress_seconds * 1e3:.0f} ms)"
+        )
+        print(
+            f"  query on quotient + decompression: {total * 1e3:.1f} ms "
+            f"({speedup:.1f}x faster), answers identical: {identical}"
+        )
+        print()
+
+    print("compression pays off once built: every later query on this graph")
+    print("runs against the quotient, and updates maintain it incrementally.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Coping with the dynamic world: pinned queries on an evolving network.
+
+A recruiting query is *pinned* (the paper's "frequently issued queries,
+decided by the users"), then the collaboration network receives a stream of
+edge updates.  After every batch the engine reports ΔM computed by the
+incremental module, and at the end the script compares incremental
+maintenance against batch recomputation — the trade-off behind the paper's
+"up to 10% changes for bounded simulation" claim.
+
+Run:  python examples/dynamic_network.py
+"""
+
+import time
+
+from repro.expfinder import ExpFinder
+from repro.graph.generators import collaboration_graph
+from repro.incremental.inc_bounded import IncrementalBoundedSimulation
+from repro.incremental.updates import random_updates
+from repro.matching.bounded import match_bounded
+from repro.pattern.builder import PatternBuilder
+
+
+def build_query():
+    return (
+        PatternBuilder("standing-search")
+        .node("SA", "experience >= 6", field="SA", output=True)
+        .node("SD", "experience >= 3", field="SD")
+        .node("ST", "experience >= 2", field="ST")
+        .edge("SA", "SD", bound=2)
+        .edge("SD", "ST", bound=2)
+        .build(require_output=True)
+    )
+
+
+def main() -> None:
+    graph = collaboration_graph(400, seed=7)
+    query = build_query()
+
+    finder = ExpFinder()
+    finder.add_graph("network", graph)
+    finder.pin("network", query)
+    print(f"network: {graph.num_nodes} people, {graph.num_edges} collaborations")
+    initial = finder.match("network", query)
+    print(f"initial matches of SA: {len(initial.matches_of('SA'))}")
+    print()
+
+    print("streaming update batches through the pinned query:")
+    seed = 100
+    for round_number in range(1, 6):
+        batch = random_updates(finder.graph("network"), 20, seed=seed + round_number)
+        summary = finder.update("network", batch)
+        delta = summary["pinned_deltas"][query.canonical_key()]
+        print(
+            f"  round {round_number}: applied {summary['applied']} updates, "
+            f"ΔM: +{len(delta['added'])} / -{len(delta['removed'])} pairs"
+        )
+    print()
+
+    # Incremental vs recompute on one more batch, measured directly.
+    base = finder.graph("network")
+    for percent in (1, 5, 20):
+        batch_size = max(1, base.num_edges * percent // 100)
+
+        inc_graph = base.copy()
+        maintainer = IncrementalBoundedSimulation(inc_graph, query)
+        updates = random_updates(inc_graph, batch_size, seed=999)
+        started = time.perf_counter()
+        maintainer.apply_batch(updates)
+        incremental_seconds = time.perf_counter() - started
+
+        batch_graph = base.copy()
+        for update in updates:
+            update.apply(batch_graph)
+        started = time.perf_counter()
+        recomputed = match_bounded(batch_graph, query)
+        batch_seconds = time.perf_counter() - started
+
+        assert maintainer.relation() == recomputed.relation
+        winner = "incremental" if incremental_seconds < batch_seconds else "recompute"
+        print(
+            f"  ΔG = {percent:>2}% of edges ({batch_size} updates): "
+            f"incremental {incremental_seconds * 1e3:7.1f} ms vs "
+            f"recompute {batch_seconds * 1e3:7.1f} ms -> {winner} wins"
+        )
+    print()
+    print("small ΔG favours the incremental module; large ΔG favours recomputation,")
+    print("matching the crossover behaviour reported in the paper.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Quickstart: build a small collaboration graph, query it, rank experts.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.expfinder import ExpFinder
+from repro.graph.digraph import Graph
+from repro.pattern.builder import PatternBuilder
+
+
+def build_graph() -> Graph:
+    """A hand-made ten-person consultancy."""
+    graph = Graph(name="quickstart")
+    people = {
+        "ada": dict(field="SA", experience=9),
+        "bo": dict(field="SA", experience=4),      # too junior for the query
+        "cai": dict(field="SD", experience=5),
+        "dee": dict(field="SD", experience=2),
+        "eli": dict(field="SD", experience=7),
+        "fay": dict(field="BA", experience=6),
+        "gus": dict(field="ST", experience=3),
+        "hana": dict(field="ST", experience=2),
+        "ivo": dict(field="GD", experience=5),
+        "june": dict(field="BA", experience=1),    # too junior as well
+    }
+    for person, attrs in people.items():
+        graph.add_node(person, name=person, **attrs)
+    graph.add_edges(
+        [
+            ("ada", "cai"), ("ada", "ivo"), ("ivo", "fay"),
+            ("cai", "gus"), ("cai", "dee"), ("dee", "hana"),
+            ("eli", "gus"), ("fay", "hana"), ("fay", "gus"),
+            ("bo", "eli"), ("bo", "june"),
+        ]
+    )
+    return graph
+
+
+def build_query():
+    """Hire a senior architect who led developers, analysts and testers."""
+    return (
+        PatternBuilder("hire-architect")
+        .node("SA", "experience >= 5", field="SA", output=True)
+        .node("SD", "experience >= 2", field="SD")
+        .node("BA", "experience >= 3", field="BA")
+        .node("ST", "experience >= 2", field="ST")
+        .edge("SA", "SD", bound=2)   # worked with a developer within 2 hops
+        .edge("SA", "BA", bound=3)
+        .edge("SD", "ST", bound=1)
+        .edge("BA", "ST", bound=2)
+        .build(require_output=True)
+    )
+
+
+def main() -> None:
+    finder = ExpFinder()
+    finder.add_graph("firm", build_graph())
+    query = build_query()
+
+    print("The query:")
+    print(query.describe())
+    print()
+
+    result = finder.match("firm", query)
+    print("Match relation M(Q, G):")
+    for pattern_node in query.nodes():
+        print(f"  {pattern_node}: {sorted(result.matches_of(pattern_node))}")
+    print()
+
+    print("Top experts by social impact (lower f = tighter collaboration):")
+    ranked = finder.find_experts("firm", query, k=3)
+    print(finder.ranking_table(ranked))
+    print()
+
+    best = ranked[0].node
+    print(f"Drill-down on the winner, {best!r}:")
+    print(finder.drill_down(result, best))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment has setuptools but neither network access nor the
+``wheel`` package, so PEP 517 editable installs (which build a wheel) fail.
+This shim lets ``pip install -e . --no-use-pep517`` perform a classic
+develop install; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""Reproduction of "ExpFinder: Finding Experts by Graph Pattern Matching".
+
+Public API highlights:
+
+* :class:`repro.graph.Graph` and generators — social-network substrate;
+* :class:`repro.pattern.Pattern` / :class:`repro.pattern.PatternBuilder` —
+  bounded-simulation queries with search conditions;
+* :func:`repro.matching.match_bounded` / ``match_simulation`` — the matchers;
+* :mod:`repro.ranking` — top-K experts by social impact;
+* :mod:`repro.incremental` — maintain matches under edge updates;
+* :mod:`repro.compression` — query-preserving graph compression;
+* :class:`repro.engine.QueryEngine` and :class:`repro.expfinder.ExpFinder` —
+  the assembled system.
+"""
+
+from repro.errors import ReproError
+from repro.graph import Graph
+from repro.matching import MatchRelation, MatchResult, match_bounded, match_simulation
+from repro.pattern import Pattern, PatternBuilder
+from repro.ranking import top_k
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "Graph",
+    "MatchRelation",
+    "MatchResult",
+    "match_bounded",
+    "match_simulation",
+    "Pattern",
+    "PatternBuilder",
+    "top_k",
+    "__version__",
+]

@@ -1,0 +1,344 @@
+"""Command-line front end — the offline substitute for the demo GUI.
+
+Every interaction the demo performs through its GUI maps to a subcommand:
+
+===============  ======================================================
+GUI action        CLI equivalent
+===============  ======================================================
+select/view data  ``expfinder show --graph g.json [--node Bob]``
+generate data     ``expfinder generate --kind collab --nodes 500 --out g.json``
+build a pattern   pattern files (see ``repro.pattern.parser`` syntax)
+run a query       ``expfinder query --graph g.json --pattern q.pattern``
+browse top-K      ``expfinder topk --graph g.json --pattern q.pattern -k 3``
+batch updates     ``expfinder update --graph g.json --insert a:b --delete c:d``
+compress          ``expfinder compress --graph g.json --attrs field``
+the walkthrough   ``expfinder demo``
+===============  ======================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import CliError, ReproError
+from repro.graph.digraph import Graph
+from repro.graph.generators import collaboration_graph, random_digraph, twitter_like_graph
+from repro.graph.io import load_graph, save_graph
+from repro.incremental.updates import EdgeDeletion, EdgeInsertion, Update
+from repro.compression.compress import compress
+from repro.engine.planner import make_plan
+from repro.matching.bounded import match_bounded
+from repro.matching.simulation import match_simulation
+from repro.pattern.parser import load_pattern
+from repro.pattern.pattern import Pattern
+from repro.ranking.metrics import METRICS, get_metric
+from repro.ranking.social_impact import rank_matches
+from repro.viz import ascii as views
+from repro.viz.dot import result_to_dot
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="expfinder",
+        description="Find experts in social networks by graph pattern matching.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate a synthetic social graph")
+    generate.add_argument("--kind", choices=("collab", "twitter", "random"), default="collab")
+    generate.add_argument("--nodes", type=int, default=500)
+    generate.add_argument("--edges", type=int, default=None, help="random kind only")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", required=True, help="output JSON path")
+    generate.set_defaults(handler=_cmd_generate)
+
+    show = sub.add_parser("show", help="summarize a graph or one node")
+    show.add_argument("--graph", required=True)
+    show.add_argument("--node", default=None)
+    show.add_argument("--attr", default="field", help="attribute for the histogram")
+    show.add_argument("--profile", action="store_true",
+                      help="print degree/density/reciprocity statistics")
+    show.set_defaults(handler=_cmd_show)
+
+    query = sub.add_parser("query", help="evaluate a pattern query")
+    query.add_argument("--graph", required=True)
+    query.add_argument("--pattern", required=True)
+    query.add_argument("--explain", action="store_true", help="print the plan")
+    query.add_argument("--result-graph", action="store_true", help="print witness edges")
+    query.set_defaults(handler=_cmd_query)
+
+    topk = sub.add_parser("topk", help="rank the output node's matches")
+    topk.add_argument("--graph", required=True)
+    topk.add_argument("--pattern", required=True)
+    topk.add_argument("-k", type=int, default=5)
+    topk.add_argument("--metric", choices=sorted(METRICS), default="social-impact")
+    topk.add_argument("--dot", default=None, help="write a DOT file highlighting the top-1")
+    topk.set_defaults(handler=_cmd_topk)
+
+    update = sub.add_parser("update", help="apply graph updates to a graph file")
+    update.add_argument("--graph", required=True)
+    update.add_argument("--insert", action="append", default=[], metavar="SRC:DST")
+    update.add_argument("--delete", action="append", default=[], metavar="SRC:DST")
+    update.add_argument("--add-node", action="append", default=[],
+                        metavar="NODE[:attr=value,...]")
+    update.add_argument("--remove-node", action="append", default=[], metavar="NODE")
+    update.add_argument("--set-attr", action="append", default=[],
+                        metavar="NODE:ATTR:VALUE")
+    update.add_argument("--pattern", default=None, help="also report ΔM for this query")
+    update.add_argument("--out", default=None, help="where to write (default: in place)")
+    update.set_defaults(handler=_cmd_update)
+
+    compress_cmd = sub.add_parser("compress", help="build a query-preserving compression")
+    compress_cmd.add_argument("--graph", required=True)
+    compress_cmd.add_argument("--attrs", default="field", help="comma-separated label attrs")
+    compress_cmd.add_argument("--method", choices=("bisimulation", "simulation"),
+                              default="bisimulation")
+    compress_cmd.add_argument("--out", default=None, help="write the quotient graph JSON")
+    compress_cmd.set_defaults(handler=_cmd_compress)
+
+    demo = sub.add_parser("demo", help="walk through the paper's Examples 1-3")
+    demo.set_defaults(handler=_cmd_demo)
+    return parser
+
+
+# ----------------------------------------------------------------------
+# handlers
+# ----------------------------------------------------------------------
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "collab":
+        graph = collaboration_graph(args.nodes, seed=args.seed)
+    elif args.kind == "twitter":
+        graph = twitter_like_graph(args.nodes, seed=args.seed)
+    else:
+        edges = args.edges if args.edges is not None else args.nodes * 3
+        graph = random_digraph(args.nodes, edges, seed=args.seed)
+    path = save_graph(graph, args.out)
+    print(f"wrote {graph.num_nodes} nodes / {graph.num_edges} edges to {path}")
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph)
+    if args.node is not None:
+        print(views.node_card(graph, args.node))
+        return 0
+    print(views.graph_summary(graph, attr=args.attr))
+    if args.profile:
+        from repro.graph.stats import graph_profile
+
+        profile = graph_profile(graph, attr=args.attr)
+        print()
+        print(f"density:      {profile['density']:.5f}")
+        print(f"reciprocity:  {profile['reciprocity']:.3f}")
+        out_stats = profile["out_degree"]
+        print(
+            "out-degree:   "
+            f"min {out_stats.minimum}, median {out_stats.median}, "
+            f"mean {out_stats.mean:.2f}, max {out_stats.maximum}, "
+            f"zeros {out_stats.zeros}"
+        )
+        in_stats = profile["in_degree"]
+        print(
+            "in-degree:    "
+            f"min {in_stats.minimum}, median {in_stats.median}, "
+            f"mean {in_stats.mean:.2f}, max {in_stats.maximum}, "
+            f"zeros {in_stats.zeros}"
+        )
+        print(f"avg 2-hop reach (sampled): {profile['avg_reach_2']:.1f} nodes")
+    return 0
+
+
+def _load_inputs(args: argparse.Namespace) -> tuple[Graph, Pattern]:
+    return load_graph(args.graph), _resolve_pattern(args.pattern)
+
+
+def _resolve_pattern(spec: str) -> Pattern:
+    """A pattern file path, or ``lib:<name>`` from the bundled query library."""
+    if spec.startswith("lib:"):
+        from repro.datasets.queries import get_query
+
+        return get_query(spec[len("lib:"):])
+    return load_pattern(spec)
+
+
+def _evaluate(graph: Graph, pattern: Pattern):
+    if pattern.is_simulation_pattern:
+        return match_simulation(graph, pattern)
+    return match_bounded(graph, pattern)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    graph, pattern = _load_inputs(args)
+    if args.explain:
+        print(make_plan(pattern).explain())
+        print()
+    result = _evaluate(graph, pattern)
+    print(views.relation_summary(result.relation))
+    if args.result_graph and result.is_match:
+        print()
+        print(views.render_result_graph(result.result_graph()))
+    return 0 if result.is_match else 1
+
+
+def _cmd_topk(args: argparse.Namespace) -> int:
+    graph, pattern = _load_inputs(args)
+    pattern.validate(require_output=True)
+    result = _evaluate(graph, pattern)
+    if not result.is_match:
+        print("no match")
+        return 1
+    result_graph = result.result_graph()
+    if args.metric == "social-impact":
+        ranked = rank_matches(result_graph)
+        print(views.render_ranking(ranked, k=args.k))
+        top = ranked[0].node if ranked else None
+    else:
+        scored = get_metric(args.metric).rank_all(result_graph)[: args.k]
+        print(views.render_table(("#", "expert", args.metric),
+                                 [(i + 1, n, f"{s:.4f}") for i, (n, s) in enumerate(scored)]))
+        top = scored[0][0] if scored else None
+    if args.dot is not None and top is not None:
+        Path(args.dot).write_text(result_to_dot(result_graph, highlight=top))
+        print(f"wrote {args.dot}")
+    return 0
+
+
+def _parse_edge(spec: str) -> tuple[str, str]:
+    parts = spec.split(":")
+    if len(parts) != 2 or not parts[0] or not parts[1]:
+        raise CliError(f"bad edge spec {spec!r}; expected SRC:DST")
+    return parts[0], parts[1]
+
+
+def _parse_node_spec(spec: str):
+    """``NODE[:attr=value,...]`` into a NodeInsertion."""
+    from repro.incremental.updates import NodeInsertion
+    from repro.pattern.predicates import _parse_value
+
+    head, _, rest = spec.partition(":")
+    if not head:
+        raise CliError(f"bad node spec {spec!r}")
+    attrs = {}
+    if rest:
+        for assignment in rest.split(","):
+            key, eq, raw = assignment.partition("=")
+            if not eq or not key.strip():
+                raise CliError(f"bad attribute assignment {assignment!r} in {spec!r}")
+            attrs[key.strip()] = _parse_value(raw.strip())
+    return NodeInsertion.with_attrs(head, **attrs)
+
+
+def _parse_attr_spec(spec: str):
+    """``NODE:ATTR:VALUE`` into an AttributeUpdate."""
+    from repro.incremental.updates import AttributeUpdate
+    from repro.pattern.predicates import _parse_value
+
+    parts = spec.split(":")
+    if len(parts) != 3 or not all(parts):
+        raise CliError(f"bad attribute spec {spec!r}; expected NODE:ATTR:VALUE")
+    return AttributeUpdate(parts[0], parts[1], _parse_value(parts[2]))
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    from repro.incremental.updates import NodeDeletion, decompose
+
+    graph = load_graph(args.graph)
+    updates: list[Update] = []
+    for spec in args.add_node:
+        updates.append(_parse_node_spec(spec))
+    for spec in args.insert:
+        updates.append(EdgeInsertion(*_parse_edge(spec)))
+    for spec in args.set_attr:
+        updates.append(_parse_attr_spec(spec))
+    for spec in args.delete:
+        updates.append(EdgeDeletion(*_parse_edge(spec)))
+    for node in args.remove_node:
+        updates.append(NodeDeletion(node))
+    if not updates:
+        raise CliError(
+            "nothing to do: pass --insert/--delete/--add-node/--remove-node/--set-attr"
+        )
+
+    before = None
+    pattern = None
+    if args.pattern is not None:
+        pattern = _resolve_pattern(args.pattern)
+        before = _evaluate(graph, pattern).relation
+    for update in updates:
+        for primitive in decompose(graph, update):
+            primitive.apply(graph)
+    out_path = args.out or args.graph
+    save_graph(graph, out_path)
+    print(f"applied {len(updates)} update(s); wrote {out_path}")
+    if pattern is not None and before is not None:
+        after = _evaluate(graph, pattern).relation
+        added, removed = before.diff(after)
+        for pattern_node, data_node in sorted(added, key=str):
+            print(f"ΔM +({pattern_node}, {data_node})")
+        for pattern_node, data_node in sorted(removed, key=str):
+            print(f"ΔM -({pattern_node}, {data_node})")
+        if not added and not removed:
+            print("ΔM empty: match relation unchanged")
+    return 0
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph)
+    attrs = tuple(part.strip() for part in args.attrs.split(",") if part.strip())
+    compressed = compress(graph, attrs, method=args.method)
+    print(
+        f"{graph.num_nodes} -> {compressed.quotient.num_nodes} nodes, "
+        f"{graph.num_edges} -> {compressed.quotient.num_edges} edges "
+        f"(size reduced by {compressed.size_reduction:.1%})"
+    )
+    if args.out is not None:
+        save_graph(compressed.quotient, args.out)
+        print(f"wrote quotient to {args.out}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.datasets.paper_example import EDGE_E1, paper_graph, paper_pattern
+    from repro.incremental.inc_bounded import IncrementalBoundedSimulation
+    from repro.incremental.updates import EdgeInsertion as Ins
+
+    graph = paper_graph()
+    pattern = paper_pattern()
+    print("== Example 1: bounded simulation on the Fig. 1 network ==")
+    print(pattern.describe())
+    print()
+    result = match_bounded(graph, pattern)
+    print(views.relation_summary(result.relation))
+    print()
+    print("== Example 2: top-K by social impact ==")
+    ranked = rank_matches(result.result_graph())
+    print(views.render_ranking(ranked))
+    print()
+    print("== Example 3: incremental evaluation after inserting e1 ==")
+    incremental = IncrementalBoundedSimulation(graph, pattern, state=result._state)
+    before = incremental.relation()
+    incremental.apply(Ins(*EDGE_E1))
+    added, removed = before.diff(incremental.relation())
+    for pattern_node, data_node in sorted(added):
+        print(f"ΔM +({pattern_node}, {data_node})")
+    for pattern_node, data_node in sorted(removed):
+        print(f"ΔM -({pattern_node}, {data_node})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Query-preserving graph compression and its incremental maintenance."""
+
+from repro.compression.compress import (
+    METHODS,
+    CompressedGraph,
+    CompressionSpec,
+    build_quotient,
+    compress,
+    label_function,
+)
+from repro.compression.decompress import decompress_relation, decompress_result
+from repro.compression.equivalence import (
+    bisimulation_partition,
+    is_stable_partition,
+    mutually_similar,
+    simulation_equivalence,
+    simulation_preorder,
+)
+from repro.compression.maintain import MaintainedCompression
+
+__all__ = [
+    "METHODS",
+    "CompressedGraph",
+    "CompressionSpec",
+    "build_quotient",
+    "compress",
+    "label_function",
+    "decompress_relation",
+    "decompress_result",
+    "bisimulation_partition",
+    "is_stable_partition",
+    "mutually_similar",
+    "simulation_equivalence",
+    "simulation_preorder",
+    "MaintainedCompression",
+]

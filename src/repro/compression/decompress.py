@@ -1,0 +1,48 @@
+"""Linear post-processing: recover ``M(Q,G)`` from ``M(Q,Gc)``.
+
+The whole point of query-preserving compression is that evaluation runs on
+the small quotient and results expand back exactly: a pattern node matches
+a class node iff it matches every member, so decompression is a single pass
+replacing each matched class with its member list.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CompressionError
+from repro.graph.digraph import NodeId
+from repro.matching.base import MatchRelation, MatchResult
+from repro.compression.compress import CompressedGraph
+
+
+def decompress_relation(
+    relation: MatchRelation, compressed: CompressedGraph
+) -> MatchRelation:
+    """Expand a relation over quotient nodes to one over original nodes."""
+    expanded: dict[str, set[NodeId]] = {}
+    for pattern_node, class_nodes in relation.items():
+        bucket: set[NodeId] = set()
+        for class_node in class_nodes:
+            try:
+                bucket.update(compressed.members[class_node])
+            except KeyError:
+                raise CompressionError(
+                    f"match {class_node!r} is not a class of the compressed graph"
+                ) from None
+        expanded[pattern_node] = bucket
+    return MatchRelation(expanded)
+
+
+def decompress_result(result: MatchResult, compressed: CompressedGraph) -> MatchResult:
+    """Wrap :func:`decompress_relation`, re-targeting the original graph.
+
+    The returned result's ``stats`` records the compressed route so the
+    engine's explainability chain stays intact.  The result graph is built
+    against the *original* graph on demand (distances in the quotient are
+    not the original distances, so they are never reused).
+    """
+    relation = decompress_relation(result.relation, compressed)
+    stats = dict(result.stats)
+    stats["route"] = "compressed"
+    stats["quotient_nodes"] = compressed.quotient.num_nodes
+    stats["quotient_edges"] = compressed.quotient.num_edges
+    return MatchResult(compressed.original, result.pattern, relation, stats=stats)

@@ -1,0 +1,17 @@
+"""Bundled datasets: the paper's Fig. 1 example and named synthetic configs."""
+
+from repro.datasets.paper_example import (
+    EDGE_E1,
+    PAPER_RANKS,
+    PAPER_RELATION,
+    paper_graph,
+    paper_pattern,
+)
+
+__all__ = [
+    "EDGE_E1",
+    "PAPER_RANKS",
+    "PAPER_RELATION",
+    "paper_graph",
+    "paper_pattern",
+]

@@ -1,0 +1,89 @@
+"""The paper's running example (Fig. 1), reconstructed.
+
+The ICDE'13 text ships without a readable figure, but it states enough facts
+to pin a reconstruction down (see DESIGN.md §3): the exact match relation of
+Example 1, both social-impact ranks of Example 2 (9/5 for Bob, 7/3 for
+Walt), the exact ``ΔM = {(SD, Fred)}`` of Example 3, the length-3
+collaboration path from Bob to Jean, and the Pat/Fred equivalence that the
+compression discussion uses.  The graph and pattern below satisfy all of
+them; ``tests/test_paper_example.py`` enforces each fact.
+"""
+
+from __future__ import annotations
+
+from repro.graph.digraph import Edge, Graph
+from repro.pattern.pattern import Pattern
+
+#: The update of Example 3: inserting this edge makes Fred a match of SD.
+EDGE_E1: Edge = ("Fred", "Eva")
+
+#: Example 1's match relation (before inserting ``EDGE_E1``).
+PAPER_RELATION: dict[str, frozenset[str]] = {
+    "SA": frozenset({"Bob", "Walt"}),
+    "SD": frozenset({"Dan", "Mat", "Pat"}),
+    "BA": frozenset({"Jean"}),
+    "ST": frozenset({"Eva"}),
+}
+
+#: Example 2's ranks for the two SA matches.
+PAPER_RANKS: dict[str, float] = {"Bob": 9 / 5, "Walt": 7 / 3}
+
+_PEOPLE: dict[str, dict[str, object]] = {
+    "Walt": {"field": "SA", "specialty": "system architect", "experience": 5},
+    "Bob": {"field": "SA", "specialty": "system architect", "experience": 7},
+    "Jean": {"field": "BA", "specialty": "business analyst", "experience": 3},
+    "Dan": {"field": "SD", "specialty": "programmer", "experience": 3},
+    "Mat": {"field": "SD", "specialty": "programmer", "experience": 4},
+    "Pat": {"field": "SD", "specialty": "DBA", "experience": 3},
+    "Fred": {"field": "SD", "specialty": "DBA", "experience": 2},
+    "Eva": {"field": "ST", "specialty": "tester", "experience": 2},
+    "Bill": {"field": "GD", "specialty": "graphic designer", "experience": 2},
+}
+
+_EDGES: list[Edge] = [
+    ("Bob", "Dan"),    # "(Bob, Dan): Dan worked in a project led by Bob"
+    ("Bob", "Mat"),
+    ("Bob", "Bill"),
+    ("Bill", "Pat"),   # Bob -> Bill -> Pat -> Jean: the length-3 path to Jean
+    ("Dan", "Eva"),
+    ("Mat", "Eva"),
+    ("Pat", "Jean"),   # Pat "collaborated with ST and BA people"
+    ("Pat", "Eva"),
+    ("Jean", "Eva"),
+    ("Walt", "Fred"),
+    ("Walt", "Bill"),
+    ("Fred", "Jean"),  # Fred knows BA people, but reaches no tester directly
+]
+
+
+def paper_graph(include_e1: bool = False) -> Graph:
+    """The collaboration network ``G`` of Fig. 1(b).
+
+    ``include_e1=True`` applies the Example 3 update (edge Fred -> Eva).
+    """
+    graph = Graph(name="fig1-collaboration")
+    for person, attrs in _PEOPLE.items():
+        graph.add_node(person, name=person, **attrs)
+    graph.add_edges(_EDGES)
+    if include_e1:
+        graph.add_edge(*EDGE_E1)
+    return graph
+
+
+def paper_pattern() -> Pattern:
+    """The pattern query ``Q`` of Fig. 1(a).
+
+    SA (output, >= 5 years) leads a team with SD / BA / ST experts; edge
+    bounds follow the figure's {2, 2, 3, 1} with (SA,SD)=2 and (SA,BA)=3
+    fixed by the prose.
+    """
+    pattern = Pattern(name="fig1-team")
+    pattern.add_node("SA", 'field == "SA", experience >= 5', output=True)
+    pattern.add_node("SD", 'field == "SD", experience >= 2')
+    pattern.add_node("BA", 'field == "BA", experience >= 3')
+    pattern.add_node("ST", 'field == "ST", experience >= 2')
+    pattern.add_edge("SA", "SD", 2)
+    pattern.add_edge("SA", "BA", 3)
+    pattern.add_edge("SD", "ST", 1)
+    pattern.add_edge("BA", "ST", 2)
+    return pattern

@@ -1,0 +1,106 @@
+"""A library of named pattern queries over the bundled attribute schema.
+
+The demo's Fig. 4 shows three prepared queries (Q1, Q2, Q3) with "different
+search conditions and topology"; this module is the reproduction's query
+library: ready-made patterns over the generator schema
+(``field`` / ``specialty`` / ``experience``) exercising distinct topologies
+— a star, a chain, a diamond, a cycle, and an unbounded-reachability
+variant.  Examples, tests and benchmarks draw from it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PatternError
+from repro.pattern.builder import PatternBuilder
+from repro.pattern.pattern import Pattern
+
+
+def q1_team_star(experience: int = 5) -> Pattern:
+    """Q1: a lead (output) directly steering three specialist roles — star."""
+    return (
+        PatternBuilder("q1-team-star")
+        .node("SA", f"experience >= {experience}", field="SA", output=True)
+        .node("SD", "experience >= 2", field="SD")
+        .node("BA", "experience >= 2", field="BA")
+        .node("ST", "experience >= 2", field="ST")
+        .edge("SA", "SD", 2)
+        .edge("SA", "BA", 2)
+        .edge("SA", "ST", 3)
+        .build(require_output=True)
+    )
+
+
+def q2_delivery_chain(experience: int = 5) -> Pattern:
+    """Q2: a delivery pipeline SA -> SD -> ST -> UX — chain."""
+    return (
+        PatternBuilder("q2-delivery-chain")
+        .node("SA", f"experience >= {experience}", field="SA", output=True)
+        .node("SD", "experience >= 2", field="SD")
+        .node("ST", "experience >= 1", field="ST")
+        .node("UX", "experience >= 1", field="UX")
+        .edge("SA", "SD", 2)
+        .edge("SD", "ST", 2)
+        .edge("ST", "UX", 3)
+        .build(require_output=True)
+    )
+
+
+def q3_review_diamond(experience: int = 4) -> Pattern:
+    """Q3: two parallel routes converging on testers — diamond (the Fig. 1
+    topology, with the output on the apex)."""
+    return (
+        PatternBuilder("q3-review-diamond")
+        .node("SA", f"experience >= {experience}", field="SA", output=True)
+        .node("SD", "experience >= 2", field="SD")
+        .node("BA", "experience >= 2", field="BA")
+        .node("ST", "experience >= 2", field="ST")
+        .edge("SA", "SD", 2)
+        .edge("SA", "BA", 3)
+        .edge("SD", "ST", 1)
+        .edge("BA", "ST", 2)
+        .build(require_output=True)
+    )
+
+
+def q4_feedback_cycle(experience: int = 4) -> Pattern:
+    """Q4: a lead and a tester in a mutual feedback loop — cyclic pattern
+    (the case that stresses greatest-fixpoint machinery)."""
+    return (
+        PatternBuilder("q4-feedback-cycle")
+        .node("SA", f"experience >= {experience}", field="SA", output=True)
+        .node("ST", "experience >= 2", field="ST")
+        .edge("SA", "ST", 2)
+        .edge("ST", "SA", 2)
+        .build(require_output=True)
+    )
+
+
+def q5_reachability(experience: int = 6) -> Pattern:
+    """Q5: an architect connected to a data scientist by ANY collaboration
+    chain — the '*' (unbounded) edge of the paper's notation."""
+    return (
+        PatternBuilder("q5-reachability")
+        .node("SA", f"experience >= {experience}", field="SA", output=True)
+        .node("DS", "experience >= 2", field="DS")
+        .edge("SA", "DS", None)
+        .build(require_output=True)
+    )
+
+
+#: Name -> zero-argument constructor, for the CLI and tests.
+QUERY_LIBRARY = {
+    "q1-team-star": q1_team_star,
+    "q2-delivery-chain": q2_delivery_chain,
+    "q3-review-diamond": q3_review_diamond,
+    "q4-feedback-cycle": q4_feedback_cycle,
+    "q5-reachability": q5_reachability,
+}
+
+
+def get_query(name: str) -> Pattern:
+    """Instantiate a library query by name."""
+    try:
+        return QUERY_LIBRARY[name]()
+    except KeyError:
+        known = ", ".join(sorted(QUERY_LIBRARY))
+        raise PatternError(f"unknown library query {name!r} (known: {known})") from None

@@ -1,0 +1,32 @@
+"""Query engine: planner, cache, file storage, orchestration."""
+
+from repro.engine.cache import CacheEntry, QueryCache, cache_key
+from repro.engine.engine import QueryEngine, RegisteredGraph
+from repro.engine.planner import (
+    ALGORITHM_BOUNDED,
+    ALGORITHM_SIMULATION,
+    ROUTE_CACHE,
+    ROUTE_COMPRESSED,
+    ROUTE_DIRECT,
+    Plan,
+    choose_algorithm,
+    make_plan,
+)
+from repro.engine.storage import GraphStore
+
+__all__ = [
+    "CacheEntry",
+    "QueryCache",
+    "cache_key",
+    "QueryEngine",
+    "RegisteredGraph",
+    "ALGORITHM_BOUNDED",
+    "ALGORITHM_SIMULATION",
+    "ROUTE_CACHE",
+    "ROUTE_COMPRESSED",
+    "ROUTE_DIRECT",
+    "Plan",
+    "choose_algorithm",
+    "make_plan",
+    "GraphStore",
+]

@@ -1,0 +1,159 @@
+"""The query-result cache with user-pinned entries.
+
+§II: "Upon receiving a pattern query Q, the query engine directly returns
+M(Q,G) if it is already cached" and the incremental module "maintains the
+query results of a set of frequently issued queries (decided by the users)".
+Those two sentences define this module:
+
+* plain entries live in an LRU cache keyed by (graph, pattern structure);
+  any graph update invalidates them;
+* *pinned* entries are exempt from eviction and survive updates — the
+  engine attaches an incremental maintainer to each and refreshes the
+  cached relation in place.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import CacheError
+from repro.matching.base import MatchRelation
+from repro.pattern.pattern import Pattern
+
+CacheKey = tuple[str, tuple]
+
+
+def cache_key(graph_name: str, pattern: Pattern) -> CacheKey:
+    """Structural cache key: graph identity + canonical pattern form."""
+    return (graph_name, pattern.canonical_key())
+
+
+@dataclass
+class CacheEntry:
+    """One cached result; ``maintainer`` is set only for pinned entries."""
+
+    relation: MatchRelation
+    pinned: bool = False
+    maintainer: Any = None
+    hits: int = 0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+
+class QueryCache:
+    """LRU cache of match relations with pin support.
+
+    >>> cache = QueryCache(capacity=2)
+    >>> cache.stats()["size"]
+    0
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise CacheError(f"capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[CacheKey, CacheEntry]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    # ------------------------------------------------------------------
+    def get(self, key: CacheKey) -> CacheEntry | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self._misses += 1
+            return None
+        self._entries.move_to_end(key)
+        entry.hits += 1
+        self._hits += 1
+        return entry
+
+    def put(
+        self,
+        key: CacheKey,
+        relation: MatchRelation,
+        pinned: bool = False,
+        maintainer: Any = None,
+    ) -> CacheEntry:
+        existing = self._entries.get(key)
+        if existing is not None and existing.pinned and not pinned:
+            # Refreshing a pinned entry's relation must not unpin it.
+            existing.relation = relation
+            self._entries.move_to_end(key)
+            return existing
+        entry = CacheEntry(relation=relation, pinned=pinned, maintainer=maintainer)
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        self._evict_if_needed()
+        return entry
+
+    def _evict_if_needed(self) -> None:
+        while len(self._entries) > self.capacity:
+            victim = next(
+                (k for k, e in self._entries.items() if not e.pinned), None
+            )
+            if victim is None:
+                return  # everything is pinned; allow overflow rather than drop
+            del self._entries[victim]
+            self._evictions += 1
+
+    # ------------------------------------------------------------------
+    def pin(self, key: CacheKey, maintainer: Any = None) -> None:
+        try:
+            entry = self._entries[key]
+        except KeyError:
+            raise CacheError("cannot pin a result that is not cached") from None
+        entry.pinned = True
+        if maintainer is not None:
+            entry.maintainer = maintainer
+
+    def unpin(self, key: CacheKey) -> None:
+        entry = self._entries.get(key)
+        if entry is None:
+            raise CacheError("cannot unpin a result that is not cached")
+        entry.pinned = False
+        entry.maintainer = None
+        self._evict_if_needed()
+
+    def pinned_entries(self, graph_name: str) -> list[tuple[CacheKey, CacheEntry]]:
+        """All pinned entries for one graph (the update path walks these)."""
+        return [
+            (key, entry)
+            for key, entry in self._entries.items()
+            if entry.pinned and key[0] == graph_name
+        ]
+
+    def invalidate_graph(self, graph_name: str, keep_pinned: bool = True) -> int:
+        """Drop entries of a graph (pinned ones survive by default)."""
+        doomed = [
+            key
+            for key, entry in self._entries.items()
+            if key[0] == graph_name and not (keep_pinned and entry.pinned)
+        ]
+        for key in doomed:
+            del self._entries[key]
+        self._invalidations += len(doomed)
+        return len(doomed)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # ------------------------------------------------------------------
+    def __contains__(self, key: object) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": self._evictions,
+            "invalidations": self._invalidations,
+            "pinned": sum(1 for e in self._entries.values() if e.pinned),
+        }

@@ -1,0 +1,341 @@
+"""The query engine: evaluation, ranking, caching, updates, compression.
+
+This is the composition root of the reproduction — the module that makes
+Fig. 2's architecture concrete.  A :class:`QueryEngine` owns named data
+graphs and, per graph, optionally a compressed form and a set of *pinned*
+queries.  Evaluation follows §II's flow: cached result → compressed graph
+(when the query is compatible) → direct evaluation, with the algorithm
+picked by the planner; updates flow through the incremental module for
+every pinned query and through partition maintenance for the compression.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.errors import CompressionError, EvaluationError
+from repro.graph.digraph import Graph, NodeId
+from repro.compression.compress import CompressedGraph, compress
+from repro.compression.decompress import decompress_result
+from repro.compression.maintain import MaintainedCompression
+from repro.engine.cache import CacheEntry, QueryCache, cache_key
+from repro.engine.planner import (
+    ALGORITHM_SIMULATION,
+    ROUTE_CACHE,
+    ROUTE_COMPRESSED,
+    Plan,
+    make_plan,
+)
+from repro.engine.storage import GraphStore
+from repro.incremental.inc_bounded import IncrementalBoundedSimulation
+from repro.incremental.inc_simulation import IncrementalSimulation
+from repro.incremental.updates import Update, decompose
+from repro.matching.base import MatchResult, Stopwatch
+from repro.matching.bounded import match_bounded
+from repro.matching.simulation import match_simulation
+from repro.pattern.pattern import Pattern
+from repro.ranking.metrics import RankingMetric, get_metric
+from repro.ranking.social_impact import RankedMatch
+from repro.ranking.social_impact import top_k as social_top_k
+
+
+class RegisteredGraph:
+    """A named data graph plus its per-graph engine artefacts."""
+
+    __slots__ = ("name", "graph", "version", "compression", "reach_index")
+
+    def __init__(self, name: str, graph: Graph) -> None:
+        self.name = name
+        self.graph = graph
+        self.version = 0
+        self.compression: MaintainedCompression | CompressedGraph | None = None
+        self.reach_index = None  # BoundedReachIndex, opt-in
+
+    def compressed(self) -> CompressedGraph | None:
+        """The current compressed form, if any."""
+        if isinstance(self.compression, MaintainedCompression):
+            return self.compression.compressed()
+        return self.compression
+
+
+class QueryEngine:
+    """ExpFinder's query engine.
+
+    >>> from repro.datasets.paper_example import paper_graph, paper_pattern
+    >>> engine = QueryEngine()
+    >>> engine.register_graph("fig1", paper_graph())
+    >>> result = engine.evaluate("fig1", paper_pattern())
+    >>> sorted(result.relation.matches_of("SA"))
+    ['Bob', 'Walt']
+    """
+
+    def __init__(self, store: GraphStore | None = None, cache_capacity: int = 64) -> None:
+        self.store = store
+        self._registered: dict[str, RegisteredGraph] = {}
+        self._cache = QueryCache(capacity=cache_capacity)
+
+    # ------------------------------------------------------------------
+    # graph management
+    # ------------------------------------------------------------------
+    def register_graph(self, name: str, graph: Graph, replace: bool = False) -> None:
+        """Make ``graph`` queryable under ``name``."""
+        if name in self._registered and not replace:
+            raise EvaluationError(f"graph {name!r} already registered")
+        self._registered[name] = RegisteredGraph(name, graph)
+        self._cache.invalidate_graph(name, keep_pinned=False)
+
+    def load_graph(self, name: str) -> Graph:
+        """Register a graph from the file store (if not already loaded)."""
+        if name in self._registered:
+            return self._registered[name].graph
+        if self.store is None:
+            raise EvaluationError("engine has no file store configured")
+        graph = self.store.load_graph(name)
+        self.register_graph(name, graph)
+        return graph
+
+    def graph(self, name: str) -> Graph:
+        return self._entry(name).graph
+
+    def graphs(self) -> list[str]:
+        return sorted(self._registered)
+
+    def _entry(self, name: str) -> RegisteredGraph:
+        try:
+            return self._registered[name]
+        except KeyError:
+            raise EvaluationError(f"unknown graph: {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # compression management
+    # ------------------------------------------------------------------
+    def compress_graph(
+        self,
+        name: str,
+        attrs: Sequence[str],
+        method: str = "bisimulation",
+        maintained: bool = True,
+    ) -> CompressedGraph:
+        """Build (and keep) a compressed form of a registered graph.
+
+        ``maintained=True`` keeps the partition synchronized through
+        :meth:`update_graph`; maintained compression requires the
+        bisimulation method (see ``compression.maintain`` for why).
+        """
+        entry = self._entry(name)
+        if maintained:
+            if method != "bisimulation":
+                raise CompressionError(
+                    "maintained compression requires method='bisimulation'; "
+                    "use maintained=False for simulation-equivalence compression"
+                )
+            entry.compression = MaintainedCompression(entry.graph, tuple(attrs))
+        else:
+            entry.compression = compress(entry.graph, tuple(attrs), method=method)
+        compressed = entry.compressed()
+        assert compressed is not None
+        return compressed
+
+    def drop_compression(self, name: str) -> None:
+        self._entry(name).compression = None
+
+    # ------------------------------------------------------------------
+    # reach-index management
+    # ------------------------------------------------------------------
+    def enable_reach_index(self, name: str, max_depth: int = 4) -> None:
+        """Cache truncated-BFS results for repeated bounded queries.
+
+        The index is kept consistent through :meth:`update_graph`; mutate
+        the graph only through the engine once enabled.
+        """
+        from repro.graph.reach_index import BoundedReachIndex
+
+        entry = self._entry(name)
+        entry.reach_index = BoundedReachIndex(entry.graph, max_depth=max_depth)
+
+    def disable_reach_index(self, name: str) -> None:
+        self._entry(name).reach_index = None
+
+    def reach_index_stats(self, name: str) -> dict[str, int] | None:
+        entry = self._entry(name)
+        return entry.reach_index.stats() if entry.reach_index is not None else None
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def explain(self, name: str, pattern: Pattern) -> Plan:
+        """The plan :meth:`evaluate` would follow right now (no execution)."""
+        entry = self._entry(name)
+        compressed = entry.compressed()
+        key = cache_key(name, pattern)
+        return make_plan(
+            pattern,
+            cached=key in self._cache,
+            compression_available=compressed is not None,
+            compression_compatible=(
+                compressed.is_compatible(pattern) if compressed is not None else False
+            ),
+        )
+
+    def evaluate(
+        self,
+        name: str,
+        pattern: Pattern,
+        use_cache: bool = True,
+        use_compression: bool = True,
+        cache_result: bool = True,
+    ) -> MatchResult:
+        """Evaluate a pattern query following the §II route order."""
+        pattern.validate()
+        entry = self._entry(name)
+        watch = Stopwatch()
+        key = cache_key(name, pattern)
+        cached_entry: CacheEntry | None = self._cache.get(key) if use_cache else None
+        compressed = entry.compressed() if use_compression else None
+        plan = make_plan(
+            pattern,
+            cached=cached_entry is not None,
+            compression_available=entry.compressed() is not None,
+            compression_compatible=(
+                compressed.is_compatible(pattern) if compressed is not None else False
+            ),
+            use_cache=use_cache,
+            use_compression=use_compression,
+        )
+
+        if plan.route == ROUTE_CACHE:
+            assert cached_entry is not None
+            result = MatchResult(entry.graph, pattern, cached_entry.relation)
+        elif plan.route == ROUTE_COMPRESSED:
+            assert compressed is not None
+            quotient_result = self._run_matcher(compressed.quotient, pattern, plan)
+            result = decompress_result(quotient_result, compressed)
+        else:
+            result = self._run_matcher(
+                entry.graph, pattern, plan, reach_index=entry.reach_index
+            )
+
+        result.stats.update(
+            {
+                "route": plan.route,
+                "algorithm": plan.algorithm,
+                "seconds": watch.seconds(),
+                "plan": plan,
+                "graph": name,
+                "graph_version": entry.version,
+            }
+        )
+        if cache_result and plan.route != ROUTE_CACHE:
+            self._cache.put(key, result.relation)
+        return result
+
+    @staticmethod
+    def _run_matcher(
+        graph: Graph, pattern: Pattern, plan: Plan, reach_index=None
+    ) -> MatchResult:
+        if plan.algorithm == ALGORITHM_SIMULATION:
+            return match_simulation(graph, pattern)
+        return match_bounded(graph, pattern, reach_index=reach_index)
+
+    # ------------------------------------------------------------------
+    # ranking
+    # ------------------------------------------------------------------
+    def top_k(
+        self,
+        name: str,
+        pattern: Pattern,
+        k: int,
+        metric: str | RankingMetric = "social-impact",
+        **evaluate_kwargs: Any,
+    ) -> list[RankedMatch] | list[tuple[NodeId, float]]:
+        """The K best experts for the pattern's output node.
+
+        With the default paper metric the result is a list of rich
+        :class:`RankedMatch` objects; other metrics return ``(node, score)``
+        pairs (scores normalized lower-is-better).
+        """
+        pattern.validate(require_output=True)
+        result = self.evaluate(name, pattern, **evaluate_kwargs)
+        result_graph = result.result_graph()
+        if isinstance(metric, str) and metric == "social-impact":
+            return social_top_k(result_graph, k)
+        chosen = get_metric(metric) if isinstance(metric, str) else metric
+        return chosen.rank_all(result_graph)[:k]
+
+    # ------------------------------------------------------------------
+    # updates + pinned queries
+    # ------------------------------------------------------------------
+    def pin(self, name: str, pattern: Pattern) -> None:
+        """Cache a query and keep its result maintained across updates."""
+        pattern.validate()
+        entry = self._entry(name)
+        key = cache_key(name, pattern)
+        existing = self._cache.get(key)
+        if existing is not None and existing.pinned:
+            return
+        if pattern.is_simulation_pattern:
+            maintainer: Any = IncrementalSimulation(entry.graph, pattern)
+        else:
+            maintainer = IncrementalBoundedSimulation(entry.graph, pattern)
+        self._cache.put(key, maintainer.relation(), pinned=True, maintainer=maintainer)
+
+    def unpin(self, name: str, pattern: Pattern) -> None:
+        self._cache.unpin(cache_key(name, pattern))
+
+    def update_graph(self, name: str, updates: Sequence[Update]) -> dict[str, Any]:
+        """Apply edge updates; maintain pinned queries and compression.
+
+        Returns a summary: per pinned query the ``ΔM`` (added/removed
+        pairs), plus bookkeeping counters.
+        """
+        entry = self._entry(name)
+        pinned = self._cache.pinned_entries(name)
+        before = {key: cache_entry.relation for key, cache_entry in pinned}
+
+        for update in updates:
+            # Node deletions are decomposed into their incident edge
+            # deletions plus a bare node removal, so every maintainer sees
+            # a primitive sequence it can follow without pre-images.
+            for primitive in decompose(entry.graph, update):
+                primitive.apply(entry.graph)
+                for _key, cache_entry in pinned:
+                    cache_entry.maintainer.apply(primitive, apply_to_graph=False)
+                if isinstance(entry.compression, MaintainedCompression):
+                    entry.compression.apply(primitive, apply_to_graph=False)
+                if entry.reach_index is not None:
+                    entry.reach_index.on_update(primitive)
+        if entry.compression is not None and not isinstance(
+            entry.compression, MaintainedCompression
+        ):
+            # A static compressed graph is stale after any update.
+            entry.compression = None
+
+        deltas: dict[tuple, dict[str, Any]] = {}
+        for key, cache_entry in pinned:
+            fresh = cache_entry.maintainer.relation()
+            added, removed = before[key].diff(fresh)
+            cache_entry.relation = fresh
+            deltas[key[1]] = {"added": added, "removed": removed}
+        invalidated = self._cache.invalidate_graph(name, keep_pinned=True)
+        entry.version += 1
+        return {
+            "applied": len(updates),
+            "graph_version": entry.version,
+            "invalidated_cache_entries": invalidated,
+            "pinned_deltas": deltas,
+        }
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> dict[str, int]:
+        return self._cache.stats()
+
+    def persist_graph(self, name: str) -> None:
+        """Write a registered graph to the file store."""
+        if self.store is None:
+            raise EvaluationError("engine has no file store configured")
+        self.store.save_graph(name, self._entry(name).graph)
+
+    def __repr__(self) -> str:
+        return f"<QueryEngine graphs={self.graphs()}>"

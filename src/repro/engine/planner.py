@@ -1,0 +1,97 @@
+"""Query planning: pick the evaluation route and algorithm.
+
+The demo promises "optimized query plans"; for ExpFinder that means two
+decisions, both made here so they are inspectable and testable:
+
+* **route** — cache hit, compressed graph, or the original graph, in that
+  order of preference (§II's evaluation flow);
+* **algorithm** — the quadratic simulation matcher when every bound is 1,
+  the cubic bounded matcher otherwise.
+
+:func:`make_plan` is pure: it sees booleans describing the engine state and
+returns an explainable :class:`Plan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pattern.pattern import Pattern
+
+ROUTE_CACHE = "cache"
+ROUTE_COMPRESSED = "compressed"
+ROUTE_DIRECT = "direct"
+
+ALGORITHM_SIMULATION = "simulation"
+ALGORITHM_BOUNDED = "bounded-simulation"
+
+
+@dataclass(frozen=True)
+class Plan:
+    """An evaluation decision plus the reasons behind it."""
+
+    route: str
+    algorithm: str
+    reasons: tuple[str, ...]
+
+    def explain(self) -> str:
+        """Human-readable plan description (CLI ``--explain``)."""
+        lines = [f"route: {self.route}", f"algorithm: {self.algorithm}"]
+        lines.extend(f"- {reason}" for reason in self.reasons)
+        return "\n".join(lines)
+
+
+def choose_algorithm(pattern: Pattern) -> tuple[str, str]:
+    """``(algorithm, reason)`` for a pattern."""
+    if pattern.is_simulation_pattern:
+        return (
+            ALGORITHM_SIMULATION,
+            "all pattern bounds are 1: quadratic simulation matcher applies",
+        )
+    return (
+        ALGORITHM_BOUNDED,
+        "pattern has bounds > 1 (or '*'): cubic bounded-simulation matcher",
+    )
+
+
+def make_plan(
+    pattern: Pattern,
+    cached: bool = False,
+    compression_available: bool = False,
+    compression_compatible: bool = False,
+    use_cache: bool = True,
+    use_compression: bool = True,
+) -> Plan:
+    """Decide how a query will be evaluated.
+
+    >>> from repro.datasets.paper_example import paper_pattern
+    >>> make_plan(paper_pattern()).route
+    'direct'
+    >>> make_plan(paper_pattern(), cached=True).route
+    'cache'
+    """
+    algorithm, algo_reason = choose_algorithm(pattern)
+    reasons: list[str] = []
+    if cached and use_cache:
+        reasons.append("result already cached for this graph version")
+        return Plan(ROUTE_CACHE, algorithm, tuple(reasons))
+    if cached and not use_cache:
+        reasons.append("cache hit ignored (use_cache=False)")
+    if compression_available and use_compression:
+        if compression_compatible:
+            reasons.append(
+                "compressed graph available and the pattern reads only "
+                "compression-label attributes"
+            )
+            reasons.append(algo_reason)
+            return Plan(ROUTE_COMPRESSED, algorithm, tuple(reasons))
+        reasons.append(
+            "compressed graph available but the pattern reads attributes the "
+            "compression does not preserve; falling back to the original graph"
+        )
+    elif compression_available:
+        reasons.append("compression available but disabled (use_compression=False)")
+    else:
+        reasons.append("no compressed graph for this data graph")
+    reasons.append(algo_reason)
+    return Plan(ROUTE_DIRECT, algorithm, tuple(reasons))

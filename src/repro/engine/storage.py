@@ -1,0 +1,160 @@
+"""File-backed storage — "all the graphs and query results are stored and
+managed as files".
+
+A :class:`GraphStore` owns a directory with three sub-catalogues::
+
+    <root>/graphs/<name>.json        data graphs
+    <root>/patterns/<name>.pattern   pattern queries (text syntax)
+    <root>/results/<name>.json       match relations
+
+Names are restricted to a safe character set so stored artefacts stay
+portable and path traversal is impossible.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+from repro.errors import StorageError
+from repro.graph.digraph import Graph
+from repro.graph.io import load_graph, save_graph
+from repro.matching.base import MatchRelation
+from repro.pattern.parser import load_pattern, save_pattern
+from repro.pattern.pattern import Pattern
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$")
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise StorageError(
+            f"invalid store name {name!r} (letters, digits, '._-', max 128 chars)"
+        )
+    return name
+
+
+class GraphStore:
+    """A directory of graphs, patterns and results.
+
+    >>> import tempfile
+    >>> from repro.graph.generators import collaboration_graph
+    >>> store = GraphStore(tempfile.mkdtemp())
+    >>> _ = store.save_graph("team", collaboration_graph(30, seed=1))
+    >>> store.list_graphs()
+    ['team']
+    >>> store.load_graph("team").num_nodes
+    30
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self._graphs = self.root / "graphs"
+        self._patterns = self.root / "patterns"
+        self._results = self.root / "results"
+        for directory in (self._graphs, self._patterns, self._results):
+            directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # graphs
+    # ------------------------------------------------------------------
+    def save_graph(self, name: str, graph: Graph) -> Path:
+        return save_graph(graph, self._graphs / f"{_check_name(name)}.json")
+
+    def load_graph(self, name: str) -> Graph:
+        path = self._graphs / f"{_check_name(name)}.json"
+        if not path.exists():
+            raise StorageError(f"no stored graph named {name!r}")
+        return load_graph(path)
+
+    def has_graph(self, name: str) -> bool:
+        return (self._graphs / f"{_check_name(name)}.json").exists()
+
+    def delete_graph(self, name: str) -> None:
+        path = self._graphs / f"{_check_name(name)}.json"
+        if not path.exists():
+            raise StorageError(f"no stored graph named {name!r}")
+        path.unlink()
+
+    def list_graphs(self) -> list[str]:
+        return sorted(p.stem for p in self._graphs.glob("*.json"))
+
+    # ------------------------------------------------------------------
+    # patterns
+    # ------------------------------------------------------------------
+    def save_pattern(self, name: str, pattern: Pattern) -> Path:
+        return save_pattern(pattern, self._patterns / f"{_check_name(name)}.pattern")
+
+    def load_pattern(self, name: str) -> Pattern:
+        path = self._patterns / f"{_check_name(name)}.pattern"
+        if not path.exists():
+            raise StorageError(f"no stored pattern named {name!r}")
+        return load_pattern(path)
+
+    def delete_pattern(self, name: str) -> None:
+        path = self._patterns / f"{_check_name(name)}.pattern"
+        if not path.exists():
+            raise StorageError(f"no stored pattern named {name!r}")
+        path.unlink()
+
+    def list_patterns(self) -> list[str]:
+        return sorted(p.stem for p in self._patterns.glob("*.pattern"))
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def save_relation(self, name: str, relation: MatchRelation) -> Path:
+        path = self._results / f"{_check_name(name)}.json"
+        path.write_text(json.dumps(relation.to_dict(), indent=2))
+        return path
+
+    def load_relation(self, name: str) -> MatchRelation:
+        path = self._results / f"{_check_name(name)}.json"
+        if not path.exists():
+            raise StorageError(f"no stored result named {name!r}")
+        try:
+            return MatchRelation.from_dict(json.loads(path.read_text()))
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise StorageError(f"malformed result file {path}: {exc}") from exc
+
+    def delete_relation(self, name: str) -> None:
+        path = self._results / f"{_check_name(name)}.json"
+        if not path.exists():
+            raise StorageError(f"no stored result named {name!r}")
+        path.unlink()
+
+    def list_relations(self) -> list[str]:
+        return sorted(
+            p.stem
+            for p in self._results.glob("*.json")
+            if not p.name.endswith(".rg.json")
+        )
+
+    # ------------------------------------------------------------------
+    # result graphs
+    # ------------------------------------------------------------------
+    def save_result_graph(self, name: str, result_graph) -> Path:
+        """Persist a weighted result graph alongside the plain relations."""
+        path = self._results / f"{_check_name(name)}.rg.json"
+        path.write_text(json.dumps(result_graph.to_dict(), indent=2))
+        return path
+
+    def load_result_graph(self, name: str, graph: Graph, pattern: Pattern):
+        """Load a result graph back against its graph and pattern."""
+        from repro.matching.result_graph import ResultGraph
+
+        path = self._results / f"{_check_name(name)}.rg.json"
+        if not path.exists():
+            raise StorageError(f"no stored result graph named {name!r}")
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise StorageError(f"malformed result-graph file {path}: {exc}") from exc
+        return ResultGraph.from_dict(payload, graph, pattern)
+
+    def list_result_graphs(self) -> list[str]:
+        return sorted(p.name[: -len(".rg.json")] for p in self._results.glob("*.rg.json"))
+
+    def __repr__(self) -> str:
+        return f"<GraphStore {self.root}>"

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the ExpFinder reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so
+applications can catch one type at the boundary.  Subclasses are split by
+subsystem; constructors take a plain message (and occasionally structured
+context) so errors remain cheap to raise and easy to test.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GraphError(ReproError):
+    """Invalid operation on a data graph (unknown node, duplicate edge, ...)."""
+
+
+class PatternError(ReproError):
+    """Invalid pattern query (unknown node, bad bound, missing output node)."""
+
+
+class PredicateError(ReproError):
+    """Invalid search condition (unknown operator, unparsable expression)."""
+
+
+class EvaluationError(ReproError):
+    """A matcher was invoked with inconsistent inputs or state."""
+
+
+class RankingError(ReproError):
+    """Ranking was requested for a node that is not a match of the output node."""
+
+
+class UpdateError(ReproError):
+    """An edge update cannot be applied to the graph (or replayed on state)."""
+
+
+class CompressionError(ReproError):
+    """Compression failed or a query is incompatible with a compressed graph."""
+
+
+class StorageError(ReproError):
+    """File-backed graph/query/result storage failed or is inconsistent."""
+
+
+class CacheError(ReproError):
+    """Query cache misuse (e.g. pinning a query for an unknown graph)."""
+
+
+class CliError(ReproError):
+    """Command-line front end received invalid arguments or files."""

@@ -1,0 +1,274 @@
+"""Directed attributed graphs — the data model for social networks.
+
+The paper models a social network as a directed graph whose nodes carry
+attributes (name, field, specialty, experience, ...) and whose edges denote
+collaboration.  :class:`Graph` implements exactly that: node identifiers are
+arbitrary hashable values, each node owns an attribute dictionary, and
+adjacency is stored in both directions so matchers can walk predecessors as
+cheaply as successors.
+
+Implementation note: adjacency is kept in ``dict`` objects (insertion
+ordered) rather than ``set`` so iteration order is deterministic across
+processes regardless of ``PYTHONHASHSEED``; determinism matters for
+reproducible benchmarks and stable test output.  Membership tests stay O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Iterator, Mapping
+
+from repro.errors import GraphError
+
+NodeId = Hashable
+Edge = tuple[NodeId, NodeId]
+
+
+class Graph:
+    """A directed graph with per-node attribute dictionaries.
+
+    Parameters
+    ----------
+    name:
+        Optional human-readable name, used by storage and the CLI.
+
+    Examples
+    --------
+    >>> g = Graph(name="team")
+    >>> g.add_node("bob", field="SA", experience=7)
+    >>> g.add_node("dan", field="SD", experience=3)
+    >>> g.add_edge("bob", "dan")
+    True
+    >>> g.num_nodes, g.num_edges
+    (2, 1)
+    >>> list(g.successors("bob"))
+    ['dan']
+    """
+
+    __slots__ = ("name", "_attrs", "_succ", "_pred", "_num_edges")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._attrs: dict[NodeId, dict[str, Any]] = {}
+        self._succ: dict[NodeId, dict[NodeId, None]] = {}
+        self._pred: dict[NodeId, dict[NodeId, None]] = {}
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: NodeId, **attrs: Any) -> None:
+        """Add ``node`` with attributes; re-adding merges the attributes."""
+        if node not in self._attrs:
+            self._attrs[node] = {}
+            self._succ[node] = {}
+            self._pred[node] = {}
+        if attrs:
+            self._attrs[node].update(attrs)
+
+    def add_nodes(self, nodes: Iterable[NodeId]) -> None:
+        """Add many attribute-less nodes at once."""
+        for node in nodes:
+            self.add_node(node)
+
+    def add_edge(self, source: NodeId, target: NodeId) -> bool:
+        """Add the directed edge ``source -> target``.
+
+        Endpoints must already exist (implicit node creation hides typos in
+        pattern/graph code, so it is deliberately not supported).  Returns
+        ``True`` if the edge was new, ``False`` if it already existed;
+        parallel edges are never stored.
+        """
+        if source not in self._attrs:
+            raise GraphError(f"unknown source node: {source!r}")
+        if target not in self._attrs:
+            raise GraphError(f"unknown target node: {target!r}")
+        if target in self._succ[source]:
+            return False
+        self._succ[source][target] = None
+        self._pred[target][source] = None
+        self._num_edges += 1
+        return True
+
+    def add_edges(self, edges: Iterable[Edge]) -> int:
+        """Add many edges; returns how many were actually new."""
+        added = 0
+        for source, target in edges:
+            if self.add_edge(source, target):
+                added += 1
+        return added
+
+    def remove_edge(self, source: NodeId, target: NodeId) -> None:
+        """Remove the edge ``source -> target``; raises if absent."""
+        if source not in self._succ or target not in self._succ[source]:
+            raise GraphError(f"no such edge: {source!r} -> {target!r}")
+        del self._succ[source][target]
+        del self._pred[target][source]
+        self._num_edges -= 1
+
+    def remove_node(self, node: NodeId) -> None:
+        """Remove ``node`` and every incident edge; raises if absent."""
+        if node not in self._attrs:
+            raise GraphError(f"unknown node: {node!r}")
+        for target in list(self._succ[node]):
+            self.remove_edge(node, target)
+        for source in list(self._pred[node]):
+            self.remove_edge(source, node)
+        del self._attrs[node]
+        del self._succ[node]
+        del self._pred[node]
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Edge],
+        nodes: Mapping[NodeId, Mapping[str, Any]] | Iterable[NodeId] | None = None,
+        name: str = "",
+    ) -> "Graph":
+        """Build a graph from an edge list, optionally with node attributes.
+
+        ``nodes`` may be a mapping ``{node: attrs}`` or a plain iterable of
+        node ids; nodes mentioned only in ``edges`` are created bare.
+        """
+        graph = cls(name=name)
+        if isinstance(nodes, Mapping):
+            for node, attrs in nodes.items():
+                graph.add_node(node, **dict(attrs))
+        elif nodes is not None:
+            graph.add_nodes(nodes)
+        for source, target in edges:
+            if source not in graph:
+                graph.add_node(source)
+            if target not in graph:
+                graph.add_node(target)
+            graph.add_edge(source, target)
+        return graph
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._attrs)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    @property
+    def size(self) -> int:
+        """``|G|`` in the paper's sense: nodes plus edges."""
+        return self.num_nodes + self._num_edges
+
+    def __len__(self) -> int:
+        return len(self._attrs)
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._attrs
+
+    def has_node(self, node: NodeId) -> bool:
+        return node in self._attrs
+
+    def has_edge(self, source: NodeId, target: NodeId) -> bool:
+        succ = self._succ.get(source)
+        return succ is not None and target in succ
+
+    def nodes(self) -> Iterator[NodeId]:
+        """Iterate node ids in insertion order."""
+        return iter(self._attrs)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate ``(source, target)`` pairs in insertion order."""
+        for source, targets in self._succ.items():
+            for target in targets:
+                yield (source, target)
+
+    def attrs(self, node: NodeId) -> dict[str, Any]:
+        """The attribute dictionary of ``node`` (live, not a copy)."""
+        try:
+            return self._attrs[node]
+        except KeyError:
+            raise GraphError(f"unknown node: {node!r}") from None
+
+    def get(self, node: NodeId, attr: str, default: Any = None) -> Any:
+        """A single attribute of ``node`` (``default`` if unset)."""
+        return self.attrs(node).get(attr, default)
+
+    def set(self, node: NodeId, attr: str, value: Any) -> None:
+        """Set a single attribute of ``node``."""
+        self.attrs(node)[attr] = value
+
+    def successors(self, node: NodeId) -> Iterator[NodeId]:
+        try:
+            return iter(self._succ[node])
+        except KeyError:
+            raise GraphError(f"unknown node: {node!r}") from None
+
+    def predecessors(self, node: NodeId) -> Iterator[NodeId]:
+        try:
+            return iter(self._pred[node])
+        except KeyError:
+            raise GraphError(f"unknown node: {node!r}") from None
+
+    def out_degree(self, node: NodeId) -> int:
+        try:
+            return len(self._succ[node])
+        except KeyError:
+            raise GraphError(f"unknown node: {node!r}") from None
+
+    def in_degree(self, node: NodeId) -> int:
+        try:
+            return len(self._pred[node])
+        except KeyError:
+            raise GraphError(f"unknown node: {node!r}") from None
+
+    # ------------------------------------------------------------------
+    # derivation
+    # ------------------------------------------------------------------
+    def copy(self, name: str | None = None) -> "Graph":
+        """An independent deep-enough copy (attribute dicts are copied)."""
+        clone = Graph(name=self.name if name is None else name)
+        for node, attrs in self._attrs.items():
+            clone.add_node(node, **attrs)
+        for source, target in self.edges():
+            clone.add_edge(source, target)
+        return clone
+
+    def subgraph(self, nodes: Iterable[NodeId], name: str = "") -> "Graph":
+        """The induced subgraph on ``nodes`` (unknown ids raise)."""
+        keep = list(nodes)
+        sub = Graph(name=name)
+        for node in keep:
+            sub.add_node(node, **self.attrs(node))
+        for node in keep:
+            for target in self._succ[node]:
+                if target in sub:
+                    sub.add_edge(node, target)
+        return sub
+
+    def reversed(self, name: str = "") -> "Graph":
+        """A copy with every edge direction flipped."""
+        rev = Graph(name=name or f"{self.name}~rev")
+        for node, attrs in self._attrs.items():
+            rev.add_node(node, **attrs)
+        for source, target in self.edges():
+            rev.add_edge(target, source)
+        return rev
+
+    # ------------------------------------------------------------------
+    # comparison / display
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            self._attrs == other._attrs
+            and {n: dict(t) for n, t in self._succ.items()}
+            == {n: dict(t) for n, t in other._succ.items()}
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - graphs are mutable
+        raise TypeError("Graph objects are mutable and unhashable")
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"<Graph{label}: {self.num_nodes} nodes, {self.num_edges} edges>"

@@ -1,0 +1,139 @@
+"""Path-length utilities used by bounded simulation and ranking.
+
+Bounded simulation constrains pattern edges by the length of a *nonempty*
+path in the data graph, so all helpers here use nonempty-path semantics: the
+source node itself appears in a result only when it lies on a cycle (a path
+of length >= 1 back to itself).
+
+``bound=None`` means "unbounded" and corresponds to a ``*`` bound on a
+pattern edge (plain reachability).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Callable, Iterator, Mapping
+
+from repro.graph.digraph import Graph, NodeId
+
+#: Sentinel accepted everywhere a bound is expected: no length restriction.
+UNBOUNDED = None
+
+
+def bounded_descendants(
+    graph: Graph, source: NodeId, bound: int | None
+) -> dict[NodeId, int]:
+    """Nodes reachable from ``source`` by a nonempty path of length <= bound.
+
+    Returns ``{node: shortest nonempty path length}``.  ``source`` itself is
+    included only if it can be re-reached through a cycle within the bound.
+
+    >>> g = Graph.from_edges([("a", "b"), ("b", "c"), ("c", "a")])
+    >>> bounded_descendants(g, "a", 2)
+    {'b': 1, 'c': 2}
+    >>> bounded_descendants(g, "a", 3)["a"]
+    3
+    """
+    return _bounded_search(graph.successors, source, bound)
+
+
+def bounded_ancestors(
+    graph: Graph, source: NodeId, bound: int | None
+) -> dict[NodeId, int]:
+    """Nodes that reach ``source`` by a nonempty path of length <= bound."""
+    return _bounded_search(graph.predecessors, source, bound)
+
+
+def _bounded_search(
+    neighbours: Callable[[NodeId], Iterator[NodeId]],
+    source: NodeId,
+    bound: int | None,
+) -> dict[NodeId, int]:
+    if bound is not None and bound < 1:
+        return {}
+    dist: dict[NodeId, int] = {}
+    frontier = deque()
+    for first in neighbours(source):
+        if first not in dist:
+            dist[first] = 1
+            frontier.append(first)
+    depth = 1
+    while frontier and (bound is None or depth < bound):
+        depth += 1
+        for _ in range(len(frontier)):
+            node = frontier.popleft()
+            for nxt in neighbours(node):
+                if nxt not in dist:
+                    dist[nxt] = depth
+                    frontier.append(nxt)
+    return dist
+
+
+def distance(graph: Graph, source: NodeId, target: NodeId) -> int | None:
+    """Shortest nonempty path length ``source -> target``; None if unreachable.
+
+    ``distance(g, v, v)`` is the shortest cycle through ``v`` (not 0).
+    """
+    if not graph.has_node(source) or not graph.has_node(target):
+        return None
+    reached = _bounded_search(graph.successors, source, None)
+    return reached.get(target)
+
+
+def within_bound(graph: Graph, source: NodeId, target: NodeId, bound: int | None) -> bool:
+    """True iff a nonempty path ``source -> target`` of length <= bound exists."""
+    found = _bounded_search(graph.successors, source, bound)
+    return target in found
+
+
+def weighted_distances(
+    adjacency: Mapping[NodeId, Mapping[NodeId, float]], source: NodeId
+) -> dict[NodeId, float]:
+    """Dijkstra over an explicit weighted adjacency (nonempty paths).
+
+    Used on result graphs, whose edge weights are shortest-path lengths in
+    the data graph.  Weights must be positive.  The source appears in the
+    output only when it lies on a (weighted) cycle.
+    """
+    dist: dict[NodeId, float] = {}
+    heap: list[tuple[float, NodeId]] = []
+    for nxt, weight in adjacency.get(source, {}).items():
+        heapq.heappush(heap, (float(weight), _order_key(nxt)))
+    # heapq needs comparable entries even when distances tie; wrap nodes in a
+    # stable ordering key and unwrap on pop.
+    while heap:
+        d, key = heapq.heappop(heap)
+        node = key.node
+        if node in dist:
+            continue
+        dist[node] = d
+        for nxt, weight in adjacency.get(node, {}).items():
+            if nxt not in dist:
+                heapq.heappush(heap, (d + float(weight), _order_key(nxt)))
+    return dist
+
+
+class _order_key:
+    """Total-ordering wrapper so heterogeneous node ids can share a heap."""
+
+    __slots__ = ("node", "_key")
+
+    def __init__(self, node: NodeId) -> None:
+        self.node = node
+        self._key = (type(node).__name__, repr(node))
+
+    def __lt__(self, other: "_order_key") -> bool:
+        return self._key < other._key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _order_key) and self.node == other.node
+
+
+def eccentricity_within(graph: Graph, source: NodeId, bound: int | None) -> int:
+    """Length of the longest shortest-path from ``source`` within ``bound``.
+
+    Convenience for diagnostics and tests; 0 when ``source`` reaches nothing.
+    """
+    reached = bounded_descendants(graph, source, bound)
+    return max(reached.values(), default=0)

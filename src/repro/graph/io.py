@@ -1,0 +1,106 @@
+"""Graph (de)serialization — "graphs ... are stored and managed as files".
+
+Two interchange formats:
+
+* JSON (canonical): keeps node attributes, round-trips exactly;
+* tab-separated edge lists: lowest-common-denominator interop with other
+  graph tooling (attributes are not carried).
+
+Node identifiers must be JSON scalars (``str`` / ``int``) to be storable;
+in-memory graphs may use any hashable id.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import StorageError
+from repro.graph.digraph import Graph
+
+FORMAT_VERSION = 1
+
+
+def graph_to_dict(graph: Graph) -> dict[str, Any]:
+    """A JSON-ready dictionary representation of ``graph``."""
+    for node in graph.nodes():
+        if not isinstance(node, (str, int)):
+            raise StorageError(
+                f"node id {node!r} is not JSON-serializable (use str or int)"
+            )
+    return {
+        "format": "repro.graph",
+        "version": FORMAT_VERSION,
+        "name": graph.name,
+        "nodes": [{"id": node, "attrs": dict(graph.attrs(node))} for node in graph.nodes()],
+        "edges": [[source, target] for source, target in graph.edges()],
+    }
+
+
+def graph_from_dict(payload: dict[str, Any]) -> Graph:
+    """Rebuild a :class:`Graph` from :func:`graph_to_dict` output."""
+    if not isinstance(payload, dict) or payload.get("format") != "repro.graph":
+        raise StorageError("not a repro.graph payload")
+    if payload.get("version") != FORMAT_VERSION:
+        raise StorageError(f"unsupported graph format version: {payload.get('version')!r}")
+    graph = Graph(name=payload.get("name", ""))
+    try:
+        for entry in payload["nodes"]:
+            graph.add_node(entry["id"], **entry.get("attrs", {}))
+        for source, target in payload["edges"]:
+            graph.add_edge(source, target)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise StorageError(f"malformed graph payload: {exc}") from exc
+    return graph
+
+
+def save_graph(graph: Graph, path: str | Path) -> Path:
+    """Write ``graph`` as JSON to ``path``; returns the path written."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(graph_to_dict(graph), indent=2, sort_keys=False))
+    return target
+
+
+def load_graph(path: str | Path) -> Graph:
+    """Read a JSON graph written by :func:`save_graph`."""
+    source = Path(path)
+    if not source.exists():
+        raise StorageError(f"graph file not found: {source}")
+    try:
+        payload = json.loads(source.read_text())
+    except json.JSONDecodeError as exc:
+        raise StorageError(f"invalid JSON in {source}: {exc}") from exc
+    return graph_from_dict(payload)
+
+
+def save_edgelist(graph: Graph, path: str | Path) -> Path:
+    """Write a tab-separated ``source<TAB>target`` edge list."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    lines = [f"{source}\t{dest}" for source, dest in graph.edges()]
+    target.write_text("\n".join(lines) + ("\n" if lines else ""))
+    return target
+
+
+def load_edgelist(path: str | Path, name: str = "") -> Graph:
+    """Read a tab- or whitespace-separated edge list into an attr-less graph."""
+    source = Path(path)
+    if not source.exists():
+        raise StorageError(f"edge list not found: {source}")
+    graph = Graph(name=name or source.stem)
+    for lineno, raw in enumerate(source.read_text().splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            raise StorageError(f"{source}:{lineno}: expected 'source target', got {raw!r}")
+        head, tail = parts
+        if head not in graph:
+            graph.add_node(head)
+        if tail not in graph:
+            graph.add_node(tail)
+        graph.add_edge(head, tail)
+    return graph

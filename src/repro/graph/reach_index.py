@@ -1,0 +1,142 @@
+"""A cached bounded-reachability index for repeated query evaluation.
+
+Bounded simulation's dominant cost is one truncated BFS per candidate per
+pattern-edge source.  Different queries over the same graph repeat most of
+that work; :class:`BoundedReachIndex` memoizes BFS results up to a fixed
+depth and invalidates exactly the nodes whose bounded neighbourhood an edge
+update can change (the update's tail plus its ancestors within depth-1 —
+the same affected-area argument the incremental module relies on).
+
+The index is engine-owned: the engine routes every update through
+:meth:`on_update`, so served results always reflect the current graph.
+Mutating the graph behind the index's back voids that guarantee (as with
+any cache).
+"""
+
+from __future__ import annotations
+
+from repro.errors import GraphError
+from repro.graph.digraph import Graph, NodeId
+from repro.graph.distance import bounded_ancestors, bounded_descendants
+
+
+class BoundedReachIndex:
+    """Memoized ``bounded_descendants`` up to ``max_depth``.
+
+    >>> from repro.graph.generators import collaboration_graph
+    >>> g = collaboration_graph(50, seed=1)
+    >>> index = BoundedReachIndex(g, max_depth=3)
+    >>> first = index.reach("p0", 2)
+    >>> index.stats()["misses"]
+    1
+    >>> second = index.reach("p0", 2)   # served from cache
+    >>> index.stats()["hits"]
+    1
+    """
+
+    __slots__ = ("graph", "max_depth", "_cache", "_hits", "_misses", "_invalidations")
+
+    def __init__(self, graph: Graph, max_depth: int = 4) -> None:
+        if max_depth < 1:
+            raise GraphError(f"max_depth must be >= 1: {max_depth}")
+        self.graph = graph
+        self.max_depth = max_depth
+        # node -> (depth the BFS was run to, its result); a shallow entry is
+        # upgraded in place when a deeper request arrives, so no query ever
+        # pays for more depth than some query actually needed.
+        self._cache: dict[NodeId, tuple[int, dict[NodeId, int]]] = {}
+        self._hits = 0
+        self._misses = 0
+        self._invalidations = 0
+
+    # ------------------------------------------------------------------
+    def covers(self, depth: int | None) -> bool:
+        """Can this index answer a reach query of the given depth?"""
+        return depth is not None and depth <= self.max_depth
+
+    def reach(
+        self, node: NodeId, depth: int | None, copy: bool = True
+    ) -> dict[NodeId, int]:
+        """``{reached: distance}`` within ``depth`` (nonempty paths).
+
+        Depths beyond ``max_depth`` (including unbounded) bypass the cache
+        and fall back to a plain BFS.  ``copy=False`` returns the cached
+        dictionary itself when possible — measurably faster for hot callers
+        like the matcher, which must then treat the result as read-only.
+        """
+        if not self.covers(depth):
+            return bounded_descendants(self.graph, node, depth)
+        entry = self._cache.get(node)
+        if entry is None or entry[0] < depth:
+            self._misses += 1
+            reach = bounded_descendants(self.graph, node, depth)
+            self._cache[node] = (depth, reach)
+            return dict(reach) if copy else reach
+        self._hits += 1
+        cached_depth, reach = entry
+        if depth == cached_depth:
+            return dict(reach) if copy else reach
+        return {n: d for n, d in reach.items() if d <= depth}
+
+    # ------------------------------------------------------------------
+    # invalidation
+    # ------------------------------------------------------------------
+    def on_update(self, update) -> int:
+        """Invalidate entries an update can affect; returns how many.
+
+        Edge updates touch the tail's bounded ancestry; attribute updates
+        touch nothing (reachability is structure-only); node insertions
+        touch nothing (a fresh node has no incident edges yet); node
+        deletions drop the node's own entry (its edges arrive as separate
+        edge updates via ``decompose``).
+        """
+        from repro.incremental.updates import (
+            AttributeUpdate,
+            EdgeDeletion,
+            EdgeInsertion,
+            NodeDeletion,
+            NodeInsertion,
+        )
+
+        if isinstance(update, (EdgeInsertion, EdgeDeletion)):
+            return self._invalidate_around(update.source)
+        if isinstance(update, NodeDeletion):
+            dropped = 1 if self._cache.pop(update.node, None) is not None else 0
+            self._invalidations += dropped
+            return dropped
+        if isinstance(update, (NodeInsertion, AttributeUpdate)):
+            return 0
+        raise GraphError(f"unknown update type: {update!r}")
+
+    def _invalidate_around(self, tail: NodeId) -> int:
+        """Drop ``tail`` and every node reaching it within depth-1.
+
+        Runs on the current graph; correct for both insertion (ancestors of
+        the tail are unchanged by the new edge) and deletion (paths to the
+        tail through the deleted edge would revisit the tail).
+        """
+        doomed = [tail]
+        if self.max_depth > 1 and self.graph.has_node(tail):
+            doomed.extend(bounded_ancestors(self.graph, tail, self.max_depth - 1))
+        dropped = 0
+        for node in doomed:
+            if self._cache.pop(node, None) is not None:
+                dropped += 1
+        self._invalidations += dropped
+        return dropped
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "entries": len(self._cache),
+            "max_depth": self.max_depth,
+            "hits": self._hits,
+            "misses": self._misses,
+            "invalidations": self._invalidations,
+        }

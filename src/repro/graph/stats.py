@@ -1,0 +1,115 @@
+"""Descriptive statistics over data graphs.
+
+The ExpFinder Manager panel lets users "select, view and modify the
+detailed information of data graphs"; this module computes the summary
+numbers those views (and the benchmark write-ups) need: size, degree
+moments and tails, attribute histograms, reachability samples, and a
+single-call :func:`graph_profile` used by the CLI.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import GraphError
+from repro.graph.digraph import Graph, NodeId
+from repro.graph.distance import bounded_descendants
+
+
+@dataclass(frozen=True)
+class DegreeStats:
+    """Moments and extremes of a degree distribution."""
+
+    minimum: int
+    maximum: int
+    mean: float
+    median: float
+    zeros: int
+
+    @classmethod
+    def from_values(cls, values: list[int]) -> "DegreeStats":
+        if not values:
+            raise GraphError("cannot summarize an empty degree sequence")
+        ordered = sorted(values)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            median = float(ordered[mid])
+        else:
+            median = (ordered[mid - 1] + ordered[mid]) / 2
+        return cls(
+            minimum=ordered[0],
+            maximum=ordered[-1],
+            mean=sum(ordered) / len(ordered),
+            median=median,
+            zeros=sum(1 for v in ordered if v == 0),
+        )
+
+
+def degree_stats(graph: Graph, direction: str = "out") -> DegreeStats:
+    """Degree statistics in one direction (``"out"`` or ``"in"``)."""
+    if direction not in ("in", "out"):
+        raise GraphError("direction must be 'in' or 'out'")
+    degree_of = graph.out_degree if direction == "out" else graph.in_degree
+    return DegreeStats.from_values([degree_of(v) for v in graph.nodes()])
+
+
+def attribute_histogram(graph: Graph, attr: str) -> dict[Any, int]:
+    """``{value: count}`` for one node attribute (None = unset)."""
+    histogram: dict[Any, int] = {}
+    for node in graph.nodes():
+        value = graph.get(node, attr)
+        histogram[value] = histogram.get(value, 0) + 1
+    return histogram
+
+
+def density(graph: Graph) -> float:
+    """|E| / (|V| * (|V|-1)) — the filled fraction of possible edges."""
+    if graph.num_nodes < 2:
+        return 0.0
+    return graph.num_edges / (graph.num_nodes * (graph.num_nodes - 1))
+
+
+def reciprocity(graph: Graph) -> float:
+    """Fraction of edges whose reverse edge also exists."""
+    if graph.num_edges == 0:
+        return 0.0
+    mutual = sum(1 for s, t in graph.edges() if graph.has_edge(t, s))
+    return mutual / graph.num_edges
+
+
+def sampled_reach(
+    graph: Graph, bound: int | None, samples: int = 50, seed: int = 0
+) -> float:
+    """Average number of nodes within ``bound`` hops of a sampled node.
+
+    This is the quantity that drives bounded-simulation cost (each
+    candidate's truncated BFS touches exactly this neighbourhood).
+    """
+    nodes = list(graph.nodes())
+    if not nodes:
+        return 0.0
+    rng = random.Random(seed)
+    chosen = nodes if len(nodes) <= samples else rng.sample(nodes, samples)
+    total = sum(len(bounded_descendants(graph, v, bound)) for v in chosen)
+    return total / len(chosen)
+
+
+def graph_profile(graph: Graph, attr: str = "field") -> dict[str, Any]:
+    """One dictionary with everything the Manager view shows."""
+    out = degree_stats(graph, "out")
+    inc = degree_stats(graph, "in")
+    return {
+        "name": graph.name,
+        "nodes": graph.num_nodes,
+        "edges": graph.num_edges,
+        "size": graph.size,
+        "density": density(graph),
+        "reciprocity": reciprocity(graph),
+        "out_degree": out,
+        "in_degree": inc,
+        "attribute": attr,
+        "histogram": attribute_histogram(graph, attr),
+        "avg_reach_2": sampled_reach(graph, 2),
+    }

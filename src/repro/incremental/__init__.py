@@ -1,0 +1,35 @@
+"""Incremental computation: edge updates and match maintenance."""
+
+from repro.incremental.inc_bounded import IncrementalBoundedSimulation
+from repro.incremental.inc_simulation import IncrementalSimulation
+from repro.incremental.updates import (
+    AttributeUpdate,
+    EdgeDeletion,
+    EdgeInsertion,
+    NodeDeletion,
+    NodeInsertion,
+    Update,
+    apply_updates,
+    decompose,
+    invert_batch,
+    random_deletions,
+    random_insertions,
+    random_updates,
+)
+
+__all__ = [
+    "IncrementalBoundedSimulation",
+    "IncrementalSimulation",
+    "AttributeUpdate",
+    "EdgeDeletion",
+    "EdgeInsertion",
+    "NodeDeletion",
+    "NodeInsertion",
+    "Update",
+    "apply_updates",
+    "decompose",
+    "invert_batch",
+    "random_deletions",
+    "random_insertions",
+    "random_updates",
+]

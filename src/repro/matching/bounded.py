@@ -1,0 +1,302 @@
+"""Bounded simulation — the paper's core matching semantics (cubic time).
+
+Given pattern ``Q`` whose edges carry length bounds and data graph ``G``,
+``M(Q,G)`` is the maximum relation such that every match satisfies its
+pattern node's search condition and, for every pattern edge ``(u,u')`` with
+bound ``b``, reaches some match of ``u'`` by a nonempty path of length <= b
+(``b = None`` is the paper's ``*``: plain reachability).
+
+The matcher materializes, per pattern edge ``e`` and candidate ``v``, the
+*bounded successor set* ``S[e][v] = {v': dist}`` of child-candidates within
+the bound (one truncated BFS per candidate per pattern-edge source), plus a
+reverse index ``R`` and live counters ``cnt[e][v] = |S[e][v] ∩ sim(child)|``.
+Removals then cascade in worklist fashion exactly as in the quadratic
+simulation algorithm.  This is the cubic algorithm of Fan et al. (PVLDB
+2010); keeping ``S``/``R``/``cnt`` around pays off twice:
+
+* the result graph's weighted edges are precisely the surviving ``S``
+  entries between matches, and
+* the incremental module (SIGMOD 2011) maintains the same state under edge
+  updates instead of recomputing it.
+
+``S`` is indexed by *candidates*, not current matches, so membership changes
+never invalidate it — only graph distance changes do.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator
+
+from repro.errors import EvaluationError
+from repro.graph.digraph import Graph, NodeId
+from repro.graph.distance import bounded_descendants
+from repro.matching.base import MatchRelation, MatchResult, Stopwatch
+from repro.matching.simulation import simulation_candidates
+from repro.pattern.pattern import Bound, Pattern
+
+PatternEdge = tuple[str, str]
+
+
+class BoundedState:
+    """Complete refinement state for one (graph, pattern) evaluation.
+
+    Public attributes (the incremental module manipulates them directly):
+
+    ``cand``  pattern node -> predicate-satisfying data nodes (set)
+    ``sim``   pattern node -> current surviving matches (set, the fixpoint)
+    ``S``     pattern edge -> source candidate -> {target candidate: dist}
+    ``R``     pattern edge -> target candidate -> set of source candidates
+    ``cnt``   pattern edge -> source candidate -> |S ∩ sim(target)|
+    """
+
+    __slots__ = (
+        "graph", "pattern", "cand", "sim", "S", "R", "cnt", "_in_edges",
+        "_reach_index",
+    )
+
+    def __init__(self, graph: Graph, pattern: Pattern, reach_index=None) -> None:
+        pattern.validate()
+        self.graph = graph
+        self.pattern = pattern
+        self._reach_index = reach_index
+        self.cand: dict[str, set[NodeId]] = simulation_candidates(graph, pattern)
+        self.sim: dict[str, set[NodeId]] = {u: set(vs) for u, vs in self.cand.items()}
+        self.S: dict[PatternEdge, dict[NodeId, dict[NodeId, int]]] = {}
+        self.R: dict[PatternEdge, dict[NodeId, set[NodeId]]] = {}
+        self.cnt: dict[PatternEdge, dict[NodeId, int]] = {}
+        self._in_edges: dict[str, list[PatternEdge]] = {u: [] for u in pattern.nodes()}
+        for source, target, _bound in pattern.edges():
+            self._in_edges[target].append((source, target))
+        self._build_successor_sets()
+        self._initial_refinement()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build_successor_sets(self) -> None:
+        for source_pattern in self.pattern.nodes():
+            out_edges = list(self.pattern.out_edges(source_pattern))
+            if not out_edges:
+                continue
+            depth = self._bfs_depth(bound for _, bound in out_edges)
+            for edge_target, _bound in out_edges:
+                edge = (source_pattern, edge_target)
+                self.S[edge] = {}
+                self.R[edge] = {}
+                self.cnt[edge] = {}
+            for data_node in self.cand[source_pattern]:
+                reach = self._reach(data_node, depth)
+                self._fill_entries(source_pattern, data_node, reach)
+
+    def _reach(self, data_node: NodeId, depth: Bound) -> dict[NodeId, int]:
+        if self._reach_index is not None and self._reach_index.covers(depth):
+            # read-only consumption: skip the defensive copy
+            return self._reach_index.reach(data_node, depth, copy=False)
+        return bounded_descendants(self.graph, data_node, depth)
+
+    def _fill_entries(
+        self, source_pattern: str, data_node: NodeId, reach: dict[NodeId, int]
+    ) -> None:
+        """(Re)compute S/R/cnt rows of ``data_node`` from a BFS result."""
+        for edge_target, bound in self.pattern.out_edges(source_pattern):
+            edge = (source_pattern, edge_target)
+            child_cand = self.cand[edge_target]
+            child_sim = self.sim[edge_target]
+            entries: dict[NodeId, int] = {}
+            live = 0
+            for reached, dist in reach.items():
+                if reached in child_cand and (bound is None or dist <= bound):
+                    entries[reached] = dist
+                    if reached in child_sim:
+                        live += 1
+            self.S[edge][data_node] = entries
+            for reached in entries:
+                self.R[edge].setdefault(reached, set()).add(data_node)
+            self.cnt[edge][data_node] = live
+
+    @staticmethod
+    def _bfs_depth(bounds: Iterable[Bound]) -> Bound:
+        depth: Bound = 1
+        for bound in bounds:
+            if bound is None:
+                return None
+            depth = max(depth, bound)  # type: ignore[type-var]
+        return depth
+
+    def _initial_refinement(self) -> None:
+        seeds: list[tuple[str, NodeId]] = []
+        for (source_pattern, _), counts in self.cnt.items():
+            for data_node, live in counts.items():
+                if live == 0:
+                    seeds.append((source_pattern, data_node))
+        self.removal_fixpoint(seeds)
+
+    # ------------------------------------------------------------------
+    # membership maintenance
+    # ------------------------------------------------------------------
+    def removal_fixpoint(self, seeds: Iterable[tuple[str, NodeId]]) -> set[tuple[str, NodeId]]:
+        """Cascade removals starting from ``seeds``; returns removed pairs.
+
+        A seed is only removed if it currently fails some out-edge counter
+        (callers may pass optimistic seeds).
+        """
+        queue: deque[tuple[str, NodeId]] = deque(seeds)
+        removed: set[tuple[str, NodeId]] = set()
+        while queue:
+            pattern_node, data_node = queue.popleft()
+            if data_node not in self.sim[pattern_node]:
+                continue
+            if not self._fails_some_edge(pattern_node, data_node):
+                continue
+            self.sim[pattern_node].remove(data_node)
+            removed.add((pattern_node, data_node))
+            for edge in self._in_edges[pattern_node]:
+                counts = self.cnt[edge]
+                for upstream in self.R[edge].get(data_node, ()):
+                    counts[upstream] -= 1
+                    if counts[upstream] == 0 and upstream in self.sim[edge[0]]:
+                        queue.append((edge[0], upstream))
+        return removed
+
+    def _fails_some_edge(self, pattern_node: str, data_node: NodeId) -> bool:
+        for edge_target, _bound in self.pattern.out_edges(pattern_node):
+            if self.cnt[(pattern_node, edge_target)].get(data_node, 0) == 0:
+                return True
+        return False
+
+    def satisfies_all_edges(self, pattern_node: str, data_node: NodeId) -> bool:
+        """True iff every out-edge counter of the pair is positive."""
+        for edge_target, _bound in self.pattern.out_edges(pattern_node):
+            if self.cnt[(pattern_node, edge_target)].get(data_node, 0) == 0:
+                return False
+        return True
+
+    def force_remove(self, pattern_node: str, data_node: NodeId) -> None:
+        """Unconditional membership removal (e.g. the node's attributes no
+        longer satisfy the search condition), cascading as usual."""
+        if data_node not in self.sim[pattern_node]:
+            return
+        self.sim[pattern_node].remove(data_node)
+        seeds: list[tuple[str, NodeId]] = []
+        for edge in self._in_edges[pattern_node]:
+            counts = self.cnt[edge]
+            for upstream in self.R[edge].get(data_node, ()):
+                counts[upstream] -= 1
+                if counts[upstream] == 0 and upstream in self.sim[edge[0]]:
+                    seeds.append((edge[0], upstream))
+        self.removal_fixpoint(seeds)
+
+    def add_member(self, pattern_node: str, data_node: NodeId) -> None:
+        """Insert a pair into ``sim`` and bump upstream counters.
+
+        The caller is responsible for having verified
+        :meth:`satisfies_all_edges`; this only maintains invariants.
+        """
+        if data_node in self.sim[pattern_node]:
+            raise EvaluationError(f"already a member: ({pattern_node!r}, {data_node!r})")
+        self.sim[pattern_node].add(data_node)
+        for edge in self._in_edges[pattern_node]:
+            counts = self.cnt[edge]
+            for upstream in self.R[edge].get(data_node, ()):
+                counts[upstream] += 1
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def relation(self) -> MatchRelation:
+        """The paper-semantics ``M(Q,G)`` for the current state."""
+        return MatchRelation.from_sets(self.pattern, self.sim)
+
+    def match_edges(self) -> Iterator[tuple[NodeId, NodeId, int]]:
+        """Surviving weighted pairs: the result graph's edge set.
+
+        Yields ``(v, v', dist)`` for every pattern edge and every pair of
+        current matches within the bound.  Pairs may repeat when several
+        pattern edges induce them; consumers keep the minimum (identical)
+        distance.
+        """
+        for (source_pattern, target_pattern), rows in self.S.items():
+            source_sim = self.sim[source_pattern]
+            target_sim = self.sim[target_pattern]
+            for data_node, entries in rows.items():
+                if data_node not in source_sim:
+                    continue
+                for reached, dist in entries.items():
+                    if reached in target_sim:
+                        yield (data_node, reached, dist)
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Verify S/R/cnt/sim consistency; raises EvaluationError on breakage.
+
+        O(|state|); used by tests (especially property-based incremental
+        tests) to catch maintenance bugs at their source.
+        """
+        for source_pattern, target_pattern, bound in self.pattern.edges():
+            edge = (source_pattern, target_pattern)
+            rows = self.S[edge]
+            if set(rows) != self.cand[source_pattern]:
+                raise EvaluationError(f"S rows out of sync for {edge}")
+            for data_node, entries in rows.items():
+                expected = bounded_descendants(
+                    self.graph, data_node, bound
+                )
+                expected = {
+                    n: d for n, d in expected.items() if n in self.cand[target_pattern]
+                }
+                if entries != expected:
+                    raise EvaluationError(
+                        f"S[{edge}][{data_node!r}] = {entries} != {expected}"
+                    )
+                live = sum(1 for n in entries if n in self.sim[target_pattern])
+                if self.cnt[edge][data_node] != live:
+                    raise EvaluationError(
+                        f"cnt[{edge}][{data_node!r}] = "
+                        f"{self.cnt[edge][data_node]} != {live}"
+                    )
+                for reached in entries:
+                    if data_node not in self.R[edge].get(reached, set()):
+                        raise EvaluationError(f"R missing {edge} {reached!r}")
+        for edge, reverse in self.R.items():
+            for reached, sources in reverse.items():
+                for data_node in sources:
+                    if reached not in self.S[edge].get(data_node, {}):
+                        raise EvaluationError(f"R stale entry {edge} {reached!r}")
+        for pattern_node, members in self.sim.items():
+            if not members <= self.cand[pattern_node]:
+                raise EvaluationError(f"sim ⊄ cand for {pattern_node!r}")
+            for data_node in members:
+                if not self.satisfies_all_edges(pattern_node, data_node):
+                    raise EvaluationError(
+                        f"member fails an edge: ({pattern_node!r}, {data_node!r})"
+                    )
+
+
+def match_bounded(graph: Graph, pattern: Pattern, reach_index=None) -> MatchResult:
+    """Compute ``M(Q,G)`` under bounded simulation.
+
+    The returned :class:`MatchResult` carries the refinement state, so
+    deriving the result graph or feeding the incremental module costs no
+    recomputation.  An optional
+    :class:`~repro.graph.reach_index.BoundedReachIndex` (kept consistent by
+    its owner) serves the truncated BFS runs from cache.
+
+    >>> from repro.graph.digraph import Graph
+    >>> from repro.pattern.pattern import Pattern
+    >>> g = Graph.from_edges(
+    ...     [("a", "m"), ("m", "b")],
+    ...     nodes={"a": {"l": "X"}, "m": {"l": "?"}, "b": {"l": "Y"}},
+    ... )
+    >>> q = Pattern(); q.add_node("X", 'l == "X"'); q.add_node("Y", 'l == "Y"')
+    >>> q.add_edge("X", "Y", 2)   # within two hops
+    >>> sorted(match_bounded(g, q).relation.pairs())
+    [('X', 'a'), ('Y', 'b')]
+    """
+    watch = Stopwatch()
+    state = BoundedState(graph, pattern, reach_index=reach_index)
+    relation = state.relation()
+    stats = {"algorithm": "bounded-simulation", "seconds": watch.seconds()}
+    return MatchResult(graph, pattern, relation, stats=stats, state=state)

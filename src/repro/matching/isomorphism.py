@@ -1,0 +1,122 @@
+"""Subgraph isomorphism baseline.
+
+The paper's motivation (§I) contrasts bounded simulation with subgraph
+isomorphism: isomorphism is NP-complete, forces a bijection (so one pattern
+node cannot usefully match several experts) and requires every pattern edge
+to map to a *single* data edge.  This module implements a classic
+backtracking matcher (VF2-style candidate ordering and pruning) so the
+benchmarks can demonstrate both the cost gap and the restrictiveness gap on
+the same inputs.
+
+Semantics: node predicates are honoured; every pattern edge must map to a
+direct data edge (bounds are intentionally ignored — isomorphism has no
+notion of paths); the mapping must be injective.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.graph.digraph import Graph, NodeId
+from repro.matching.simulation import simulation_candidates
+from repro.pattern.pattern import Pattern
+
+MappingType = dict[str, NodeId]
+
+
+def find_isomorphisms(
+    graph: Graph, pattern: Pattern, limit: int | None = None
+) -> Iterator[MappingType]:
+    """Yield injective embeddings of ``pattern`` into ``graph``.
+
+    ``limit`` caps how many embeddings are produced (isomorphism counts are
+    exponential; benchmarks use ``limit=1`` for existence checks).
+
+    >>> g = Graph.from_edges([("a", "b")], nodes={"a": {"l": "X"}, "b": {"l": "Y"}})
+    >>> q = Pattern(); q.add_node("X", 'l == "X"'); q.add_node("Y", 'l == "Y"')
+    >>> q.add_edge("X", "Y", 1)
+    >>> list(find_isomorphisms(g, q))
+    [{'X': 'a', 'Y': 'b'}]
+    """
+    pattern.validate()
+    candidates = simulation_candidates(graph, pattern)
+    order = _search_order(pattern, candidates)
+    required_out = {u: len(dict(pattern.out_edges(u))) for u in pattern.nodes()}
+    required_in = {u: len(dict(pattern.in_edges(u))) for u in pattern.nodes()}
+
+    emitted = 0
+    assignment: MappingType = {}
+    used: set[NodeId] = set()
+
+    def backtrack(depth: int) -> Iterator[MappingType]:
+        nonlocal emitted
+        if limit is not None and emitted >= limit:
+            return
+        if depth == len(order):
+            emitted += 1
+            yield dict(assignment)
+            return
+        pattern_node = order[depth]
+        for data_node in candidates[pattern_node]:
+            if data_node in used:
+                continue
+            if graph.out_degree(data_node) < required_out[pattern_node]:
+                continue
+            if graph.in_degree(data_node) < required_in[pattern_node]:
+                continue
+            if not _edges_consistent(graph, pattern, assignment, pattern_node, data_node):
+                continue
+            assignment[pattern_node] = data_node
+            used.add(data_node)
+            yield from backtrack(depth + 1)
+            used.remove(data_node)
+            del assignment[pattern_node]
+            if limit is not None and emitted >= limit:
+                return
+
+    yield from backtrack(0)
+
+
+def _search_order(pattern: Pattern, candidates: dict[str, set[NodeId]]) -> list[str]:
+    """Most-constrained-first ordering: fewest candidates, then most edges."""
+    def degree(u: str) -> int:
+        return len(dict(pattern.out_edges(u))) + len(dict(pattern.in_edges(u)))
+
+    return sorted(pattern.nodes(), key=lambda u: (len(candidates[u]), -degree(u), u))
+
+
+def _edges_consistent(
+    graph: Graph,
+    pattern: Pattern,
+    assignment: MappingType,
+    pattern_node: str,
+    data_node: NodeId,
+) -> bool:
+    for child_pattern, _bound in pattern.out_edges(pattern_node):
+        if child_pattern == pattern_node:
+            # Self-loop pattern edge: the candidate itself must carry one
+            # (the node under assignment is not in `assignment` yet).
+            if not graph.has_edge(data_node, data_node):
+                return False
+        elif child_pattern in assignment and not graph.has_edge(
+            data_node, assignment[child_pattern]
+        ):
+            return False
+    for parent_pattern, _bound in pattern.in_edges(pattern_node):
+        if parent_pattern == pattern_node:
+            continue  # already handled above
+        if parent_pattern in assignment and not graph.has_edge(
+            assignment[parent_pattern], data_node
+        ):
+            return False
+    return True
+
+
+def has_isomorphism(graph: Graph, pattern: Pattern) -> bool:
+    """Existence check (first embedding only)."""
+    return next(find_isomorphisms(graph, pattern, limit=1), None) is not None
+
+
+def count_isomorphisms(graph: Graph, pattern: Pattern, limit: int | None = None) -> int:
+    """Number of embeddings, optionally capped at ``limit``."""
+    return sum(1 for _ in find_isomorphisms(graph, pattern, limit=limit))

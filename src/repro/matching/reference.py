@@ -1,0 +1,117 @@
+"""Naive reference matchers — executable specifications.
+
+These implementations transcribe the definitions from the paper as directly
+as possible and make no attempt to be fast (they recompute BFS reachability
+on every refinement round).  They exist as oracles: the property-based test
+suite checks that the optimized matchers, the incremental maintainers and
+the compressed-graph route all agree with these on randomly generated
+inputs.  Keep them boring.
+"""
+
+from __future__ import annotations
+
+from repro.graph.digraph import Graph, NodeId
+from repro.graph.distance import bounded_descendants
+from repro.matching.base import MatchRelation
+from repro.matching.simulation import simulation_candidates
+from repro.pattern.pattern import Pattern
+
+
+def naive_simulation(graph: Graph, pattern: Pattern) -> MatchRelation:
+    """Plain simulation by repeated full rescans until nothing changes."""
+    pattern.validate()
+    sim = simulation_candidates(graph, pattern)
+    changed = True
+    while changed:
+        changed = False
+        for pattern_node in pattern.nodes():
+            for data_node in list(sim[pattern_node]):
+                if not _sim_conditions_hold(graph, pattern, sim, pattern_node, data_node):
+                    sim[pattern_node].remove(data_node)
+                    changed = True
+    return MatchRelation.from_sets(pattern, sim)
+
+
+def _sim_conditions_hold(
+    graph: Graph,
+    pattern: Pattern,
+    sim: dict[str, set[NodeId]],
+    pattern_node: str,
+    data_node: NodeId,
+) -> bool:
+    for child_pattern, _bound in pattern.out_edges(pattern_node):
+        children = sim[child_pattern]
+        if not any(succ in children for succ in graph.successors(data_node)):
+            return False
+    return True
+
+
+def naive_bounded(graph: Graph, pattern: Pattern) -> MatchRelation:
+    """Bounded simulation by repeated full rescans with fresh BFS runs."""
+    pattern.validate()
+    sim = simulation_candidates(graph, pattern)
+    changed = True
+    while changed:
+        changed = False
+        for pattern_node in pattern.nodes():
+            for data_node in list(sim[pattern_node]):
+                if not _bounded_conditions_hold(
+                    graph, pattern, sim, pattern_node, data_node
+                ):
+                    sim[pattern_node].remove(data_node)
+                    changed = True
+    return MatchRelation.from_sets(pattern, sim)
+
+
+def _bounded_conditions_hold(
+    graph: Graph,
+    pattern: Pattern,
+    sim: dict[str, set[NodeId]],
+    pattern_node: str,
+    data_node: NodeId,
+) -> bool:
+    for child_pattern, bound in pattern.out_edges(pattern_node):
+        reach = bounded_descendants(graph, data_node, bound)
+        children = sim[child_pattern]
+        if not any(reached in children for reached in reach):
+            return False
+    return True
+
+
+def is_valid_bounded_relation(
+    graph: Graph, pattern: Pattern, sets: dict[str, set[NodeId]]
+) -> bool:
+    """Do ``sets`` satisfy the bounded-simulation conditions pair-wise?
+
+    (Validity, not maximality.)  Used to check that the computed relation is
+    a fixpoint and that adding any excluded pair would break it.
+    """
+    for pattern_node in pattern.nodes():
+        predicate = pattern.predicate(pattern_node)
+        for data_node in sets.get(pattern_node, set()):
+            if not predicate.evaluate(graph.attrs(data_node)):
+                return False
+            if not _bounded_conditions_hold(graph, pattern, sets, pattern_node, data_node):
+                return False
+    return True
+
+
+def is_maximal_bounded_relation(
+    graph: Graph, pattern: Pattern, sets: dict[str, set[NodeId]]
+) -> bool:
+    """Is ``sets`` the *maximum* valid refinement (before the totality rule)?
+
+    Checks that no single excluded candidate pair can be added back while
+    keeping validity.  Exponential alternatives are avoided because the
+    greatest fixpoint is reachable by single additions on top of itself.
+    """
+    if not is_valid_bounded_relation(graph, pattern, sets):
+        return False
+    candidates = simulation_candidates(graph, pattern)
+    for pattern_node in pattern.nodes():
+        for data_node in candidates[pattern_node] - sets.get(pattern_node, set()):
+            trial = {u: set(vs) for u, vs in sets.items()}
+            trial[pattern_node].add(data_node)
+            if is_valid_bounded_relation(graph, pattern, trial):
+                return False
+    return True

@@ -1,0 +1,189 @@
+"""Result graphs — the paper's representation of ``M(Q,G)``.
+
+"The GUI visualizes the query results expressed as result graphs, in which
+each node is a match of a query node in Q, and each edge (marked with an
+integer d) represents a shortest path with length d corresponding to a query
+edge."  The ranking function of §II is computed over exactly this weighted
+graph, so :class:`ResultGraph` stores weighted adjacency in both directions
+and knows which pattern nodes each data node matches.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterator, Mapping
+
+from repro.errors import EvaluationError
+from repro.graph.digraph import Graph, NodeId
+from repro.graph.distance import bounded_descendants
+from repro.matching.base import MatchRelation
+from repro.pattern.pattern import Pattern
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.matching.bounded import BoundedState
+
+
+class ResultGraph:
+    """A weighted digraph over matched data nodes.
+
+    Edge ``v -> v'`` with weight ``d`` records that some pattern edge is
+    witnessed by a shortest path of length ``d`` from ``v`` to ``v'`` in the
+    data graph.
+    """
+
+    __slots__ = ("graph", "pattern", "_matched_by", "_adj", "_radj", "_num_edges")
+
+    def __init__(self, graph: Graph, pattern: Pattern) -> None:
+        self.graph = graph
+        self.pattern = pattern
+        self._matched_by: dict[NodeId, set[str]] = {}
+        self._adj: dict[NodeId, dict[NodeId, int]] = {}
+        self._radj: dict[NodeId, dict[NodeId, int]] = {}
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # construction (module-internal)
+    # ------------------------------------------------------------------
+    def _add_node(self, data_node: NodeId, pattern_node: str) -> None:
+        self._matched_by.setdefault(data_node, set()).add(pattern_node)
+        self._adj.setdefault(data_node, {})
+        self._radj.setdefault(data_node, {})
+
+    def _add_edge(self, source: NodeId, target: NodeId, weight: int) -> None:
+        if weight < 1:
+            raise EvaluationError(f"result edge weight must be >= 1: {weight}")
+        existing = self._adj[source].get(target)
+        if existing is not None and existing <= weight:
+            return
+        if existing is None:
+            self._num_edges += 1
+        self._adj[source][target] = weight
+        self._radj[target][source] = weight
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._matched_by)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def __contains__(self, data_node: object) -> bool:
+        return data_node in self._matched_by
+
+    def nodes(self) -> Iterator[NodeId]:
+        return iter(self._matched_by)
+
+    def edges(self) -> Iterator[tuple[NodeId, NodeId, int]]:
+        for source, targets in self._adj.items():
+            for target, weight in targets.items():
+                yield (source, target, weight)
+
+    def matched_pattern_nodes(self, data_node: NodeId) -> frozenset[str]:
+        """Which pattern nodes ``data_node`` matches."""
+        return frozenset(self._matched_by.get(data_node, set()))
+
+    def weight(self, source: NodeId, target: NodeId) -> int | None:
+        """Edge weight, or None if there is no such result edge."""
+        return self._adj.get(source, {}).get(target)
+
+    def out_adjacency(self) -> Mapping[NodeId, Mapping[NodeId, int]]:
+        """Forward weighted adjacency (live view; treat as read-only)."""
+        return self._adj
+
+    def in_adjacency(self) -> Mapping[NodeId, Mapping[NodeId, int]]:
+        """Reverse weighted adjacency (live view; treat as read-only)."""
+        return self._radj
+
+    def node_attrs(self, data_node: NodeId) -> dict[str, Any]:
+        """Attribute dictionary of a matched node (drill-down support)."""
+        return self.graph.attrs(data_node)
+
+    def __repr__(self) -> str:
+        return f"<ResultGraph: {self.num_nodes} nodes, {self.num_edges} edges>"
+
+    # ------------------------------------------------------------------
+    # serialization ("query results are stored and managed as files")
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-ready representation (witness edges with weights)."""
+        return {
+            "format": "repro.result_graph",
+            "version": 1,
+            "pattern": self.pattern.name,
+            "nodes": [
+                {"id": node, "matches": sorted(self._matched_by[node])}
+                for node in self.nodes()
+            ],
+            "edges": [
+                {"source": source, "target": target, "weight": weight}
+                for source, target, weight in self.edges()
+            ],
+        }
+
+    @classmethod
+    def from_dict(
+        cls, payload: Mapping[str, Any], graph: Graph, pattern: Pattern
+    ) -> "ResultGraph":
+        """Rebuild against the graph/pattern the result was computed for.
+
+        Node ids must exist in ``graph`` and pattern-node names in
+        ``pattern`` — stale files fail loudly instead of mismatching.
+        """
+        if (
+            not isinstance(payload, Mapping)
+            or payload.get("format") != "repro.result_graph"
+        ):
+            raise EvaluationError("not a repro.result_graph payload")
+        result = cls(graph, pattern)
+        try:
+            for entry in payload["nodes"]:
+                node = entry["id"]
+                if not graph.has_node(node):
+                    raise EvaluationError(f"result node missing from graph: {node!r}")
+                for pattern_node in entry["matches"]:
+                    if pattern_node not in pattern:
+                        raise EvaluationError(
+                            f"unknown pattern node in result: {pattern_node!r}"
+                        )
+                    result._add_node(node, pattern_node)
+            for entry in payload["edges"]:
+                result._add_edge(entry["source"], entry["target"], entry["weight"])
+        except (KeyError, TypeError) as exc:
+            raise EvaluationError(f"malformed result-graph payload: {exc}") from exc
+        return result
+
+
+def build_result_graph(
+    graph: Graph,
+    pattern: Pattern,
+    relation: MatchRelation,
+    state: "BoundedState | None" = None,
+) -> ResultGraph:
+    """Construct the result graph for a match relation.
+
+    When the bounded matcher's ``state`` is available its surviving bounded
+    successor sets are reused; otherwise shortest distances are recomputed
+    with truncated BFS from each match (same output, more work).
+    """
+    result = ResultGraph(graph, pattern)
+    for pattern_node, data_node in relation.pairs():
+        result._add_node(data_node, pattern_node)
+    if relation.is_empty:
+        return result
+
+    if state is not None and state.graph is graph and state.pattern is pattern:
+        for source, target, dist in state.match_edges():
+            result._add_edge(source, target, dist)
+        return result
+
+    for source_pattern, target_pattern, bound in pattern.edges():
+        targets = relation.matches_of(target_pattern)
+        for source_node in relation.matches_of(source_pattern):
+            reach = bounded_descendants(graph, source_node, bound)
+            for reached, dist in reach.items():
+                if reached in targets:
+                    result._add_edge(source_node, reached, dist)
+    return result

@@ -1,0 +1,39 @@
+"""Pattern queries: predicates, patterns, text parser, fluent builder."""
+
+from repro.pattern.builder import PatternBuilder
+from repro.pattern.parser import format_pattern, load_pattern, parse_pattern, save_pattern
+from repro.pattern.pattern import Bound, Pattern
+from repro.pattern.predicates import (
+    AlwaysTrue,
+    And,
+    Cmp,
+    In,
+    Not,
+    Or,
+    Predicate,
+    format_predicate,
+    parse_condition,
+    parse_conjunction,
+    predicate_from_dict,
+)
+
+__all__ = [
+    "Bound",
+    "Pattern",
+    "PatternBuilder",
+    "AlwaysTrue",
+    "And",
+    "Cmp",
+    "In",
+    "Not",
+    "Or",
+    "Predicate",
+    "format_predicate",
+    "parse_condition",
+    "parse_conjunction",
+    "predicate_from_dict",
+    "format_pattern",
+    "load_pattern",
+    "parse_pattern",
+    "save_pattern",
+]

@@ -1,0 +1,88 @@
+"""Fluent builder — the programmatic analogue of the GUI's Pattern Builder.
+
+The demo's Pattern Builder panel (Fig. 4) lets users click together query
+nodes, search conditions, bounds and the output node.  This module provides
+the same workflow as a chainable API:
+
+>>> from repro.pattern.builder import PatternBuilder
+>>> q = (
+...     PatternBuilder("team")
+...     .node("SA", "experience >= 5", field="SA", output=True)
+...     .node("SD", field="SD")
+...     .node("ST", field="ST")
+...     .edge("SA", "SD", bound=2)
+...     .edge("SD", "ST")
+...     .build()
+... )
+>>> q.output_node
+'SA'
+"""
+
+from __future__ import annotations
+
+from repro.errors import PatternError
+from repro.pattern.pattern import Bound, Pattern
+from repro.pattern.predicates import And, Cmp, Predicate, parse_conjunction
+
+
+class PatternBuilder:
+    """Chainable construction of :class:`~repro.pattern.pattern.Pattern`.
+
+    ``node()`` accepts a condition in any mix of three styles, combined
+    conjunctively: a :class:`Predicate`, the text syntax, and/or keyword
+    equality shortcuts (``field="SA"`` becomes ``field == "SA"``).
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self._pattern = Pattern(name=name)
+        self._built = False
+
+    def node(
+        self,
+        node_id: str,
+        condition: Predicate | str | None = None,
+        output: bool = False,
+        **equalities: object,
+    ) -> "PatternBuilder":
+        """Add a pattern node; see class docstring for condition styles."""
+        self._check_open()
+        parts: list[Predicate] = []
+        if isinstance(condition, str):
+            parts.append(parse_conjunction(condition))
+        elif isinstance(condition, Predicate):
+            parts.append(condition)
+        elif condition is not None:
+            raise PatternError(f"bad condition for {node_id!r}: {condition!r}")
+        for attr, value in equalities.items():
+            parts.append(Cmp(attr, "==", value))
+        if not parts:
+            merged: Predicate | None = None
+        elif len(parts) == 1:
+            merged = parts[0]
+        else:
+            merged = And(*parts)
+        self._pattern.add_node(node_id, merged, output=output)
+        return self
+
+    def edge(self, source: str, target: str, bound: Bound = 1) -> "PatternBuilder":
+        """Add a bounded pattern edge (``bound=None`` for ``*``)."""
+        self._check_open()
+        self._pattern.add_edge(source, target, bound)
+        return self
+
+    def output(self, node_id: str) -> "PatternBuilder":
+        """Mark the output node after the fact."""
+        self._check_open()
+        self._pattern.set_output(node_id)
+        return self
+
+    def build(self, require_output: bool = False) -> Pattern:
+        """Validate and return the pattern; the builder cannot be reused."""
+        self._check_open()
+        self._pattern.validate(require_output=require_output)
+        self._built = True
+        return self._pattern
+
+    def _check_open(self) -> None:
+        if self._built:
+            raise PatternError("PatternBuilder already built; create a new one")

@@ -1,0 +1,109 @@
+"""Text format for pattern queries.
+
+The GUI's Pattern Builder lets users draw queries; the file format below is
+this repository's storable equivalent.  Grammar (one declaration per line,
+``#`` comments allowed):
+
+.. code-block:: text
+
+    pattern team-query              # optional header naming the pattern
+    node SA* : field == "SA", experience >= 5
+    node SD  : field == "SD", experience >= 2
+    node BA  : field == "BA", experience >= 3
+    node ST  : field == "ST", experience >= 2
+    edge SA -> SD : 2
+    edge SA -> BA : 3
+    edge SD -> ST : 1
+    edge BA -> ST : 2
+
+``*`` after a node id marks the output node; an edge bound of ``*`` (or a
+missing ``: bound`` suffix defaulting to 1) follows the paper's notation.
+:func:`parse_pattern` and :func:`format_pattern` round-trip.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.errors import PatternError
+from repro.pattern.pattern import Pattern
+
+_NODE_RE = re.compile(r"^node\s+(?P<id>[A-Za-z_][\w.-]*)(?P<star>\*)?\s*(?::\s*(?P<cond>.*))?$")
+_EDGE_RE = re.compile(
+    r"^edge\s+(?P<src>[A-Za-z_][\w.-]*)\s*->\s*(?P<dst>[A-Za-z_][\w.-]*)"
+    r"\s*(?::\s*(?P<bound>\*|\d+))?$"
+)
+_HEADER_RE = re.compile(r"^pattern\s+(?P<name>\S+)$")
+
+
+def parse_pattern(text: str, name: str = "") -> Pattern:
+    """Parse the line-oriented pattern syntax into a :class:`Pattern`."""
+    pattern = Pattern(name=name)
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        header = _HEADER_RE.match(line)
+        if header:
+            pattern.name = header.group("name")
+            continue
+        node = _NODE_RE.match(line)
+        if node:
+            condition = node.group("cond")
+            pattern.add_node(
+                node.group("id"),
+                condition.strip() if condition and condition.strip() else None,
+                output=bool(node.group("star")),
+            )
+            continue
+        edge = _EDGE_RE.match(line)
+        if edge:
+            bound_text = edge.group("bound")
+            if bound_text is None:
+                bound: int | None = 1
+            elif bound_text == "*":
+                bound = None
+            else:
+                bound = int(bound_text)
+            pattern.add_edge(edge.group("src"), edge.group("dst"), bound)
+            continue
+        raise PatternError(f"line {lineno}: cannot parse {raw!r}")
+    pattern.validate()
+    return pattern
+
+
+def format_pattern(pattern: Pattern) -> str:
+    """Render a :class:`Pattern` in the parsable text syntax."""
+    from repro.pattern.predicates import AlwaysTrue, format_predicate
+
+    lines = []
+    if pattern.name:
+        lines.append(f"pattern {pattern.name}")
+    for node in pattern.nodes():
+        predicate = pattern.predicate(node)
+        star = "*" if node == pattern.output_node else ""
+        if isinstance(predicate, AlwaysTrue):
+            lines.append(f"node {node}{star}")
+        else:
+            lines.append(f"node {node}{star} : {format_predicate(predicate)}")
+    for source, target, bound in pattern.edges():
+        label = "*" if bound is None else str(bound)
+        lines.append(f"edge {source} -> {target} : {label}")
+    return "\n".join(lines) + "\n"
+
+
+def load_pattern(path: str | Path) -> Pattern:
+    """Read a pattern file (text syntax)."""
+    source = Path(path)
+    if not source.exists():
+        raise PatternError(f"pattern file not found: {source}")
+    return parse_pattern(source.read_text(), name=source.stem)
+
+
+def save_pattern(pattern: Pattern, path: str | Path) -> Path:
+    """Write a pattern file (text syntax); returns the path written."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(format_pattern(pattern))
+    return target

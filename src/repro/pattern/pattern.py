@@ -1,0 +1,267 @@
+"""Pattern queries: labelled nodes with search conditions, bounded edges.
+
+A :class:`Pattern` is the query object of the paper's Fig. 1(a): a small
+directed graph whose nodes carry search-condition predicates and whose edges
+carry length bounds (``1`` = plain simulation edge, ``k`` = "a collaboration
+chain no longer than k", ``None`` = unbounded ``*``).  One node may be marked
+as the *output node* — the one whose matches are ranked and returned to the
+user as experts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+from repro.errors import PatternError
+from repro.pattern.predicates import (
+    AlwaysTrue,
+    Predicate,
+    format_predicate,
+    parse_conjunction,
+    predicate_from_dict,
+)
+
+Bound = int | None  # None == the paper's '*': any nonempty path length
+
+
+class Pattern:
+    """A bounded-simulation pattern query.
+
+    >>> q = Pattern("team")
+    >>> q.add_node("SA", 'field == "SA", experience >= 5', output=True)
+    >>> q.add_node("SD", 'field == "SD", experience >= 2')
+    >>> q.add_edge("SA", "SD", bound=2)
+    >>> q.output_node
+    'SA'
+    >>> q.bound("SA", "SD")
+    2
+    """
+
+    __slots__ = ("name", "_predicates", "_succ", "_pred", "_output")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._predicates: dict[str, Predicate] = {}
+        self._succ: dict[str, dict[str, Bound]] = {}
+        self._pred: dict[str, dict[str, Bound]] = {}
+        self._output: str | None = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(
+        self,
+        node: str,
+        condition: Predicate | str | None = None,
+        output: bool = False,
+    ) -> None:
+        """Add a pattern node with a search condition.
+
+        ``condition`` may be a :class:`Predicate`, the text syntax
+        (``'field == "SA", experience >= 5'``) or ``None`` (no condition).
+        """
+        if not isinstance(node, str) or not node:
+            raise PatternError(f"pattern node id must be a non-empty string: {node!r}")
+        if node in self._predicates:
+            raise PatternError(f"duplicate pattern node: {node!r}")
+        if condition is None:
+            predicate: Predicate = AlwaysTrue()
+        elif isinstance(condition, str):
+            predicate = parse_conjunction(condition)
+        elif isinstance(condition, Predicate):
+            predicate = condition
+        else:
+            raise PatternError(f"bad condition for {node!r}: {condition!r}")
+        self._predicates[node] = predicate
+        self._succ[node] = {}
+        self._pred[node] = {}
+        if output:
+            self.set_output(node)
+
+    def add_edge(self, source: str, target: str, bound: Bound = 1) -> None:
+        """Add pattern edge ``source -> target`` with a length bound.
+
+        ``bound=None`` is the paper's ``*`` (reachability); integers must be
+        at least 1.  At most one edge per ordered pair.
+        """
+        if source not in self._predicates:
+            raise PatternError(f"unknown pattern node: {source!r}")
+        if target not in self._predicates:
+            raise PatternError(f"unknown pattern node: {target!r}")
+        if bound is not None and (not isinstance(bound, int) or bound < 1):
+            raise PatternError(f"bound must be a positive int or None: {bound!r}")
+        if target in self._succ[source]:
+            raise PatternError(f"duplicate pattern edge: {source!r} -> {target!r}")
+        self._succ[source][target] = bound
+        self._pred[target][source] = bound
+
+    def set_output(self, node: str) -> None:
+        """Mark ``node`` as the output node (the ``*`` node of Fig. 1(a))."""
+        if node not in self._predicates:
+            raise PatternError(f"unknown pattern node: {node!r}")
+        self._output = node
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def output_node(self) -> str | None:
+        return self._output
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._predicates)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(targets) for targets in self._succ.values())
+
+    @property
+    def size(self) -> int:
+        """``|Q|`` in the paper's sense: nodes plus edges."""
+        return self.num_nodes + self.num_edges
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._predicates
+
+    def nodes(self) -> Iterator[str]:
+        return iter(self._predicates)
+
+    def edges(self) -> Iterator[tuple[str, str, Bound]]:
+        """Iterate ``(source, target, bound)`` triples."""
+        for source, targets in self._succ.items():
+            for target, bound in targets.items():
+                yield (source, target, bound)
+
+    def predicate(self, node: str) -> Predicate:
+        try:
+            return self._predicates[node]
+        except KeyError:
+            raise PatternError(f"unknown pattern node: {node!r}") from None
+
+    def bound(self, source: str, target: str) -> Bound:
+        try:
+            return self._succ[source][target]
+        except KeyError:
+            raise PatternError(f"no such pattern edge: {source!r} -> {target!r}") from None
+
+    def out_edges(self, node: str) -> Iterator[tuple[str, Bound]]:
+        """``(target, bound)`` pairs for edges leaving ``node``."""
+        if node not in self._succ:
+            raise PatternError(f"unknown pattern node: {node!r}")
+        return iter(self._succ[node].items())
+
+    def in_edges(self, node: str) -> Iterator[tuple[str, Bound]]:
+        """``(source, bound)`` pairs for edges entering ``node``."""
+        if node not in self._pred:
+            raise PatternError(f"unknown pattern node: {node!r}")
+        return iter(self._pred[node].items())
+
+    @property
+    def is_simulation_pattern(self) -> bool:
+        """True iff every bound is 1 — plain graph simulation applies."""
+        return all(bound == 1 for _, _, bound in self.edges())
+
+    @property
+    def max_bound(self) -> Bound:
+        """The largest finite bound, or None if any edge is unbounded.
+
+        Patterns without edges report 1 (a harmless BFS depth).
+        """
+        largest = 1
+        for _, _, bound in self.edges():
+            if bound is None:
+                return None
+            largest = max(largest, bound)
+        return largest
+
+    def referenced_attrs(self) -> frozenset[str]:
+        """All attribute names read by any node's search condition."""
+        out: frozenset[str] = frozenset()
+        for predicate in self._predicates.values():
+            out |= predicate.attrs
+        return out
+
+    def validate(self, require_output: bool = False) -> None:
+        """Raise :class:`PatternError` if the pattern is unusable."""
+        if not self._predicates:
+            raise PatternError("pattern has no nodes")
+        if require_output and self._output is None:
+            raise PatternError("pattern has no output node")
+
+    # ------------------------------------------------------------------
+    # identity / serialization
+    # ------------------------------------------------------------------
+    def canonical_key(self) -> tuple:
+        """A hashable structural identity used as the cache key.
+
+        Node insertion order is irrelevant: two patterns with the same
+        nodes, conditions, edges, bounds and output node get equal keys.
+        """
+        nodes = tuple(
+            (node, self._predicates[node].key()) for node in sorted(self._predicates)
+        )
+        edges = tuple(
+            sorted((source, target, -1 if bound is None else bound)
+                   for source, target, bound in self.edges())
+        )
+        return ("pattern", nodes, edges, self._output)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Pattern):
+            return NotImplemented
+        return self.canonical_key() == other.canonical_key()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical_key())
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format": "repro.pattern",
+            "version": 1,
+            "name": self.name,
+            "nodes": [
+                {"id": node, "condition": predicate.to_dict()}
+                for node, predicate in self._predicates.items()
+            ],
+            "edges": [
+                {"source": source, "target": target, "bound": bound}
+                for source, target, bound in self.edges()
+            ],
+            "output": self._output,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Pattern":
+        if not isinstance(payload, Mapping) or payload.get("format") != "repro.pattern":
+            raise PatternError("not a repro.pattern payload")
+        pattern = cls(name=payload.get("name", ""))
+        try:
+            for entry in payload["nodes"]:
+                pattern.add_node(entry["id"], predicate_from_dict(entry["condition"]))
+            for entry in payload["edges"]:
+                pattern.add_edge(entry["source"], entry["target"], entry.get("bound", 1))
+        except (KeyError, TypeError) as exc:
+            raise PatternError(f"malformed pattern payload: {exc}") from exc
+        output = payload.get("output")
+        if output is not None:
+            pattern.set_output(output)
+        return pattern
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<Pattern{label}: {self.num_nodes} nodes, {self.num_edges} edges, "
+            f"output={self._output!r}>"
+        )
+
+    def describe(self) -> str:
+        """A multi-line human-readable description (used by the CLI)."""
+        lines = [f"pattern {self.name or '(unnamed)'}"]
+        for node, predicate in self._predicates.items():
+            star = "*" if node == self._output else ""
+            lines.append(f"  node {node}{star}: {format_predicate(predicate)}")
+        for source, target, bound in self.edges():
+            label = "*" if bound is None else str(bound)
+            lines.append(f"  edge {source} -> {target} : {label}")
+        return "\n".join(lines)

@@ -1,0 +1,426 @@
+"""Search-condition predicates for pattern nodes.
+
+A pattern node in ExpFinder carries a *search condition* such as
+``field == "SA" and experience >= 5``.  Conditions are represented as a
+small predicate algebra rather than bare lambdas for three reasons the rest
+of the system relies on:
+
+* **attribute tracking** — the compression module may answer a query on a
+  compressed graph only if every predicate reads attributes the compression
+  preserved (:attr:`Predicate.attrs` makes that checkable);
+* **canonical keys** — the query cache needs structural equality of
+  queries (:meth:`Predicate.key`);
+* **serialization** — queries are stored as files (:meth:`Predicate.to_dict`).
+
+Missing attributes and type-incompatible comparisons evaluate to ``False``
+(a person with no recorded experience is simply not a match), never raise.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Mapping
+
+from repro.errors import PredicateError
+
+Atom = str | int | float | bool
+
+_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    ">=": lambda a, b: a >= b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    "<": lambda a, b: a < b,
+}
+
+
+class Predicate(ABC):
+    """A boolean condition over a node's attribute dictionary."""
+
+    __slots__ = ()
+
+    @abstractmethod
+    def evaluate(self, attrs: Mapping[str, Any]) -> bool:
+        """True iff a node with these attributes satisfies the condition."""
+
+    @property
+    @abstractmethod
+    def attrs(self) -> frozenset[str]:
+        """Attribute names this predicate reads (for compression checks)."""
+
+    @abstractmethod
+    def key(self) -> tuple:
+        """A canonical hashable form; equal predicates have equal keys."""
+
+    @abstractmethod
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-ready representation (inverse of :func:`predicate_from_dict`)."""
+
+    # boolean-algebra sugar -------------------------------------------------
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Predicate) and self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+
+class AlwaysTrue(Predicate):
+    """The empty search condition: every node qualifies."""
+
+    __slots__ = ()
+
+    def evaluate(self, attrs: Mapping[str, Any]) -> bool:
+        return True
+
+    @property
+    def attrs(self) -> frozenset[str]:
+        return frozenset()
+
+    def key(self) -> tuple:
+        return ("true",)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": "true"}
+
+    def __repr__(self) -> str:
+        return "AlwaysTrue()"
+
+
+class Cmp(Predicate):
+    """``attr <op> value`` for ``op`` in ``== != >= <= > <``.
+
+    >>> Cmp("experience", ">=", 5).evaluate({"experience": 7})
+    True
+    >>> Cmp("experience", ">=", 5).evaluate({})
+    False
+    """
+
+    __slots__ = ("attr", "op", "value")
+
+    def __init__(self, attr: str, op: str, value: Atom) -> None:
+        if op not in _OPS:
+            raise PredicateError(f"unknown operator: {op!r}")
+        if not isinstance(attr, str) or not attr:
+            raise PredicateError(f"attribute name must be a non-empty string: {attr!r}")
+        self.attr = attr
+        self.op = op
+        self.value = value
+
+    def evaluate(self, attrs: Mapping[str, Any]) -> bool:
+        if self.attr not in attrs:
+            return False
+        try:
+            return _OPS[self.op](attrs[self.attr], self.value)
+        except TypeError:
+            return False
+
+    @property
+    def attrs(self) -> frozenset[str]:
+        return frozenset((self.attr,))
+
+    def key(self) -> tuple:
+        return ("cmp", self.attr, self.op, type(self.value).__name__, self.value)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": "cmp", "attr": self.attr, "op": self.op, "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"Cmp({self.attr!r}, {self.op!r}, {self.value!r})"
+
+
+class In(Predicate):
+    """``attr in {choices}`` — categorical membership.
+
+    >>> In("field", ["SA", "PM"]).evaluate({"field": "PM"})
+    True
+    """
+
+    __slots__ = ("attr", "choices")
+
+    def __init__(self, attr: str, choices: Any) -> None:
+        if not isinstance(attr, str) or not attr:
+            raise PredicateError(f"attribute name must be a non-empty string: {attr!r}")
+        values = tuple(choices)
+        if not values:
+            raise PredicateError("In() needs at least one choice")
+        self.attr = attr
+        self.choices = values
+
+    def evaluate(self, attrs: Mapping[str, Any]) -> bool:
+        return self.attr in attrs and attrs[self.attr] in self.choices
+
+    @property
+    def attrs(self) -> frozenset[str]:
+        return frozenset((self.attr,))
+
+    def key(self) -> tuple:
+        return ("in", self.attr, tuple(sorted(map(repr, self.choices))))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": "in", "attr": self.attr, "choices": list(self.choices)}
+
+    def __repr__(self) -> str:
+        return f"In({self.attr!r}, {list(self.choices)!r})"
+
+
+class _Combinator(Predicate):
+    """Shared machinery for :class:`And` / :class:`Or`."""
+
+    __slots__ = ("parts",)
+    _kind = ""
+
+    def __init__(self, *parts: Predicate) -> None:
+        if len(parts) < 1:
+            raise PredicateError(f"{type(self).__name__} needs at least one part")
+        flat: list[Predicate] = []
+        for part in parts:
+            if not isinstance(part, Predicate):
+                raise PredicateError(f"not a Predicate: {part!r}")
+            if isinstance(part, type(self)):
+                flat.extend(part.parts)  # flatten nested same-kind combinators
+            else:
+                flat.append(part)
+        self.parts = tuple(flat)
+
+    @property
+    def attrs(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for part in self.parts:
+            out |= part.attrs
+        return out
+
+    def key(self) -> tuple:
+        return (self._kind, tuple(sorted(part.key() for part in self.parts)))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self._kind, "parts": [part.to_dict() for part in self.parts]}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(part) for part in self.parts)
+        return f"{type(self).__name__}({inner})"
+
+
+class And(_Combinator):
+    """Conjunction — a node must satisfy every part."""
+
+    __slots__ = ()
+    _kind = "and"
+
+    def evaluate(self, attrs: Mapping[str, Any]) -> bool:
+        return all(part.evaluate(attrs) for part in self.parts)
+
+
+class Or(_Combinator):
+    """Disjunction — a node must satisfy at least one part."""
+
+    __slots__ = ()
+    _kind = "or"
+
+    def evaluate(self, attrs: Mapping[str, Any]) -> bool:
+        return any(part.evaluate(attrs) for part in self.parts)
+
+
+class Not(Predicate):
+    """Negation of another predicate."""
+
+    __slots__ = ("part",)
+
+    def __init__(self, part: Predicate) -> None:
+        if not isinstance(part, Predicate):
+            raise PredicateError(f"not a Predicate: {part!r}")
+        self.part = part
+
+    def evaluate(self, attrs: Mapping[str, Any]) -> bool:
+        return not self.part.evaluate(attrs)
+
+    @property
+    def attrs(self) -> frozenset[str]:
+        return self.part.attrs
+
+    def key(self) -> tuple:
+        return ("not", self.part.key())
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": "not", "part": self.part.to_dict()}
+
+    def __repr__(self) -> str:
+        return f"Not({self.part!r})"
+
+
+def predicate_from_dict(payload: Mapping[str, Any]) -> Predicate:
+    """Inverse of :meth:`Predicate.to_dict` for every built-in kind."""
+    try:
+        kind = payload["kind"]
+    except (TypeError, KeyError):
+        raise PredicateError(f"malformed predicate payload: {payload!r}") from None
+    if kind == "true":
+        return AlwaysTrue()
+    if kind == "cmp":
+        return Cmp(payload["attr"], payload["op"], payload["value"])
+    if kind == "in":
+        return In(payload["attr"], payload["choices"])
+    if kind == "and":
+        return And(*(predicate_from_dict(part) for part in payload["parts"]))
+    if kind == "or":
+        return Or(*(predicate_from_dict(part) for part in payload["parts"]))
+    if kind == "not":
+        return Not(predicate_from_dict(payload["part"]))
+    raise PredicateError(f"unknown predicate kind: {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# text syntax:   field == "SA", experience >= 5        (comma = AND)
+# ----------------------------------------------------------------------
+
+def parse_condition(text: str) -> Predicate:
+    """Parse one comparison like ``experience >= 5`` or ``field in ["SA","PM"]``.
+
+    Values may be quoted strings, integers, floats, ``true``/``false`` or
+    bare words (treated as strings).
+    """
+    stripped = text.strip()
+    if not stripped:
+        raise PredicateError("empty condition")
+    lowered = stripped.lower()
+    if lowered in ("true", "*", "any"):
+        return AlwaysTrue()
+    in_split = _split_keyword(stripped, " in ")
+    if in_split is not None:
+        attr, raw = in_split
+        return In(attr, _parse_list(raw))
+    for op in ("==", "!=", ">=", "<=", ">", "<", "="):
+        index = stripped.find(op)
+        if index > 0:
+            attr = stripped[:index].strip()
+            value = _parse_value(stripped[index + len(op):].strip())
+            return Cmp(attr, "==" if op == "=" else op, value)
+    raise PredicateError(f"cannot parse condition: {text!r}")
+
+
+def parse_conjunction(text: str) -> Predicate:
+    """Parse a comma-separated conjunction of conditions.
+
+    >>> pred = parse_conjunction('field == "SA", experience >= 5')
+    >>> pred.evaluate({"field": "SA", "experience": 7})
+    True
+    """
+    clauses = [part for part in _split_top_level(text, ",") if part.strip()]
+    if not clauses:
+        return AlwaysTrue()
+    parsed = [parse_condition(part) for part in clauses]
+    if len(parsed) == 1:
+        return parsed[0]
+    return And(*parsed)
+
+
+def format_predicate(predicate: Predicate) -> str:
+    """Render a predicate back into the text syntax (inverse of parsing
+    for the comma-conjunction fragment; nested Or/Not render with keywords).
+    """
+    if isinstance(predicate, AlwaysTrue):
+        return "true"
+    if isinstance(predicate, Cmp):
+        return f"{predicate.attr} {predicate.op} {_format_value(predicate.value)}"
+    if isinstance(predicate, In):
+        inner = ", ".join(_format_value(choice) for choice in predicate.choices)
+        return f"{predicate.attr} in [{inner}]"
+    if isinstance(predicate, And):
+        return ", ".join(format_predicate(part) for part in predicate.parts)
+    if isinstance(predicate, Or):
+        inner = " or ".join(f"({format_predicate(part)})" for part in predicate.parts)
+        return inner
+    if isinstance(predicate, Not):
+        return f"not ({format_predicate(predicate.part)})"
+    raise PredicateError(f"cannot format predicate: {predicate!r}")
+
+
+def _split_keyword(text: str, keyword: str) -> tuple[str, str] | None:
+    depth = 0
+    lowered = text.lower()
+    for index in range(len(text)):
+        char = text[index]
+        if char in "[(":
+            depth += 1
+        elif char in ")]":
+            depth -= 1
+        elif depth == 0 and lowered.startswith(keyword, index):
+            return text[:index].strip(), text[index + len(keyword):].strip()
+    return None
+
+
+def _split_top_level(text: str, separator: str) -> list[str]:
+    parts: list[str] = []
+    depth = 0
+    quote: str | None = None
+    current: list[str] = []
+    for char in text:
+        if quote is not None:
+            current.append(char)
+            if char == quote:
+                quote = None
+            continue
+        if char in "'\"":
+            quote = char
+            current.append(char)
+        elif char in "[(":
+            depth += 1
+            current.append(char)
+        elif char in ")]":
+            depth -= 1
+            current.append(char)
+        elif char == separator and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    parts.append("".join(current))
+    return parts
+
+
+def _parse_list(raw: str) -> list[Atom]:
+    body = raw.strip()
+    if not (body.startswith("[") and body.endswith("]")):
+        raise PredicateError(f"expected a [list] after 'in': {raw!r}")
+    inner = body[1:-1].strip()
+    if not inner:
+        raise PredicateError("empty list after 'in'")
+    return [_parse_value(part.strip()) for part in _split_top_level(inner, ",")]
+
+
+def _parse_value(raw: str) -> Atom:
+    if not raw:
+        raise PredicateError("missing value")
+    if raw[0] in "'\"" and raw[-1] == raw[0] and len(raw) >= 2:
+        return raw[1:-1]
+    lowered = raw.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        pass
+    return raw
+
+
+def _format_value(value: Atom) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        return f'"{value}"'
+    return repr(value)

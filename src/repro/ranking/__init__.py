@@ -1,0 +1,33 @@
+"""Top-K expert ranking over result graphs."""
+
+from repro.ranking.metrics import (
+    METRICS,
+    ClosenessMetric,
+    DegreeMetric,
+    HarmonicMetric,
+    RankingMetric,
+    SocialImpactMetric,
+    get_metric,
+)
+from repro.ranking.social_impact import (
+    RankedMatch,
+    rank_detail,
+    rank_matches,
+    social_impact_rank,
+    top_k,
+)
+
+__all__ = [
+    "METRICS",
+    "ClosenessMetric",
+    "DegreeMetric",
+    "HarmonicMetric",
+    "RankingMetric",
+    "SocialImpactMetric",
+    "get_metric",
+    "RankedMatch",
+    "rank_detail",
+    "rank_matches",
+    "social_impact_rank",
+    "top_k",
+]

@@ -1,0 +1,128 @@
+"""Textual views — the reproduction's stand-in for the demo GUI.
+
+The demo GUI (Figs 3–5) offers graph summaries, result-graph browsing, a
+"personal information" panel, and Drill Down / Roll Up analysis ("the users
+can drill down to see detailed information in a result graph, and can roll
+up to view its global structure").  Every one of those interactions has a
+textual equivalent here; the CLI and examples print them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import ReproError
+from repro.graph.digraph import Graph, NodeId
+from repro.matching.base import MatchRelation
+from repro.matching.result_graph import ResultGraph
+from repro.ranking.social_impact import RankedMatch
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """A minimal fixed-width text table (no external dependencies)."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def graph_summary(graph: Graph, attr: str = "field") -> str:
+    """Global structure of a data graph (the Manager panel's overview)."""
+    histogram: dict[object, int] = {}
+    for node in graph.nodes():
+        value = graph.get(node, attr)
+        histogram[value] = histogram.get(value, 0) + 1
+    rows = sorted(histogram.items(), key=lambda kv: (-kv[1], str(kv[0])))
+    lines = [
+        f"graph {graph.name or '(unnamed)'}: "
+        f"{graph.num_nodes} nodes, {graph.num_edges} edges",
+        render_table((attr, "count"), rows),
+    ]
+    return "\n".join(lines)
+
+
+def node_card(graph: Graph, node: NodeId) -> str:
+    """The "Personal information" panel for one node (Fig. 3)."""
+    if not graph.has_node(node):
+        raise ReproError(f"unknown node: {node!r}")
+    attrs = graph.attrs(node)
+    lines = [f"node {node!r}"]
+    for key in sorted(attrs):
+        lines.append(f"  {key}: {attrs[key]}")
+    lines.append(f"  collaborates-with: {sorted(map(str, graph.successors(node)))}")
+    lines.append(f"  collaborated-by:   {sorted(map(str, graph.predecessors(node)))}")
+    return "\n".join(lines)
+
+
+def relation_summary(relation: MatchRelation) -> str:
+    """One line per pattern node with its matches."""
+    if relation.is_empty:
+        return "no match (some pattern node has no valid match)"
+    lines = []
+    for pattern_node in relation:
+        matches = ", ".join(sorted(map(str, relation.matches_of(pattern_node))))
+        lines.append(f"{pattern_node}: {matches}")
+    return "\n".join(lines)
+
+
+def roll_up(result_graph: ResultGraph) -> str:
+    """Global structure of a result graph: match counts per pattern node."""
+    per_pattern: dict[str, int] = {u: 0 for u in result_graph.pattern.nodes()}
+    for node in result_graph.nodes():
+        for pattern_node in result_graph.matched_pattern_nodes(node):
+            per_pattern[pattern_node] += 1
+    rows = [(u, count) for u, count in per_pattern.items()]
+    header = (
+        f"result graph: {result_graph.num_nodes} matches, "
+        f"{result_graph.num_edges} witness edges"
+    )
+    return header + "\n" + render_table(("pattern node", "matches"), rows)
+
+
+def drill_down(result_graph: ResultGraph, node: NodeId) -> str:
+    """Detailed view of one match: attributes plus witness paths."""
+    if node not in result_graph:
+        raise ReproError(f"{node!r} is not in the result graph")
+    pattern_nodes = ", ".join(sorted(result_graph.matched_pattern_nodes(node)))
+    lines = [f"match {node!r} (matches pattern node(s): {pattern_nodes})"]
+    for key, value in sorted(result_graph.node_attrs(node).items()):
+        lines.append(f"  {key}: {value}")
+    outgoing = result_graph.out_adjacency().get(node, {})
+    incoming = result_graph.in_adjacency().get(node, {})
+    for target, weight in sorted(outgoing.items(), key=lambda kv: str(kv[0])):
+        lines.append(f"  -[{weight}]-> {target}")
+    for source, weight in sorted(incoming.items(), key=lambda kv: str(kv[0])):
+        lines.append(f"  <-[{weight}]- {source}")
+    return "\n".join(lines)
+
+
+def render_result_graph(result_graph: ResultGraph) -> str:
+    """All witness edges, ``v -[d]-> v'`` per line (Fig. 5's raw content)."""
+    lines = [roll_up(result_graph)]
+    for source, target, weight in sorted(
+        result_graph.edges(), key=lambda e: (str(e[0]), str(e[1]))
+    ):
+        lines.append(f"{source} -[{weight}]-> {target}")
+    return "\n".join(lines)
+
+
+def render_ranking(ranked: Sequence[RankedMatch], k: int | None = None) -> str:
+    """Top-K table: rank value, impact-set size, identity attributes."""
+    rows = []
+    shown = ranked if k is None else ranked[:k]
+    for position, match in enumerate(shown, start=1):
+        rank = "inf" if match.rank == float("inf") else f"{match.rank:.4f}"
+        identity = ", ".join(
+            f"{key}={match.attrs[key]}"
+            for key in ("field", "specialty", "experience")
+            if key in match.attrs
+        )
+        rows.append((position, match.node, rank, match.impact_set_size, identity))
+    return render_table(("#", "expert", "f(uo,v)", "|V'r|", "profile"), rows)

@@ -1,0 +1,78 @@
+"""ASCII charts for benchmark series.
+
+The paper's demo shows performance figures; offline, the closest faithful
+artefact is a horizontal bar chart rendered in text.  Used by
+``benchmarks/report.py`` to turn pytest-benchmark JSON into the series the
+evaluation section describes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ReproError
+
+BAR_CHARS = 40
+
+
+def ascii_bar_chart(
+    series: Sequence[tuple[str, float]],
+    title: str = "",
+    unit: str = "ms",
+    width: int = BAR_CHARS,
+) -> str:
+    """Render labelled values as proportional horizontal bars.
+
+    >>> print(ascii_bar_chart([("a", 2.0), ("b", 4.0)], title="t"))
+    t
+    a  ████████████████████  2.00
+    b  ████████████████████████████████████████  4.00
+    """
+    if width < 1:
+        raise ReproError(f"chart width must be >= 1: {width}")
+    if not series:
+        return title
+    longest_label = max(len(label) for label, _ in series)
+    largest = max(value for _, value in series)
+    lines = [title] if title else []
+    for label, value in series:
+        if value < 0:
+            raise ReproError(f"cannot chart negative value: {label}={value}")
+        bar_length = 0 if largest == 0 else max(1, round(width * value / largest))
+        bar = "█" * bar_length
+        lines.append(f"{label.ljust(longest_label)}  {bar}  {value:.2f}{unit_suffix(unit)}")
+    return "\n".join(lines)
+
+
+def unit_suffix(unit: str) -> str:
+    return f" {unit}" if unit else ""
+
+
+def comparison_chart(
+    pairs: Sequence[tuple[str, float, float]],
+    left_name: str,
+    right_name: str,
+    title: str = "",
+    unit: str = "ms",
+) -> str:
+    """Two-series comparison: per row, both values and who wins.
+
+    >>> out = comparison_chart([("1%", 1.0, 3.0)], "incr", "batch")
+    >>> "incr wins" in out
+    True
+    """
+    lines = [title] if title else []
+    label_width = max((len(label) for label, _, _ in pairs), default=0)
+    for label, left, right in pairs:
+        winner = left_name if left < right else right_name
+        ratio = (right / left) if left < right else (left / right)
+        if min(left, right) == 0:
+            ratio_text = ""
+        else:
+            ratio_text = f" ({ratio:.1f}x)"
+        lines.append(
+            f"{label.ljust(label_width)}  {left_name} {left:10.3f}{unit_suffix(unit)}"
+            f"  |  {right_name} {right:10.3f}{unit_suffix(unit)}"
+            f"  ->  {winner} wins{ratio_text}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Graphviz DOT export for graphs, patterns and result graphs.
+
+The demo GUI draws query results; offline, the closest faithful artefact is
+DOT text that any Graphviz install renders.  The top-1 expert can be
+highlighted in red exactly as in the demo's Fig. 5.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.graph.digraph import Graph, NodeId
+from repro.matching.result_graph import ResultGraph
+from repro.pattern.pattern import Pattern
+from repro.pattern.predicates import AlwaysTrue, format_predicate
+
+
+def _quote(value: object) -> str:
+    text = str(value).replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{text}"'
+
+
+def graph_to_dot(graph: Graph, label_attrs: Iterable[str] = ("field", "experience")) -> str:
+    """DOT for a data graph; node labels show the chosen attributes."""
+    lines = [f"digraph {_quote(graph.name or 'G')} {{", "  rankdir=LR;"]
+    attrs = list(label_attrs)
+    for node in graph.nodes():
+        parts = [str(node)]
+        for attr in attrs:
+            value = graph.get(node, attr)
+            if value is not None:
+                parts.append(f"{attr}={value}")
+        lines.append(f"  {_quote(node)} [label={_quote(chr(10).join(parts))}];")
+    for source, target in graph.edges():
+        lines.append(f"  {_quote(source)} -> {_quote(target)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def pattern_to_dot(pattern: Pattern) -> str:
+    """DOT for a pattern query; the output node is double-circled."""
+    lines = [f"digraph {_quote(pattern.name or 'Q')} {{", "  rankdir=LR;"]
+    for node in pattern.nodes():
+        predicate = pattern.predicate(node)
+        condition = "" if isinstance(predicate, AlwaysTrue) else format_predicate(predicate)
+        label = node if not condition else f"{node}\n{condition}"
+        shape = "doublecircle" if node == pattern.output_node else "ellipse"
+        lines.append(f"  {_quote(node)} [shape={shape}, label={_quote(label)}];")
+    for source, target, bound in pattern.edges():
+        bound_label = "*" if bound is None else str(bound)
+        lines.append(
+            f"  {_quote(source)} -> {_quote(target)} [label={_quote(bound_label)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def result_to_dot(result_graph: ResultGraph, highlight: NodeId | None = None) -> str:
+    """DOT for a result graph; ``highlight`` marks the top expert in red."""
+    lines = [f"digraph {_quote('result')} {{", "  rankdir=LR;"]
+    for node in result_graph.nodes():
+        matched = ",".join(sorted(result_graph.matched_pattern_nodes(node)))
+        label = f"{node}\n[{matched}]"
+        if node == highlight:
+            lines.append(
+                f"  {_quote(node)} [label={_quote(label)}, color=red, "
+                f"fontcolor=red, penwidth=2];"
+            )
+        else:
+            lines.append(f"  {_quote(node)} [label={_quote(label)}];")
+    for source, target, weight in result_graph.edges():
+        lines.append(
+            f"  {_quote(source)} -> {_quote(target)} [label={_quote(weight)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,203 @@
+"""Unit tests for bounded simulation — the core matcher."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.graph.digraph import Graph
+from repro.graph.generators import random_digraph
+from repro.matching.bounded import BoundedState, match_bounded
+from repro.matching.reference import (
+    is_maximal_bounded_relation,
+    is_valid_bounded_relation,
+    naive_bounded,
+)
+from repro.pattern.builder import PatternBuilder
+from repro.pattern.pattern import Pattern
+
+from tests.conftest import make_labelled_graph
+
+
+def two_node_query(bound) -> Pattern:
+    return (
+        PatternBuilder()
+        .node("A", 'label == "A"')
+        .node("B", 'label == "B"')
+        .edge("A", "B", bound)
+        .build()
+    )
+
+
+class TestBasicSemantics:
+    def test_bound_allows_path_through_intermediate(self):
+        g = make_labelled_graph([("a", "m"), ("m", "b")], {"a": "A", "m": "M", "b": "B"})
+        assert match_bounded(g, two_node_query(2)).relation.num_pairs == 2
+
+    def test_bound_one_requires_direct_edge(self):
+        g = make_labelled_graph([("a", "m"), ("m", "b")], {"a": "A", "m": "M", "b": "B"})
+        assert match_bounded(g, two_node_query(1)).relation.is_empty
+
+    def test_path_longer_than_bound_fails(self):
+        g = make_labelled_graph(
+            [("a", "m1"), ("m1", "m2"), ("m2", "b")],
+            {"a": "A", "m1": "M", "m2": "M", "b": "B"},
+        )
+        assert match_bounded(g, two_node_query(2)).relation.is_empty
+        assert match_bounded(g, two_node_query(3)).relation.num_pairs == 2
+
+    def test_unbounded_edge_is_reachability(self):
+        edges = [(f"n{i}", f"n{i+1}") for i in range(10)]
+        labels = {f"n{i}": "M" for i in range(11)}
+        labels["n0"] = "A"
+        labels["n10"] = "B"
+        g = make_labelled_graph(edges, labels)
+        assert match_bounded(g, two_node_query(None)).relation.num_pairs == 2
+        assert match_bounded(g, two_node_query(9)).relation.is_empty
+
+    def test_nonempty_path_semantics_for_self_loop_pattern(self):
+        q = Pattern()
+        q.add_node("A", 'label == "A"')
+        q.add_edge("A", "A", 2)
+        # A 2-cycle of A-nodes: each reaches itself in 2 and the other in 1.
+        g = make_labelled_graph([("a1", "a2"), ("a2", "a1")], {"a1": "A", "a2": "A"})
+        assert match_bounded(g, q).relation.num_pairs == 2
+        # A single A with no cycle cannot satisfy a nonempty path to an A.
+        lone = make_labelled_graph([], {"a1": "A"})
+        assert match_bounded(lone, q).relation.is_empty
+
+    def test_predicates_filter_candidates(self):
+        g = Graph()
+        g.add_node("senior", label="A", exp=9)
+        g.add_node("junior", label="A", exp=2)
+        g.add_node("b", label="B", exp=1)
+        g.add_edges([("senior", "b"), ("junior", "b")])
+        q = (
+            PatternBuilder()
+            .node("A", 'label == "A", exp >= 5')
+            .node("B", 'label == "B"')
+            .edge("A", "B", 1)
+            .build()
+        )
+        assert match_bounded(g, q).relation.matches_of("A") == {"senior"}
+
+    def test_all_or_nothing_totality(self):
+        # B matches exist but C has no candidate: the whole relation is empty.
+        g = make_labelled_graph([("a", "b")], {"a": "A", "b": "B"})
+        q = (
+            PatternBuilder()
+            .node("A", 'label == "A"')
+            .node("B", 'label == "B"')
+            .node("C", 'label == "C"')
+            .edge("A", "B", 2)
+            .build()
+        )
+        result = match_bounded(g, q)
+        assert result.relation.is_empty
+        assert result.relation.matches_of("A") == frozenset()
+
+    def test_diamond_multiple_witnesses(self, diamond: Graph):
+        q = (
+            PatternBuilder()
+            .node("A", 'label == "A"')
+            .node("D", 'label == "D"')
+            .edge("A", "D", 2)
+            .build()
+        )
+        assert match_bounded(diamond, q).relation.num_pairs == 2
+
+    def test_cyclic_pattern_with_bounds(self, cycle3: Graph):
+        q = (
+            PatternBuilder()
+            .node("X", 'label == "X"')
+            .node("Z", 'label == "Z"')
+            .edge("X", "Z", 2)
+            .edge("Z", "X", 1)
+            .build()
+        )
+        result = match_bounded(cycle3, q)
+        assert sorted(result.relation.pairs()) == [("X", "x"), ("Z", "z")]
+
+    def test_result_carries_reusable_state(self):
+        g = make_labelled_graph([("a", "b")], {"a": "A", "b": "B"})
+        result = match_bounded(g, two_node_query(1))
+        assert isinstance(result._state, BoundedState)
+        assert result.stats["algorithm"] == "bounded-simulation"
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_naive_on_random_graphs(self, seed):
+        g = random_digraph(16, 40, num_labels=3, seed=seed)
+        q = (
+            PatternBuilder()
+            .node("A", 'label == "L0"')
+            .node("B", 'label == "L1"')
+            .node("C", 'label == "L2"')
+            .edge("A", "B", 2)
+            .edge("B", "C", 3)
+            .edge("C", "A", 2)
+            .build()
+        )
+        assert match_bounded(g, q).relation == naive_bounded(g, q)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_result_is_valid_and_locally_maximal(self, seed):
+        g = random_digraph(12, 28, num_labels=2, seed=seed)
+        q = (
+            PatternBuilder()
+            .node("A", 'label == "L0"')
+            .node("B", 'label == "L1"')
+            .edge("A", "B", 2)
+            .build()
+        )
+        relation = match_bounded(g, q).relation
+        sets = {u: set(relation.matches_of(u)) for u in q.nodes()}
+        assert is_valid_bounded_relation(g, q, sets)
+        assert is_maximal_bounded_relation(g, q, sets)
+
+    def test_isomorphism_matches_are_contained(self):
+        from repro.matching.isomorphism import find_isomorphisms
+
+        g = random_digraph(14, 45, num_labels=2, seed=3)
+        q = (
+            PatternBuilder()
+            .node("A", 'label == "L0"')
+            .node("B", 'label == "L1"')
+            .edge("A", "B", 1)
+            .build()
+        )
+        relation = match_bounded(g, q).relation
+        for mapping in find_isomorphisms(g, q):
+            for pattern_node, data_node in mapping.items():
+                assert data_node in relation.matches_of(pattern_node)
+
+
+class TestStateInvariants:
+    def test_invariants_after_batch_match(self):
+        g = random_digraph(20, 60, num_labels=3, seed=5)
+        q = (
+            PatternBuilder()
+            .node("A", 'label == "L0"')
+            .node("B", 'label == "L1"')
+            .edge("A", "B", 2)
+            .build()
+        )
+        state = BoundedState(g, q)
+        state.check_invariants()
+
+    def test_match_edges_respect_bounds(self, fig1, fig1_query):
+        state = BoundedState(fig1, fig1_query)
+        bounds = {(s, t): b for s, t, b in fig1_query.edges()}
+        assert max(b for b in bounds.values()) == 3
+        for _source, _target, dist in state.match_edges():
+            assert 1 <= dist <= 3
+
+    def test_add_member_rejects_duplicates(self, fig1, fig1_query):
+        state = BoundedState(fig1, fig1_query)
+        with pytest.raises(EvaluationError, match="already a member"):
+            state.add_member("SA", "Bob")
+
+    def test_empty_candidate_sets_give_empty_relation(self):
+        g = make_labelled_graph([], {"a": "A"})
+        q = two_node_query(2)
+        state = BoundedState(g, q)
+        assert state.relation().is_empty

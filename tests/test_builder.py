@@ -1,0 +1,61 @@
+"""Unit tests for the fluent PatternBuilder."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.pattern.builder import PatternBuilder
+from repro.pattern.predicates import Cmp
+
+
+class TestBuilder:
+    def test_chained_construction(self):
+        pattern = (
+            PatternBuilder("t")
+            .node("A", "x >= 1", output=True)
+            .node("B")
+            .edge("A", "B", bound=2)
+            .build()
+        )
+        assert pattern.num_nodes == 2
+        assert pattern.bound("A", "B") == 2
+        assert pattern.output_node == "A"
+
+    def test_kwargs_become_equalities(self):
+        pattern = PatternBuilder().node("A", field="SA").build()
+        assert pattern.predicate("A").evaluate({"field": "SA"})
+        assert not pattern.predicate("A").evaluate({"field": "SD"})
+
+    def test_text_and_kwargs_combine_conjunctively(self):
+        pattern = PatternBuilder().node("A", "experience >= 5", field="SA").build()
+        predicate = pattern.predicate("A")
+        assert predicate.evaluate({"field": "SA", "experience": 6})
+        assert not predicate.evaluate({"field": "SA", "experience": 2})
+        assert not predicate.evaluate({"field": "SD", "experience": 9})
+
+    def test_predicate_object_accepted(self):
+        pattern = PatternBuilder().node("A", Cmp("x", "<", 3)).build()
+        assert pattern.predicate("A") == Cmp("x", "<", 3)
+
+    def test_output_method(self):
+        pattern = PatternBuilder().node("A").output("A").build(require_output=True)
+        assert pattern.output_node == "A"
+
+    def test_build_require_output_raises_without(self):
+        with pytest.raises(PatternError, match="output"):
+            PatternBuilder().node("A").build(require_output=True)
+
+    def test_builder_cannot_be_reused(self):
+        builder = PatternBuilder().node("A")
+        builder.build()
+        with pytest.raises(PatternError, match="already built"):
+            builder.node("B")
+        with pytest.raises(PatternError, match="already built"):
+            builder.build()
+
+    def test_bad_condition_type_raises(self):
+        with pytest.raises(PatternError):
+            PatternBuilder().node("A", condition=3.14)  # type: ignore[arg-type]
+
+    def test_unbounded_edge(self):
+        pattern = PatternBuilder().node("A").node("B").edge("A", "B", bound=None).build()
+        assert pattern.bound("A", "B") is None

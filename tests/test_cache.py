@@ -1,0 +1,152 @@
+"""Unit tests for the query cache."""
+
+import pytest
+
+from repro.datasets.paper_example import paper_pattern
+from repro.engine.cache import QueryCache, cache_key
+from repro.errors import CacheError
+from repro.matching.base import MatchRelation
+from repro.pattern.builder import PatternBuilder
+
+
+def relation(n=1) -> MatchRelation:
+    return MatchRelation({"A": {f"v{i}" for i in range(n)}})
+
+
+def key(graph="g", suffix="") -> tuple:
+    pattern = PatternBuilder().node("A" + suffix).build()
+    return cache_key(graph, pattern)
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = QueryCache()
+        assert cache.get(key()) is None
+        cache.put(key(), relation())
+        entry = cache.get(key())
+        assert entry is not None
+        assert entry.relation == relation()
+
+    def test_stats_track_hits_and_misses(self):
+        cache = QueryCache()
+        cache.get(key())
+        cache.put(key(), relation())
+        cache.get(key())
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["size"] == 1
+
+    def test_key_is_structural(self):
+        """Two separately-built equal patterns share a cache slot."""
+        assert cache_key("g", paper_pattern()) == cache_key("g", paper_pattern())
+
+    def test_key_distinguishes_graphs(self):
+        assert key("g1") != key("g2") or True  # same pattern, different name
+        cache = QueryCache()
+        cache.put(cache_key("g1", paper_pattern()), relation())
+        assert cache.get(cache_key("g2", paper_pattern())) is None
+
+    def test_capacity_validation(self):
+        with pytest.raises(CacheError):
+            QueryCache(capacity=0)
+
+
+class TestEviction:
+    def test_lru_eviction(self):
+        cache = QueryCache(capacity=2)
+        cache.put(key(suffix="1"), relation())
+        cache.put(key(suffix="2"), relation())
+        cache.get(key(suffix="1"))  # 1 is now most recent
+        cache.put(key(suffix="3"), relation())
+        assert cache.get(key(suffix="2")) is None
+        assert cache.get(key(suffix="1")) is not None
+        assert cache.stats()["evictions"] == 1
+
+    def test_pinned_entries_survive_eviction(self):
+        cache = QueryCache(capacity=1)
+        cache.put(key(suffix="pinned"), relation(), pinned=True)
+        cache.put(key(suffix="other"), relation())
+        assert cache.get(key(suffix="pinned")) is not None
+
+    def test_all_pinned_allows_overflow(self):
+        cache = QueryCache(capacity=1)
+        cache.put(key(suffix="1"), relation(), pinned=True)
+        cache.put(key(suffix="2"), relation(), pinned=True)
+        assert len(cache) == 2
+
+
+class TestPinning:
+    def test_pin_and_unpin(self):
+        cache = QueryCache()
+        cache.put(key(), relation())
+        cache.pin(key(), maintainer="m")
+        assert cache.stats()["pinned"] == 1
+        cache.unpin(key())
+        assert cache.stats()["pinned"] == 0
+
+    def test_pin_missing_raises(self):
+        with pytest.raises(CacheError):
+            QueryCache().pin(key())
+
+    def test_unpin_missing_raises(self):
+        with pytest.raises(CacheError):
+            QueryCache().unpin(key())
+
+    def test_put_refresh_keeps_pin(self):
+        cache = QueryCache()
+        cache.put(key(), relation(1), pinned=True, maintainer="m")
+        cache.put(key(), relation(2))  # refresh with new relation
+        entry = cache.get(key())
+        assert entry.pinned
+        assert entry.maintainer == "m"
+        assert entry.relation == relation(2)
+
+    def test_pinned_entries_by_graph(self):
+        cache = QueryCache()
+        cache.put(cache_key("g1", paper_pattern()), relation(), pinned=True)
+        cache.put(cache_key("g2", paper_pattern()), relation(), pinned=True)
+        assert len(cache.pinned_entries("g1")) == 1
+
+
+class TestInvalidation:
+    def test_invalidate_graph_drops_unpinned(self):
+        cache = QueryCache()
+        cache.put(cache_key("g1", paper_pattern()), relation())
+        cache.put(key("g1", suffix="x"), relation())
+        dropped = cache.invalidate_graph("g1")
+        assert dropped == 2
+        assert len(cache) == 0
+
+    def test_invalidate_graph_keeps_pinned_by_default(self):
+        cache = QueryCache()
+        cache.put(key("g1", suffix="p"), relation(), pinned=True)
+        cache.put(key("g1", suffix="u"), relation())
+        assert cache.invalidate_graph("g1") == 1
+        assert len(cache) == 1
+
+    def test_invalidate_can_drop_pinned_too(self):
+        cache = QueryCache()
+        cache.put(key("g1", suffix="p"), relation(), pinned=True)
+        cache.invalidate_graph("g1", keep_pinned=False)
+        assert len(cache) == 0
+
+    def test_invalidate_other_graph_untouched(self):
+        cache = QueryCache()
+        cache.put(key("g1"), relation())
+        cache.put(key("g2"), relation())
+        cache.invalidate_graph("g1")
+        assert cache.get(key("g2")) is not None
+
+    def test_clear(self):
+        cache = QueryCache()
+        cache.put(key(), relation())
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_hit_counter_per_entry(self):
+        cache = QueryCache()
+        cache.put(key(), relation())
+        cache.get(key())
+        cache.get(key())
+        assert cache.get(key()).hits == 3

@@ -1,0 +1,152 @@
+"""Tests for the ASCII charts and the benchmark report generator."""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.viz.charts import ascii_bar_chart, comparison_chart
+
+
+class TestBarChart:
+    def test_proportional_bars(self):
+        out = ascii_bar_chart([("a", 1.0), ("b", 2.0)], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("█") == 5
+        assert lines[1].count("█") == 10
+
+    def test_title_and_units(self):
+        out = ascii_bar_chart([("a", 1.0)], title="costs", unit="s")
+        assert out.startswith("costs")
+        assert "1.00 s" in out
+
+    def test_zero_values_render(self):
+        out = ascii_bar_chart([("a", 0.0), ("b", 0.0)])
+        assert "0.00" in out
+
+    def test_small_nonzero_gets_visible_bar(self):
+        out = ascii_bar_chart([("tiny", 0.001), ("big", 100.0)], width=10)
+        assert out.splitlines()[0].count("█") == 1
+
+    def test_empty_series(self):
+        assert ascii_bar_chart([], title="t") == "t"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ReproError):
+            ascii_bar_chart([("a", -1.0)])
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ReproError):
+            ascii_bar_chart([("a", 1.0)], width=0)
+
+
+class TestComparisonChart:
+    def test_winner_and_ratio(self):
+        out = comparison_chart([("1%", 1.0, 4.0)], "incr", "batch")
+        assert "incr wins" in out
+        assert "4.0x" in out
+
+    def test_right_side_can_win(self):
+        out = comparison_chart([("20%", 9.0, 3.0)], "incr", "batch")
+        assert "batch wins" in out
+
+    def test_title(self):
+        out = comparison_chart([("x", 1.0, 2.0)], "l", "r", title="versus")
+        assert out.startswith("versus")
+
+
+@pytest.fixture
+def bench_json(tmp_path):
+    """A miniature pytest-benchmark JSON covering several groups."""
+    def bench(group, name, mean_seconds, extra=None, params=None):
+        return {
+            "group": group,
+            "name": name,
+            "params": params or {},
+            "extra_info": extra or {},
+            "stats": {"mean": mean_seconds},
+        }
+
+    payload = {
+        "benchmarks": [
+            bench("E4-simulation", "test_sim[300]", 0.001, {"graph_size": 1000},
+                  {"size": 300}),
+            bench("E4-simulation", "test_sim[1000]", 0.004, {"graph_size": 3000},
+                  {"size": 1000}),
+            bench("E5-incremental-sim", "test_inc[1]", 0.0002,
+                  {"percent_changed": 1}),
+            bench("E5-batch-sim", "test_batch[1]", 0.008, {"percent_changed": 1}),
+            bench("E5-incremental-sim", "test_inc[50]", 0.009,
+                  {"percent_changed": 50}),
+            bench("E5-batch-sim", "test_batch[50]", 0.008, {"percent_changed": 50}),
+            bench("E7-compress", "test_build[bis-collab]", 0.02,
+                  {"dataset": "collab", "method": "bisimulation",
+                   "size_reduction_pct": 21.0}),
+            bench("E8-direct", "test_direct[tw]", 0.05, {"dataset": "tw"}),
+            bench("E8-compressed", "test_comp[tw]", 0.006, {"dataset": "tw"}),
+            bench("E9-maintain", "test_m[1]", 0.001, {"percent_changed": 1}),
+            bench("E9-recompress", "test_r[1]", 0.008, {"percent_changed": 1}),
+            bench("E10-topk", "test_topk[1]", 0.013, {"k": 1}),
+            bench("ABL2-routes", "test_route_direct", 0.08),
+            bench("ABL2-routes", "test_route_cache", 0.00002),
+        ]
+    }
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestReport:
+    def test_render_report_covers_all_sections(self, bench_json):
+        import importlib.util
+        import pathlib
+
+        report_path = (
+            pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "report.py"
+        )
+        spec = importlib.util.spec_from_file_location("bench_report", report_path)
+        report = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(report)  # type: ignore[union-attr]
+
+        buffer = io.StringIO()
+        report.render_report(bench_json, out=buffer)
+        text = buffer.getvalue()
+        assert "E4: query evaluation cost" in text
+        assert "E5: incremental vs batch" in text
+        assert "crossover" in text
+        assert "E7: compression ratio" in text
+        assert "E8: query time" in text
+        assert "E9: maintain compression" in text
+        assert "E10: top-K" in text
+        assert "Ablations" in text
+        assert "incremental wins" in text
+
+    def test_crossover_detection(self, bench_json):
+        import importlib.util
+        import pathlib
+
+        report_path = (
+            pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "report.py"
+        )
+        spec = importlib.util.spec_from_file_location("bench_report2", report_path)
+        report = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(report)  # type: ignore[union-attr]
+
+        buffer = io.StringIO()
+        report.render_report(bench_json, out=buffer)
+        # At 50% the incremental side is slower, so a crossover is reported.
+        assert "crossover: at or before ΔG = 50%" in buffer.getvalue()
+
+    def test_cli_usage_errors(self, tmp_path):
+        import importlib.util
+        import pathlib
+
+        report_path = (
+            pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "report.py"
+        )
+        spec = importlib.util.spec_from_file_location("bench_report3", report_path)
+        report = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(report)  # type: ignore[union-attr]
+        assert report.main([]) == 2
+        assert report.main([str(tmp_path / "missing.json")]) == 2

@@ -1,0 +1,204 @@
+"""Unit tests for the command-line front end."""
+
+import pytest
+
+from repro.cli import main
+from repro.datasets.paper_example import paper_graph, paper_pattern
+from repro.graph.io import load_graph, save_graph
+from repro.pattern.parser import save_pattern
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    return str(save_graph(paper_graph(), tmp_path / "fig1.json"))
+
+
+@pytest.fixture
+def pattern_file(tmp_path):
+    return str(save_pattern(paper_pattern(), tmp_path / "team.pattern"))
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("kind", ["collab", "twitter", "random"])
+    def test_generate_kinds(self, tmp_path, capsys, kind):
+        out = tmp_path / f"{kind}.json"
+        code = main(["generate", "--kind", kind, "--nodes", "40", "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        assert load_graph(out).num_nodes == 40
+        assert "wrote" in capsys.readouterr().out
+
+    def test_generate_deterministic(self, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        main(["generate", "--nodes", "30", "--seed", "5", "--out", str(a)])
+        main(["generate", "--nodes", "30", "--seed", "5", "--out", str(b)])
+        assert load_graph(a) == load_graph(b)
+
+
+class TestShow:
+    def test_summary(self, graph_file, capsys):
+        assert main(["show", "--graph", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "9 nodes" in out
+
+    def test_node_card(self, graph_file, capsys):
+        assert main(["show", "--graph", graph_file, "--node", "Bob"]) == 0
+        assert "experience: 7" in capsys.readouterr().out
+
+    def test_missing_graph_is_error(self, tmp_path, capsys):
+        code = main(["show", "--graph", str(tmp_path / "none.json")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestQuery:
+    def test_query_prints_relation(self, graph_file, pattern_file, capsys):
+        assert main(["query", "--graph", graph_file, "--pattern", pattern_file]) == 0
+        out = capsys.readouterr().out
+        assert "SA: Bob, Walt" in out
+
+    def test_query_explain(self, graph_file, pattern_file, capsys):
+        main(["query", "--graph", graph_file, "--pattern", pattern_file, "--explain"])
+        out = capsys.readouterr().out
+        assert "algorithm: bounded-simulation" in out
+
+    def test_query_result_graph(self, graph_file, pattern_file, capsys):
+        main(["query", "--graph", graph_file, "--pattern", pattern_file,
+              "--result-graph"])
+        assert "Bob -[1]-> Dan" in capsys.readouterr().out
+
+    def test_no_match_exits_1(self, tmp_path, graph_file, capsys):
+        q = tmp_path / "none.pattern"
+        q.write_text('node Z : field == "ZZ"\n')
+        assert main(["query", "--graph", graph_file, "--pattern", str(q)]) == 1
+
+
+class TestTopK:
+    def test_topk_table(self, graph_file, pattern_file, capsys):
+        assert main(["topk", "--graph", graph_file, "--pattern", pattern_file,
+                     "-k", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Bob" in out
+        assert "Walt" not in out
+
+    def test_topk_alternative_metric(self, graph_file, pattern_file, capsys):
+        assert main(["topk", "--graph", graph_file, "--pattern", pattern_file,
+                     "--metric", "degree"]) == 0
+        assert "Bob" in capsys.readouterr().out
+
+    def test_topk_writes_dot(self, graph_file, pattern_file, tmp_path, capsys):
+        dot = tmp_path / "top.dot"
+        main(["topk", "--graph", graph_file, "--pattern", pattern_file,
+              "--dot", str(dot)])
+        assert "color=red" in dot.read_text()
+
+
+class TestUpdate:
+    def test_update_applies_and_reports_delta(self, graph_file, pattern_file, capsys):
+        code = main([
+            "update", "--graph", graph_file, "--insert", "Fred:Eva",
+            "--pattern", pattern_file,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ΔM +(SD, Fred)" in out
+        assert load_graph(graph_file).has_edge("Fred", "Eva")
+
+    def test_update_out_path(self, graph_file, tmp_path, capsys):
+        out_path = tmp_path / "updated.json"
+        main(["update", "--graph", graph_file, "--delete", "Bob:Dan",
+              "--out", str(out_path)])
+        assert load_graph(out_path).has_edge("Bob", "Mat")
+        assert not load_graph(out_path).has_edge("Bob", "Dan")
+        assert load_graph(graph_file).has_edge("Bob", "Dan")  # original intact
+
+    def test_update_without_ops_is_error(self, graph_file, capsys):
+        assert main(["update", "--graph", graph_file]) == 2
+
+    def test_bad_edge_spec_is_error(self, graph_file, capsys):
+        assert main(["update", "--graph", graph_file, "--insert", "nocolon"]) == 2
+
+    def test_unchanged_delta_message(self, graph_file, pattern_file, capsys):
+        main(["update", "--graph", graph_file, "--insert", "Bill:Fred",
+              "--pattern", pattern_file])
+        assert "ΔM empty" in capsys.readouterr().out
+
+    def test_add_node_with_attrs(self, graph_file, capsys):
+        code = main([
+            "update", "--graph", graph_file,
+            "--add-node", "Amy:field=SA,experience=8",
+            "--insert", "Amy:Dan",
+        ])
+        assert code == 0
+        loaded = load_graph(graph_file)
+        assert loaded.get("Amy", "experience") == 8
+        assert loaded.has_edge("Amy", "Dan")
+
+    def test_set_attr_changes_matches(self, graph_file, pattern_file, capsys):
+        main(["update", "--graph", graph_file, "--set-attr", "Walt:experience:4",
+              "--pattern", pattern_file])
+        out = capsys.readouterr().out
+        assert "ΔM -(SA, Walt)" in out
+
+    def test_remove_node(self, graph_file, pattern_file, capsys):
+        main(["update", "--graph", graph_file, "--remove-node", "Eva",
+              "--pattern", pattern_file])
+        out = capsys.readouterr().out
+        loaded = load_graph(graph_file)
+        assert "Eva" not in loaded
+        # Eva was the only tester: the whole match collapses.
+        assert "ΔM -(ST, Eva)" in out
+
+    def test_bad_node_spec_is_error(self, graph_file, capsys):
+        assert main(["update", "--graph", graph_file,
+                     "--add-node", ":broken"]) == 2
+        assert main(["update", "--graph", graph_file,
+                     "--set-attr", "Walt:experience"]) == 2
+
+
+class TestLibraryPatterns:
+    def test_query_with_library_pattern(self, tmp_path, capsys):
+        graph_path = tmp_path / "collab.json"
+        main(["generate", "--kind", "collab", "--nodes", "200", "--seed", "3",
+              "--out", str(graph_path)])
+        capsys.readouterr()
+        code = main(["query", "--graph", str(graph_path),
+                     "--pattern", "lib:q1-team-star"])
+        assert code in (0, 1)  # valid run either way; depends on matches
+        out = capsys.readouterr().out
+        assert "SA" in out or "no match" in out
+
+    def test_unknown_library_pattern_is_error(self, graph_file, capsys):
+        assert main(["query", "--graph", graph_file, "--pattern", "lib:q99"]) == 2
+        assert "unknown library query" in capsys.readouterr().err
+
+    def test_show_profile(self, graph_file, capsys):
+        assert main(["show", "--graph", graph_file, "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "density:" in out
+        assert "out-degree:" in out
+
+
+class TestCompress:
+    def test_compress_reports_ratio(self, graph_file, capsys):
+        assert main(["compress", "--graph", graph_file,
+                     "--attrs", "field,specialty"]) == 0
+        assert "size reduced by" in capsys.readouterr().out
+
+    def test_compress_writes_quotient(self, graph_file, tmp_path, capsys):
+        out = tmp_path / "q.json"
+        main(["compress", "--graph", graph_file, "--attrs", "field",
+              "--out", str(out)])
+        quotient = load_graph(out)
+        assert quotient.num_nodes <= 9
+
+
+class TestDemo:
+    def test_demo_reproduces_examples(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "SA: Bob, Walt" in out
+        assert "1.8000" in out          # f(SA, Bob) = 9/5
+        assert "2.3333" in out          # f(SA, Walt) = 7/3
+        assert "ΔM +(SD, Fred)" in out  # Example 3

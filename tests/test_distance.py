@@ -1,0 +1,135 @@
+"""Unit tests for bounded BFS and weighted distances."""
+
+import pytest
+
+from repro.graph.digraph import Graph
+from repro.graph.distance import (
+    bounded_ancestors,
+    bounded_descendants,
+    distance,
+    eccentricity_within,
+    weighted_distances,
+    within_bound,
+)
+
+
+@pytest.fixture
+def path5() -> Graph:
+    """a -> b -> c -> d -> e"""
+    return Graph.from_edges([("a", "b"), ("b", "c"), ("c", "d"), ("d", "e")])
+
+
+@pytest.fixture
+def loop() -> Graph:
+    """a -> b -> c -> a"""
+    return Graph.from_edges([("a", "b"), ("b", "c"), ("c", "a")])
+
+
+class TestBoundedDescendants:
+    def test_depth_one(self, path5: Graph):
+        assert bounded_descendants(path5, "a", 1) == {"b": 1}
+
+    def test_depth_three(self, path5: Graph):
+        assert bounded_descendants(path5, "a", 3) == {"b": 1, "c": 2, "d": 3}
+
+    def test_unbounded_reaches_everything(self, path5: Graph):
+        assert bounded_descendants(path5, "a", None) == {
+            "b": 1, "c": 2, "d": 3, "e": 4,
+        }
+
+    def test_source_excluded_without_cycle(self, path5: Graph):
+        assert "a" not in bounded_descendants(path5, "a", None)
+
+    def test_source_included_via_cycle(self, loop: Graph):
+        reached = bounded_descendants(loop, "a", 3)
+        assert reached["a"] == 3
+
+    def test_cycle_too_long_for_bound(self, loop: Graph):
+        assert "a" not in bounded_descendants(loop, "a", 2)
+
+    def test_zero_bound_is_empty(self, path5: Graph):
+        assert bounded_descendants(path5, "a", 0) == {}
+
+    def test_shortest_distance_wins(self):
+        g = Graph.from_edges([("a", "b"), ("b", "c"), ("a", "c")])
+        assert bounded_descendants(g, "a", 5)["c"] == 1
+
+    def test_sink_node(self, path5: Graph):
+        assert bounded_descendants(path5, "e", None) == {}
+
+    def test_self_loop_distance_one(self):
+        g = Graph.from_edges([("a", "a")])
+        assert bounded_descendants(g, "a", 1) == {"a": 1}
+
+
+class TestBoundedAncestors:
+    def test_mirror_of_descendants(self, path5: Graph):
+        assert bounded_ancestors(path5, "e", 2) == {"d": 1, "c": 2}
+
+    def test_unbounded(self, path5: Graph):
+        assert bounded_ancestors(path5, "c", None) == {"b": 1, "a": 2}
+
+    def test_cycle_includes_self(self, loop: Graph):
+        assert bounded_ancestors(loop, "a", 3)["a"] == 3
+
+
+class TestDistance:
+    def test_direct_edge(self, path5: Graph):
+        assert distance(path5, "a", "b") == 1
+
+    def test_multi_hop(self, path5: Graph):
+        assert distance(path5, "a", "e") == 4
+
+    def test_unreachable_is_none(self, path5: Graph):
+        assert distance(path5, "e", "a") is None
+
+    def test_self_distance_requires_cycle(self, path5: Graph, loop: Graph):
+        assert distance(path5, "a", "a") is None
+        assert distance(loop, "a", "a") == 3
+
+    def test_unknown_nodes_give_none(self, path5: Graph):
+        assert distance(path5, "zzz", "a") is None
+        assert distance(path5, "a", "zzz") is None
+
+
+class TestWithinBound:
+    def test_true_inside_bound(self, path5: Graph):
+        assert within_bound(path5, "a", "c", 2)
+
+    def test_false_outside_bound(self, path5: Graph):
+        assert not within_bound(path5, "a", "e", 3)
+
+    def test_unbounded(self, path5: Graph):
+        assert within_bound(path5, "a", "e", None)
+
+
+class TestWeightedDistances:
+    def test_simple_chain(self):
+        adjacency = {"a": {"b": 2}, "b": {"c": 3}}
+        assert weighted_distances(adjacency, "a") == {"b": 2.0, "c": 5.0}
+
+    def test_shorter_weighted_path_wins(self):
+        adjacency = {"a": {"b": 1, "c": 10}, "b": {"c": 1}}
+        assert weighted_distances(adjacency, "a")["c"] == 2.0
+
+    def test_source_on_weighted_cycle(self):
+        adjacency = {"a": {"b": 1}, "b": {"a": 4}}
+        assert weighted_distances(adjacency, "a")["a"] == 5.0
+
+    def test_empty_adjacency(self):
+        assert weighted_distances({}, "a") == {}
+
+    def test_mixed_node_id_types_do_not_crash(self):
+        adjacency = {1: {"b": 1, 2: 1}, "b": {2: 1}}
+        result = weighted_distances(adjacency, 1)
+        assert result["b"] == 1.0
+        assert result[2] == 1.0
+
+
+class TestEccentricity:
+    def test_path_eccentricity(self, path5: Graph):
+        assert eccentricity_within(path5, "a", None) == 4
+        assert eccentricity_within(path5, "a", 2) == 2
+
+    def test_sink_has_zero(self, path5: Graph):
+        assert eccentricity_within(path5, "e", None) == 0

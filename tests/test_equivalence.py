@@ -1,0 +1,161 @@
+"""Unit tests for equivalence partitions (bisimulation & simulation)."""
+
+import pytest
+
+from repro.compression.equivalence import (
+    bisimulation_partition,
+    is_stable_partition,
+    mutually_similar,
+    simulation_equivalence,
+    simulation_preorder,
+)
+from repro.graph.digraph import Graph
+
+from tests.conftest import make_labelled_graph
+
+
+def label_of_factory(graph: Graph):
+    return lambda node: graph.get(node, "label")
+
+
+class TestBisimulation:
+    def test_same_label_leaves_merge(self):
+        g = make_labelled_graph([], {"x": "A", "y": "A", "z": "B"})
+        partition = bisimulation_partition(g, label_of_factory(g))
+        assert partition["x"] == partition["y"]
+        assert partition["x"] != partition["z"]
+
+    def test_different_successors_split(self):
+        g = make_labelled_graph(
+            [("x", "c"), ("y", "d")], {"x": "A", "y": "A", "c": "C", "d": "D"}
+        )
+        partition = bisimulation_partition(g, label_of_factory(g))
+        assert partition["x"] != partition["y"]
+
+    def test_same_successor_class_merges(self):
+        g = make_labelled_graph(
+            [("x", "c1"), ("y", "c2")], {"x": "A", "y": "A", "c1": "C", "c2": "C"}
+        )
+        partition = bisimulation_partition(g, label_of_factory(g))
+        assert partition["x"] == partition["y"]
+
+    def test_chain_depth_distinguishes(self):
+        # a1 -> a2 -> a3 (all label A): each depth is its own class.
+        g = make_labelled_graph([("a1", "a2"), ("a2", "a3")],
+                                {"a1": "A", "a2": "A", "a3": "A"})
+        partition = bisimulation_partition(g, label_of_factory(g))
+        assert len(set(partition.values())) == 3
+
+    def test_cycle_nodes_can_merge(self):
+        g = make_labelled_graph(
+            [("a1", "a2"), ("a2", "a1")], {"a1": "A", "a2": "A"}
+        )
+        partition = bisimulation_partition(g, label_of_factory(g))
+        assert partition["a1"] == partition["a2"]
+
+    def test_result_is_stable(self):
+        from repro.graph.generators import random_digraph
+
+        g = random_digraph(40, 100, num_labels=3, seed=1)
+        label_of = lambda v: g.get(v, "label")
+        partition = bisimulation_partition(g, label_of)
+        assert is_stable_partition(g, label_of, partition)
+
+    def test_contiguous_class_indices(self):
+        g = make_labelled_graph([], {"x": "A", "y": "B", "z": "A"})
+        partition = bisimulation_partition(g, label_of_factory(g))
+        assert set(partition.values()) == set(range(len(set(partition.values()))))
+
+
+class TestSimulationPreorder:
+    def test_leaf_simulated_by_everything_same_label(self):
+        g = make_labelled_graph([("y", "c")], {"x": "A", "y": "A", "c": "C"})
+        sim = simulation_preorder(g, label_of_factory(g))
+        assert sim["x"] == {"x", "y"}  # y (with moves) simulates leaf x
+        assert sim["y"] == {"y"}       # x cannot mimic y's move
+
+    def test_reflexive(self):
+        g = make_labelled_graph([("x", "y"), ("y", "x")], {"x": "A", "y": "A"})
+        sim = simulation_preorder(g, label_of_factory(g))
+        for node in g.nodes():
+            assert node in sim[node]
+
+    def test_labels_never_mix(self):
+        g = make_labelled_graph([], {"x": "A", "y": "B"})
+        sim = simulation_preorder(g, label_of_factory(g))
+        assert y_not_in(sim, "x", "y")
+
+    def test_deep_mimicking(self):
+        # p: A->B(leaf).  q: A->B->C.  q simulates p? p's move to leaf B is
+        # mimicked by q's move to B-with-child (leaf is simulated by anything
+        # same-label).  p does NOT simulate q.
+        g = make_labelled_graph(
+            [("p", "bp"), ("q", "bq"), ("bq", "c")],
+            {"p": "A", "q": "A", "bp": "B", "bq": "B", "c": "C"},
+        )
+        sim = simulation_preorder(g, label_of_factory(g))
+        assert "q" in sim["p"]
+        assert "p" not in sim["q"]
+
+
+def y_not_in(sim, x, y):
+    return y not in sim[x] and x not in sim[y]
+
+
+class TestSimulationEquivalence:
+    def test_coarser_than_bisimulation(self):
+        # The classic case: x -> m; y -> m and y -> n (n a leaf B).
+        # Simulation equivalence merges x,y; bisimulation does not.
+        g = make_labelled_graph(
+            [("x", "m"), ("y", "m"), ("y", "n"), ("m", "c")],
+            {"x": "A", "y": "A", "m": "B", "n": "B", "c": "C"},
+        )
+        label_of = label_of_factory(g)
+        sim_partition = simulation_equivalence(g, label_of)
+        bis_partition = bisimulation_partition(g, label_of)
+        assert sim_partition["x"] == sim_partition["y"]
+        assert bis_partition["x"] != bis_partition["y"]
+
+    def test_never_coarser_than_labels(self):
+        g = make_labelled_graph([], {"x": "A", "y": "B"})
+        partition = simulation_equivalence(g, label_of_factory(g))
+        assert partition["x"] != partition["y"]
+
+    def test_refines_into_bisimulation_classes(self):
+        """Every bisimulation class is contained in a simulation class."""
+        from repro.graph.generators import random_digraph
+
+        g = random_digraph(30, 70, num_labels=2, seed=3)
+        label_of = lambda v: g.get(v, "label")
+        sim_partition = simulation_equivalence(g, label_of)
+        bis_partition = bisimulation_partition(g, label_of)
+        by_bis: dict[int, set[int]] = {}
+        for node in g.nodes():
+            by_bis.setdefault(bis_partition[node], set()).add(sim_partition[node])
+        assert all(len(classes) == 1 for classes in by_bis.values())
+
+    def test_mutually_similar_helper(self):
+        g = make_labelled_graph(
+            [("x", "c"), ("y", "c")], {"x": "A", "y": "A", "c": "C"}
+        )
+        label_of = label_of_factory(g)
+        assert mutually_similar(g, label_of, "x", "y")
+        assert not mutually_similar(g, label_of, "x", "c")
+
+
+class TestStablePartitionChecker:
+    def test_accepts_stable(self):
+        g = make_labelled_graph([], {"x": "A", "y": "A"})
+        assert is_stable_partition(g, label_of_factory(g), {"x": 0, "y": 0})
+
+    def test_rejects_label_mixing(self):
+        g = make_labelled_graph([], {"x": "A", "y": "B"})
+        assert not is_stable_partition(g, label_of_factory(g), {"x": 0, "y": 0})
+
+    def test_rejects_signature_mixing(self):
+        g = make_labelled_graph(
+            [("x", "c")], {"x": "A", "y": "A", "c": "C"}
+        )
+        assert not is_stable_partition(
+            g, label_of_factory(g), {"x": 0, "y": 0, "c": 1}
+        )

@@ -1,0 +1,75 @@
+"""Unit tests for the ExpFinder facade."""
+
+import pytest
+
+from repro.datasets.paper_example import EDGE_E1, paper_graph, paper_pattern
+from repro.errors import EvaluationError
+from repro.expfinder import ExpFinder
+from repro.graph.io import save_graph
+from repro.incremental.updates import EdgeInsertion
+
+
+@pytest.fixture
+def finder() -> ExpFinder:
+    f = ExpFinder()
+    f.add_graph("fig1", paper_graph())
+    return f
+
+
+class TestWorkflow:
+    def test_find_experts(self, finder):
+        ranked = finder.find_experts("fig1", paper_pattern(), k=1)
+        assert ranked[0].node == "Bob"
+
+    def test_find_experts_other_metric(self, finder):
+        scored = finder.find_experts("fig1", paper_pattern(), k=1, metric="closeness")
+        assert scored[0][0] == "Bob"
+
+    def test_match_and_views(self, finder):
+        result = finder.match("fig1", paper_pattern())
+        assert "SA" in finder.roll_up(result)
+        assert "-[3]-> Jean" in finder.drill_down(result, "Bob")
+
+    def test_pattern_from_text(self):
+        pattern = ExpFinder.pattern_from_text(
+            'node A* : field == "SA"\nnode B : field == "SD"\nedge A -> B : 2\n'
+        )
+        assert pattern.output_node == "A"
+
+    def test_summary_and_who_is(self, finder):
+        assert "9 nodes" in finder.summary("fig1")
+        assert "experience: 7" in finder.who_is("fig1", "Bob")
+
+    def test_pin_update_delta(self, finder):
+        query = paper_pattern()
+        finder.pin("fig1", query)
+        summary = finder.update("fig1", [EdgeInsertion(*EDGE_E1)])
+        delta = summary["pinned_deltas"][query.canonical_key()]
+        assert delta["added"] == {("SD", "Fred")}
+
+    def test_compress_through_facade(self, finder):
+        compressed = finder.compress("fig1", attrs=("field",))
+        assert compressed.quotient.num_nodes <= 9
+
+    def test_explain(self, finder):
+        assert finder.explain("fig1", paper_pattern()).route == "direct"
+
+    def test_ranking_table_rejects_tuples(self, finder):
+        scored = finder.find_experts("fig1", paper_pattern(), k=1, metric="degree")
+        with pytest.raises(EvaluationError):
+            finder.ranking_table(scored)  # type: ignore[arg-type]
+
+
+class TestStorageIntegration:
+    def test_workdir_save_and_graph_file(self, tmp_path):
+        finder = ExpFinder(workdir=tmp_path / "store")
+        finder.add_graph("fig1", paper_graph())
+        finder.save("fig1")
+        assert (tmp_path / "store" / "graphs" / "fig1.json").exists()
+
+    def test_load_graph_file(self, tmp_path):
+        path = save_graph(paper_graph(), tmp_path / "g.json")
+        finder = ExpFinder()
+        graph = finder.load_graph_file("fig1", path)
+        assert graph.num_nodes == 9
+        assert finder.graph("fig1") is graph

@@ -1,0 +1,130 @@
+"""Unit tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import (
+    FIELDS,
+    CollaborationConfig,
+    collaboration_graph,
+    degree_histogram,
+    random_digraph,
+    twitter_like_graph,
+)
+
+
+class TestCollaborationGraph:
+    def test_node_count(self):
+        assert collaboration_graph(120, seed=1).num_nodes == 120
+
+    def test_deterministic_with_seed(self):
+        assert collaboration_graph(80, seed=5) == collaboration_graph(80, seed=5)
+
+    def test_different_seeds_differ(self):
+        assert collaboration_graph(80, seed=5) != collaboration_graph(80, seed=6)
+
+    def test_attribute_schema(self):
+        g = collaboration_graph(60, seed=2)
+        for node in g.nodes():
+            attrs = g.attrs(node)
+            assert attrs["field"] in FIELDS
+            assert attrs["specialty"] in FIELDS[attrs["field"]][1]
+            assert 1 <= attrs["experience"] <= 15
+
+    def test_leads_exist_and_are_senior(self):
+        g = collaboration_graph(100, seed=3)
+        leads = [v for v in g.nodes() if g.get(v, "field") in ("SA", "PM")]
+        assert leads
+        assert all(g.get(v, "experience") >= 4 for v in leads)
+
+    def test_has_reasonable_density(self):
+        g = collaboration_graph(200, seed=4)
+        assert g.num_edges >= g.num_nodes  # not a forest of isolated nodes
+
+    def test_tiny_population_promotes_a_lead(self):
+        # With an all-SD field distribution there would be no lead to run teams.
+        cfg = CollaborationConfig(num_people=5, field_weights={"SD": 1.0})
+        g = collaboration_graph(5, seed=1, config=cfg)
+        assert any(g.get(v, "field") in ("SA", "PM") for v in g.nodes())
+
+    def test_too_small_raises(self):
+        with pytest.raises(GraphError):
+            collaboration_graph(1)
+
+    def test_custom_name(self):
+        assert collaboration_graph(30, seed=0, name="xyz").name == "xyz"
+
+
+class TestTwitterLikeGraph:
+    def test_node_count_and_determinism(self):
+        g1 = twitter_like_graph(150, seed=9)
+        g2 = twitter_like_graph(150, seed=9)
+        assert g1.num_nodes == 150
+        assert g1 == g2
+
+    def test_skewed_out_degree(self):
+        g = twitter_like_graph(800, seed=1)
+        degrees = sorted((g.out_degree(v) for v in g.nodes()), reverse=True)
+        # hubs exist, and most nodes are pure audience
+        assert degrees[0] >= 10
+        zero = sum(1 for d in degrees if d == 0)
+        assert zero > 0.3 * g.num_nodes
+
+    def test_attribute_schema(self):
+        g = twitter_like_graph(100, seed=2)
+        assert all(g.get(v, "field") in FIELDS for v in g.nodes())
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(GraphError):
+            twitter_like_graph(1)
+        with pytest.raises(GraphError):
+            twitter_like_graph(10, attach=0)
+        with pytest.raises(GraphError):
+            twitter_like_graph(10, promote_prob=1.5)
+
+
+class TestRandomDigraph:
+    def test_exact_counts(self):
+        g = random_digraph(20, 50, seed=3)
+        assert g.num_nodes == 20
+        assert g.num_edges == 50
+
+    def test_no_self_loops(self):
+        g = random_digraph(15, 60, seed=4)
+        assert all(s != t for s, t in g.edges())
+
+    def test_labels_in_range(self):
+        g = random_digraph(30, 40, num_labels=4, seed=5)
+        labels = {g.get(v, "label") for v in g.nodes()}
+        assert labels <= {"L0", "L1", "L2", "L3"}
+
+    def test_x_attribute_in_range(self):
+        g = random_digraph(30, 40, seed=6)
+        assert all(0 <= g.get(v, "x") <= 9 for v in g.nodes())
+
+    def test_determinism(self):
+        assert random_digraph(12, 30, seed=7) == random_digraph(12, 30, seed=7)
+
+    def test_too_many_edges_raises(self):
+        with pytest.raises(GraphError, match="too many edges"):
+            random_digraph(3, 7)
+
+    def test_zero_nodes_raises(self):
+        with pytest.raises(GraphError):
+            random_digraph(0, 0)
+
+
+class TestDegreeHistogram:
+    def test_in_histogram_sums_to_node_count(self):
+        g = random_digraph(25, 60, seed=8)
+        histogram = degree_histogram(g, "in")
+        assert sum(histogram.values()) == 25
+
+    def test_out_histogram(self):
+        g = twitter_like_graph(60, seed=1)
+        histogram = degree_histogram(g, "out")
+        assert sum(histogram.values()) == 60
+
+    def test_bad_direction_raises(self):
+        with pytest.raises(GraphError):
+            degree_histogram(random_digraph(5, 5, seed=1), "sideways")

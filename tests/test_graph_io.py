@@ -1,0 +1,114 @@
+"""Unit tests for graph (de)serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import StorageError
+from repro.graph.digraph import Graph
+from repro.graph.generators import collaboration_graph
+from repro.graph.io import (
+    graph_from_dict,
+    graph_to_dict,
+    load_edgelist,
+    load_graph,
+    save_edgelist,
+    save_graph,
+)
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_everything(self, tmp_path):
+        original = collaboration_graph(50, seed=1)
+        path = save_graph(original, tmp_path / "g.json")
+        assert load_graph(path) == original
+
+    def test_round_trip_preserves_name(self, tmp_path):
+        g = Graph(name="hello")
+        g.add_node("a")
+        path = save_graph(g, tmp_path / "g.json")
+        assert load_graph(path).name == "hello"
+
+    def test_integer_node_ids_round_trip(self, tmp_path):
+        g = Graph.from_edges([(1, 2)])
+        path = save_graph(g, tmp_path / "g.json")
+        loaded = load_graph(path)
+        assert loaded.has_edge(1, 2)
+
+    def test_creates_parent_directories(self, tmp_path):
+        g = Graph()
+        g.add_node("a")
+        path = save_graph(g, tmp_path / "deep" / "nested" / "g.json")
+        assert path.exists()
+
+    def test_unserializable_node_id_raises(self):
+        g = Graph()
+        g.add_node(("tuple", "id"))
+        with pytest.raises(StorageError, match="JSON-serializable"):
+            graph_to_dict(g)
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(StorageError, match="not found"):
+            load_graph(tmp_path / "missing.json")
+
+    def test_load_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{ not json")
+        with pytest.raises(StorageError, match="invalid JSON"):
+            load_graph(path)
+
+    def test_from_dict_rejects_wrong_format(self):
+        with pytest.raises(StorageError, match="not a repro.graph"):
+            graph_from_dict({"format": "something-else"})
+
+    def test_from_dict_rejects_wrong_version(self):
+        payload = {"format": "repro.graph", "version": 99, "nodes": [], "edges": []}
+        with pytest.raises(StorageError, match="version"):
+            graph_from_dict(payload)
+
+    def test_from_dict_rejects_malformed_nodes(self):
+        payload = {"format": "repro.graph", "version": 1, "nodes": [{}], "edges": []}
+        with pytest.raises(StorageError, match="malformed"):
+            graph_from_dict(payload)
+
+    def test_dict_shape_is_documented(self):
+        g = Graph.from_edges([("a", "b")], nodes={"a": {"f": 1}, "b": {}})
+        payload = graph_to_dict(g)
+        assert payload["format"] == "repro.graph"
+        assert payload["nodes"][0] == {"id": "a", "attrs": {"f": 1}}
+        assert payload["edges"] == [["a", "b"]]
+        json.dumps(payload)  # must be JSON-ready
+
+
+class TestEdgeList:
+    def test_round_trip_structure(self, tmp_path):
+        g = Graph.from_edges([("a", "b"), ("b", "c"), ("a", "c")])
+        path = save_edgelist(g, tmp_path / "g.tsv")
+        loaded = load_edgelist(path)
+        assert set(loaded.edges()) == set(g.edges())
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "g.tsv"
+        path.write_text("# header\n\na b\nb c\n")
+        g = load_edgelist(path)
+        assert g.num_edges == 2
+
+    def test_malformed_line_raises_with_lineno(self, tmp_path):
+        path = tmp_path / "g.tsv"
+        path.write_text("a b\nonly-one-token\n")
+        with pytest.raises(StorageError, match=":2:"):
+            load_edgelist(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(StorageError):
+            load_edgelist(tmp_path / "missing.tsv")
+
+    def test_empty_graph_writes_empty_file(self, tmp_path):
+        path = save_edgelist(Graph(), tmp_path / "empty.tsv")
+        assert path.read_text() == ""
+        assert load_edgelist(path).num_nodes == 0
+
+    def test_default_name_is_stem(self, tmp_path):
+        path = tmp_path / "social.tsv"
+        path.write_text("a b\n")
+        assert load_edgelist(path).name == "social"

@@ -1,0 +1,199 @@
+"""Unit tests for incremental bounded simulation."""
+
+import pytest
+
+from repro.errors import UpdateError
+from repro.graph.generators import random_digraph
+from repro.incremental.inc_bounded import IncrementalBoundedSimulation
+from repro.incremental.updates import EdgeDeletion, EdgeInsertion, random_updates
+from repro.matching.bounded import match_bounded
+from repro.matching.reference import naive_bounded
+from repro.pattern.builder import PatternBuilder
+
+from tests.conftest import make_labelled_graph
+
+
+def bounded_ab(bound=2):
+    return (
+        PatternBuilder()
+        .node("A", 'label == "A"')
+        .node("B", 'label == "B"')
+        .edge("A", "B", bound)
+        .build()
+    )
+
+
+class TestInsertion:
+    def test_distance_shortening_creates_match(self):
+        # a -> m1 -> m2 -> b is length 3 > bound 2; adding a -> m2 fixes it.
+        g = make_labelled_graph(
+            [("a", "m1"), ("m1", "m2"), ("m2", "b")],
+            {"a": "A", "m1": "M", "m2": "M", "b": "B"},
+        )
+        inc = IncrementalBoundedSimulation(g, bounded_ab(2))
+        assert inc.relation().is_empty
+        inc.apply(EdgeInsertion("a", "m2"))
+        assert inc.relation().num_pairs == 2
+        inc.state.check_invariants()
+
+    def test_insertion_updates_stored_distance(self):
+        g = make_labelled_graph(
+            [("a", "m"), ("m", "b")], {"a": "A", "m": "M", "b": "B"}
+        )
+        inc = IncrementalBoundedSimulation(g, bounded_ab(2))
+        assert inc.state.S[("A", "B")]["a"]["b"] == 2
+        inc.apply(EdgeInsertion("a", "b"))
+        assert inc.state.S[("A", "B")]["a"]["b"] == 1
+        inc.state.check_invariants()
+
+    def test_mutual_resurrection_cyclic_bounded_pattern(self):
+        q = (
+            PatternBuilder()
+            .node("A", 'label == "A"')
+            .node("B", 'label == "B"')
+            .edge("A", "B", 2)
+            .edge("B", "A", 2)
+            .build()
+        )
+        g = make_labelled_graph(
+            [("b", "m2"), ("m2", "a")], {"a": "A", "b": "B", "m1": "M", "m2": "M"}
+        )
+        inc = IncrementalBoundedSimulation(g, q)
+        assert inc.relation().is_empty
+        inc.apply(EdgeInsertion("a", "m1"))
+        assert inc.relation().is_empty
+        inc.apply(EdgeInsertion("m1", "b"))  # closes a->m1->b->m2->a
+        assert inc.relation().num_pairs == 2
+        inc.state.check_invariants()
+
+    def test_far_away_insertion_changes_nothing(self):
+        g = make_labelled_graph(
+            [("a", "b"), ("x", "y")], {"a": "A", "b": "B", "x": "M", "y": "M"}
+        )
+        inc = IncrementalBoundedSimulation(g, bounded_ab(2))
+        before = inc.relation()
+        inc.apply(EdgeInsertion("y", "x"))
+        assert inc.relation() == before
+        inc.state.check_invariants()
+
+
+class TestDeletion:
+    def test_deletion_breaks_unique_path(self):
+        g = make_labelled_graph(
+            [("a", "m"), ("m", "b")], {"a": "A", "m": "M", "b": "B"}
+        )
+        inc = IncrementalBoundedSimulation(g, bounded_ab(2))
+        assert inc.relation().num_pairs == 2
+        inc.apply(EdgeDeletion("m", "b"))
+        assert inc.relation().is_empty
+        inc.state.check_invariants()
+
+    def test_deletion_with_alternate_path_updates_distance(self):
+        g = make_labelled_graph(
+            [("a", "b"), ("a", "m"), ("m", "b")], {"a": "A", "m": "M", "b": "B"}
+        )
+        inc = IncrementalBoundedSimulation(g, bounded_ab(2))
+        inc.apply(EdgeDeletion("a", "b"))
+        assert inc.relation().num_pairs == 2  # still reaches within 2
+        assert inc.state.S[("A", "B")]["a"]["b"] == 2
+        inc.state.check_invariants()
+
+    def test_deletion_cascades_through_pattern(self):
+        q = (
+            PatternBuilder()
+            .node("A", 'label == "A"')
+            .node("B", 'label == "B"')
+            .node("C", 'label == "C"')
+            .edge("A", "B", 2)
+            .edge("B", "C", 2)
+            .build()
+        )
+        g = make_labelled_graph(
+            [("a", "b"), ("b", "m"), ("m", "c")],
+            {"a": "A", "b": "B", "m": "M", "c": "C"},
+        )
+        inc = IncrementalBoundedSimulation(g, q)
+        assert inc.relation().num_pairs == 3
+        inc.apply(EdgeDeletion("m", "c"))
+        assert inc.relation().is_empty
+        inc.state.check_invariants()
+
+
+class TestUnboundedEdges:
+    def test_unbounded_pattern_edge_maintained(self):
+        q = bounded_ab(None)
+        g = make_labelled_graph(
+            [("a", "m1"), ("m1", "m2")], {"a": "A", "m1": "M", "m2": "M", "b": "B"}
+        )
+        inc = IncrementalBoundedSimulation(g, q)
+        assert inc.relation().is_empty
+        inc.apply(EdgeInsertion("m2", "b"))
+        assert inc.relation().num_pairs == 2
+        inc.apply(EdgeDeletion("m1", "m2"))
+        assert inc.relation().is_empty
+        inc.state.check_invariants()
+
+
+class TestStateReuse:
+    def test_accepts_existing_state(self):
+        g = make_labelled_graph([("a", "b")], {"a": "A", "b": "B"})
+        result = match_bounded(g, bounded_ab(2))
+        inc = IncrementalBoundedSimulation(g, result.pattern, state=result._state)
+        assert inc.relation() == result.relation
+
+    def test_rejects_foreign_state(self):
+        g1 = make_labelled_graph([("a", "b")], {"a": "A", "b": "B"})
+        g2 = g1.copy()
+        result = match_bounded(g1, bounded_ab(2))
+        with pytest.raises(UpdateError, match="different graph"):
+            IncrementalBoundedSimulation(g2, result.pattern, state=result._state)
+
+    def test_edgeless_pattern_is_static(self):
+        q = PatternBuilder().node("A", 'label == "A"').build()
+        g = make_labelled_graph([], {"a": "A", "b": "B"})
+        inc = IncrementalBoundedSimulation(g, q)
+        inc.apply(EdgeInsertion("a", "b"))
+        assert inc.relation().matches_of("A") == {"a"}
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_agrees_with_naive_after_random_updates(self, seed):
+        g = random_digraph(14, 32, num_labels=3, seed=seed)
+        q = (
+            PatternBuilder()
+            .node("A", 'label == "L0"')
+            .node("B", 'label == "L1"')
+            .node("C", 'label == "L2"')
+            .edge("A", "B", 2)
+            .edge("B", "C", 3)
+            .edge("C", "A", 2)
+            .build()
+        )
+        inc = IncrementalBoundedSimulation(g, q)
+        for update in random_updates(g, 20, seed=seed + 500):
+            inc.apply(update)
+            assert inc.relation() == naive_bounded(g, q), update
+        inc.state.check_invariants()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_unbounded_pattern_against_oracle(self, seed):
+        g = random_digraph(10, 18, num_labels=2, seed=seed)
+        q = (
+            PatternBuilder()
+            .node("A", 'label == "L0"')
+            .node("B", 'label == "L1"')
+            .edge("A", "B", None)
+            .build()
+        )
+        inc = IncrementalBoundedSimulation(g, q)
+        for update in random_updates(g, 15, seed=seed + 900):
+            inc.apply(update)
+            assert inc.relation() == naive_bounded(g, q), update
+        inc.state.check_invariants()
+
+    def test_batch_equals_recompute_on_paper_graph(self, fig1, fig1_query):
+        inc = IncrementalBoundedSimulation(fig1, fig1_query)
+        batch = random_updates(fig1, 8, seed=77)
+        inc.apply_batch(batch)
+        assert inc.relation() == match_bounded(fig1, fig1_query).relation

@@ -1,0 +1,162 @@
+"""Integration tests: whole-system workflows across modules."""
+
+import pytest
+
+from repro.compression.decompress import decompress_relation
+from repro.datasets.paper_example import EDGE_E1, paper_graph, paper_pattern
+from repro.engine.engine import QueryEngine
+from repro.engine.storage import GraphStore
+from repro.expfinder import ExpFinder
+from repro.graph.generators import collaboration_graph, twitter_like_graph
+from repro.incremental.updates import EdgeInsertion, random_updates
+from repro.matching.bounded import match_bounded
+from repro.pattern.builder import PatternBuilder
+from repro.pattern.parser import format_pattern, parse_pattern
+
+
+def hiring_query(bound=2):
+    return (
+        PatternBuilder("hiring")
+        .node("SA", "experience >= 5", field="SA", output=True)
+        .node("SD", "experience >= 2", field="SD")
+        .node("ST", "experience >= 2", field="ST")
+        .edge("SA", "SD", bound)
+        .edge("SD", "ST", bound)
+        .build(require_output=True)
+    )
+
+
+class TestFullPipeline:
+    def test_store_query_rank_update_cycle(self, tmp_path):
+        """Persist a graph, query it, rank, update, and observe the delta."""
+        store = GraphStore(tmp_path)
+        store.save_graph("fig1", paper_graph())
+        store.save_pattern("team", paper_pattern())
+
+        engine = QueryEngine(store=store)
+        engine.load_graph("fig1")
+        pattern = store.load_pattern("team")
+
+        ranked = engine.top_k("fig1", pattern, 2)
+        assert [match.node for match in ranked] == ["Bob", "Walt"]
+
+        engine.pin("fig1", pattern)
+        summary = engine.update_graph("fig1", [EdgeInsertion(*EDGE_E1)])
+        assert summary["pinned_deltas"][pattern.canonical_key()]["added"] == {
+            ("SD", "Fred")
+        }
+        engine.persist_graph("fig1")
+        assert store.load_graph("fig1").has_edge("Fred", "Eva")
+
+    def test_pattern_text_round_trip_through_engine(self):
+        engine = QueryEngine()
+        engine.register_graph("fig1", paper_graph())
+        text = format_pattern(paper_pattern())
+        reparsed = parse_pattern(text)
+        result = engine.evaluate("fig1", reparsed)
+        assert sorted(result.relation.matches_of("SA")) == ["Bob", "Walt"]
+
+    def test_all_three_routes_agree(self):
+        """cache == compressed == direct on a synthetic workload."""
+        graph = collaboration_graph(250, seed=21)
+        query = hiring_query()
+
+        direct_engine = QueryEngine()
+        direct_engine.register_graph("g", graph.copy())
+        direct = direct_engine.evaluate("g", query, use_compression=False)
+
+        compressed_engine = QueryEngine()
+        compressed_engine.register_graph("g", graph.copy())
+        compressed_engine.compress_graph("g", attrs=("field", "experience"))
+        via_compressed = compressed_engine.evaluate("g", query)
+        assert via_compressed.stats["route"] == "compressed"
+        assert via_compressed.relation == direct.relation
+
+        cached = compressed_engine.evaluate("g", query)
+        assert cached.stats["route"] == "cache"
+        assert cached.relation == direct.relation
+
+    def test_compressed_route_with_updates_stays_correct(self):
+        graph = twitter_like_graph(300, seed=13)
+        engine = QueryEngine()
+        engine.register_graph("tw", graph)
+        engine.compress_graph("tw", attrs=("field",))
+        query = (
+            PatternBuilder()
+            .node("SA", field="SA", output=True)
+            .node("SD", field="SD")
+            .edge("SA", "SD", 2)
+            .build(require_output=True)
+        )
+        for seed in range(3):
+            engine.update_graph("tw", random_updates(graph, 15, seed=seed))
+            via_engine = engine.evaluate("tw", query, use_cache=False)
+            assert via_engine.relation == match_bounded(graph, query).relation
+
+    def test_facade_end_to_end_on_synthetic_network(self, tmp_path):
+        finder = ExpFinder(workdir=tmp_path)
+        finder.add_graph("net", collaboration_graph(200, seed=30))
+        query = hiring_query()
+
+        experts = finder.find_experts("net", query, k=3)
+        assert len(experts) <= 3
+        if experts:
+            table = finder.ranking_table(experts)
+            assert str(experts[0].node) in table
+            result = finder.match("net", query)
+            detail = finder.drill_down(result, experts[0].node)
+            assert "SA" in detail
+
+    def test_incremental_and_compression_together(self):
+        """Pinned query + maintained compression through the same updates."""
+        graph = collaboration_graph(150, seed=31)
+        engine = QueryEngine()
+        engine.register_graph("g", graph)
+        query = hiring_query()
+        engine.pin("g", query)
+        engine.compress_graph("g", attrs=("field", "experience"))
+        for seed in range(4):
+            engine.update_graph("g", random_updates(graph, 12, seed=40 + seed))
+        # Pinned cache, compressed route and scratch recomputation all agree.
+        recomputed = match_bounded(graph, query).relation
+        cached = engine.evaluate("g", query)
+        assert cached.stats["route"] == "cache"
+        assert cached.relation == recomputed
+        fresh = engine.evaluate("g", query, use_cache=False)
+        assert fresh.stats["route"] == "compressed"
+        assert fresh.relation == recomputed
+
+    def test_compression_quotient_queryable_standalone(self):
+        graph = twitter_like_graph(400, seed=32)
+        from repro.compression.compress import compress
+
+        compressed = compress(graph, attrs=("field",))
+        query = (
+            PatternBuilder()
+            .node("SA", field="SA", output=True)
+            .node("ST", field="ST")
+            .edge("SA", "ST", 2)
+            .build()
+        )
+        direct = match_bounded(graph, query).relation
+        recovered = decompress_relation(
+            match_bounded(compressed.quotient, query).relation, compressed
+        )
+        assert recovered == direct
+
+    def test_examples_are_runnable(self):
+        """The example scripts import and expose main() (smoke check)."""
+        import importlib.util
+        import pathlib
+
+        examples = pathlib.Path(__file__).resolve().parent.parent / "examples"
+        for script in (
+            "quickstart.py",
+            "team_formation.py",
+            "recommendation.py",
+            "graph_editor.py",
+        ):
+            spec = importlib.util.spec_from_file_location(script[:-3], examples / script)
+            module = importlib.util.module_from_spec(spec)
+            spec.loader.exec_module(module)  # type: ignore[union-attr]
+            assert hasattr(module, "main")

@@ -1,0 +1,135 @@
+"""Unit tests for the subgraph-isomorphism baseline."""
+
+import pytest
+
+from repro.graph.digraph import Graph
+from repro.matching.isomorphism import (
+    count_isomorphisms,
+    find_isomorphisms,
+    has_isomorphism,
+)
+from repro.pattern.builder import PatternBuilder
+from repro.pattern.pattern import Pattern
+
+from tests.conftest import make_labelled_graph
+
+
+def edge_query() -> Pattern:
+    return (
+        PatternBuilder()
+        .node("A", 'label == "A"')
+        .node("B", 'label == "B"')
+        .edge("A", "B", 1)
+        .build()
+    )
+
+
+class TestBasics:
+    def test_single_embedding(self):
+        g = make_labelled_graph([("a", "b")], {"a": "A", "b": "B"})
+        assert list(find_isomorphisms(g, edge_query())) == [{"A": "a", "B": "b"}]
+
+    def test_no_embedding_without_edge(self):
+        g = make_labelled_graph([], {"a": "A", "b": "B"})
+        assert not has_isomorphism(g, edge_query())
+
+    def test_multiple_embeddings_counted(self):
+        g = make_labelled_graph(
+            [("a", "b1"), ("a", "b2")], {"a": "A", "b1": "B", "b2": "B"}
+        )
+        assert count_isomorphisms(g, edge_query()) == 2
+
+    def test_limit_caps_enumeration(self):
+        g = make_labelled_graph(
+            [("a", "b1"), ("a", "b2"), ("a", "b3")],
+            {"a": "A", "b1": "B", "b2": "B", "b3": "B"},
+        )
+        assert count_isomorphisms(g, edge_query(), limit=2) == 2
+
+    def test_injectivity_enforced(self):
+        # Pattern wants two distinct B nodes; graph has only one.
+        q = (
+            PatternBuilder()
+            .node("A", 'label == "A"')
+            .node("B1", 'label == "B"')
+            .node("B2", 'label == "B"')
+            .edge("A", "B1", 1)
+            .edge("A", "B2", 1)
+            .build()
+        )
+        g = make_labelled_graph([("a", "b")], {"a": "A", "b": "B"})
+        assert not has_isomorphism(g, q)
+        g2 = make_labelled_graph(
+            [("a", "b1"), ("a", "b2")], {"a": "A", "b1": "B", "b2": "B"}
+        )
+        assert count_isomorphisms(g2, q) == 2  # two ways to assign B1/B2
+
+    def test_edges_checked_in_both_directions(self):
+        q = (
+            PatternBuilder()
+            .node("A", 'label == "A"')
+            .node("B", 'label == "B"')
+            .edge("A", "B", 1)
+            .edge("B", "A", 1)
+            .build()
+        )
+        one_way = make_labelled_graph([("a", "b")], {"a": "A", "b": "B"})
+        assert not has_isomorphism(one_way, q)
+        both_ways = make_labelled_graph(
+            [("a", "b"), ("b", "a")], {"a": "A", "b": "B"}
+        )
+        assert has_isomorphism(both_ways, q)
+
+    def test_predicates_respected(self):
+        g = Graph()
+        g.add_node("senior", label="A", exp=9)
+        g.add_node("junior", label="A", exp=1)
+        g.add_node("b", label="B", exp=1)
+        g.add_edges([("senior", "b"), ("junior", "b")])
+        q = (
+            PatternBuilder()
+            .node("A", 'label == "A", exp >= 5')
+            .node("B", 'label == "B"')
+            .edge("A", "B", 1)
+            .build()
+        )
+        assert [m["A"] for m in find_isomorphisms(g, q)] == ["senior"]
+
+    def test_triangle_pattern_in_triangle_graph(self, cycle3):
+        q = (
+            PatternBuilder()
+            .node("X", 'label == "X"')
+            .node("Y", 'label == "Y"')
+            .node("Z", 'label == "Z"')
+            .edge("X", "Y", 1)
+            .edge("Y", "Z", 1)
+            .edge("Z", "X", 1)
+            .build()
+        )
+        assert count_isomorphisms(cycle3, q) == 1
+
+    def test_bounds_are_ignored_by_design(self):
+        # Isomorphism treats every pattern edge as a direct-edge requirement.
+        g = make_labelled_graph([("a", "m"), ("m", "b")], {"a": "A", "m": "M", "b": "B"})
+        q = (
+            PatternBuilder()
+            .node("A", 'label == "A"')
+            .node("B", 'label == "B"')
+            .edge("A", "B", 5)
+            .build()
+        )
+        assert not has_isomorphism(g, q)
+
+    def test_empty_candidates_short_circuit(self):
+        g = make_labelled_graph([("a", "b")], {"a": "A", "b": "B"})
+        q = (
+            PatternBuilder()
+            .node("Z", 'label == "Z"')
+            .build()
+        )
+        assert not has_isomorphism(g, q)
+
+    def test_single_node_pattern(self):
+        g = make_labelled_graph([], {"a": "A", "a2": "A"})
+        q = PatternBuilder().node("A", 'label == "A"').build()
+        assert count_isomorphisms(g, q) == 2

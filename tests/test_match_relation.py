@@ -1,0 +1,104 @@
+"""Unit tests for MatchRelation / MatchResult value semantics."""
+
+import pytest
+
+from repro.datasets.paper_example import paper_graph, paper_pattern
+from repro.errors import EvaluationError
+from repro.matching.base import MatchRelation, MatchResult
+from repro.matching.bounded import match_bounded
+from repro.pattern.pattern import Pattern
+
+
+def two_node_pattern() -> Pattern:
+    q = Pattern()
+    q.add_node("A")
+    q.add_node("B")
+    return q
+
+
+class TestFromSets:
+    def test_total_sets_kept(self):
+        relation = MatchRelation.from_sets(
+            two_node_pattern(), {"A": {"x"}, "B": {"y", "z"}}
+        )
+        assert relation.matches_of("B") == {"y", "z"}
+        assert relation.num_pairs == 3
+        assert not relation.is_empty
+
+    def test_partial_sets_collapse_to_empty(self):
+        """The all-or-nothing rule of M(Q,G)."""
+        relation = MatchRelation.from_sets(two_node_pattern(), {"A": {"x"}, "B": set()})
+        assert relation.is_empty
+        assert relation.matches_of("A") == frozenset()
+
+    def test_missing_pattern_node_raises(self):
+        with pytest.raises(EvaluationError, match="missing pattern nodes"):
+            MatchRelation.from_sets(two_node_pattern(), {"A": {"x"}})
+
+    def test_extra_keys_ignored(self):
+        relation = MatchRelation.from_sets(
+            two_node_pattern(), {"A": {"x"}, "B": {"y"}, "Z": {"q"}}
+        )
+        assert "Z" not in relation
+
+
+class TestViews:
+    def test_pairs_and_matched_nodes(self):
+        relation = MatchRelation({"A": {"x"}, "B": {"x", "y"}})
+        assert set(relation.pairs()) == {("A", "x"), ("B", "x"), ("B", "y")}
+        assert relation.matched_data_nodes() == {"x", "y"}
+
+    def test_mapping_protocol(self):
+        relation = MatchRelation({"A": {"x"}})
+        assert relation["A"] == frozenset({"x"})
+        assert list(relation) == ["A"]
+        assert len(relation) == 1
+
+    def test_matches_of_unknown_is_empty(self):
+        assert MatchRelation({}).matches_of("A") == frozenset()
+
+    def test_diff(self):
+        before = MatchRelation({"A": {"x"}, "B": {"y"}})
+        after = MatchRelation({"A": {"x", "z"}, "B": set()})
+        added, removed = before.diff(after)
+        assert added == {("A", "z")}
+        assert removed == {("B", "y")}
+
+    def test_equality_and_hash(self):
+        first = MatchRelation({"A": {"x", "y"}})
+        second = MatchRelation({"A": {"y", "x"}})
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_repr_shows_sizes(self):
+        assert "A:2" in repr(MatchRelation({"A": {"x", "y"}}))
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        relation = MatchRelation({"A": {"x"}, "B": {"y", "z"}})
+        assert MatchRelation.from_dict(relation.to_dict()) == relation
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(EvaluationError):
+            MatchRelation.from_dict({"format": "nope"})
+
+
+class TestMatchResult:
+    def test_output_matches(self):
+        result = match_bounded(paper_graph(), paper_pattern())
+        assert result.output_matches() == {"Bob", "Walt"}
+
+    def test_output_matches_requires_output_node(self):
+        pattern = two_node_pattern()
+        result = MatchResult(paper_graph(), pattern, MatchRelation({}))
+        with pytest.raises(EvaluationError, match="no output node"):
+            result.output_matches()
+
+    def test_result_graph_cached(self):
+        result = match_bounded(paper_graph(), paper_pattern())
+        assert result.result_graph() is result.result_graph()
+
+    def test_repr_mentions_status(self):
+        result = match_bounded(paper_graph(), paper_pattern())
+        assert "match" in repr(result)

@@ -1,0 +1,75 @@
+"""Unit tests for the pluggable ranking metrics."""
+
+import math
+
+import pytest
+
+from repro.datasets.paper_example import paper_graph, paper_pattern
+from repro.errors import RankingError
+from repro.matching.bounded import match_bounded
+from repro.ranking.metrics import (
+    METRICS,
+    ClosenessMetric,
+    DegreeMetric,
+    HarmonicMetric,
+    SocialImpactMetric,
+    get_metric,
+)
+
+
+@pytest.fixture(scope="module")
+def fig1_rg():
+    return match_bounded(paper_graph(), paper_pattern()).result_graph()
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(METRICS) == {"social-impact", "closeness", "harmonic", "degree"}
+
+    def test_get_metric(self):
+        assert isinstance(get_metric("closeness"), ClosenessMetric)
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(RankingError, match="unknown metric"):
+            get_metric("pagerank")
+
+
+class TestScores:
+    def test_social_impact_matches_paper_function(self, fig1_rg):
+        metric = SocialImpactMetric()
+        assert metric.score(fig1_rg, "Bob") == pytest.approx(9 / 5)
+
+    def test_closeness_prefers_bob(self, fig1_rg):
+        metric = ClosenessMetric()
+        assert metric.score(fig1_rg, "Bob") < metric.score(fig1_rg, "Walt")
+
+    def test_harmonic_prefers_bob(self, fig1_rg):
+        metric = HarmonicMetric()
+        assert metric.score(fig1_rg, "Bob") < metric.score(fig1_rg, "Walt")
+
+    def test_degree_prefers_bob(self, fig1_rg):
+        metric = DegreeMetric()
+        assert metric.score(fig1_rg, "Bob") < metric.score(fig1_rg, "Walt")
+
+    def test_closeness_of_sink_is_inf(self, fig1_rg):
+        # Eva reaches nobody in the result graph.
+        assert ClosenessMetric().score(fig1_rg, "Eva") == math.inf
+
+    def test_unknown_node_raises_everywhere(self, fig1_rg):
+        for metric in METRICS.values():
+            with pytest.raises(RankingError):
+                metric.score(fig1_rg, "Nobody")
+
+
+class TestRankAll:
+    def test_rank_all_sorted_and_filtered(self, fig1_rg):
+        scored = SocialImpactMetric().rank_all(fig1_rg)
+        assert [node for node, _ in scored] == ["Bob", "Walt"]
+
+    def test_rank_all_explicit_pattern_node(self, fig1_rg):
+        scored = DegreeMetric().rank_all(fig1_rg, pattern_node="SD")
+        assert {node for node, _ in scored} == {"Dan", "Mat", "Pat"}
+
+    def test_every_metric_agrees_bob_wins(self, fig1_rg):
+        for metric in METRICS.values():
+            assert metric.rank_all(fig1_rg)[0][0] == "Bob", metric.name

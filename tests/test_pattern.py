@@ -1,0 +1,230 @@
+"""Unit tests for Pattern construction and inspection."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.pattern.pattern import Pattern
+from repro.pattern.predicates import AlwaysTrue, Cmp
+
+
+@pytest.fixture
+def team() -> Pattern:
+    q = Pattern(name="team")
+    q.add_node("SA", 'field == "SA", experience >= 5', output=True)
+    q.add_node("SD", 'field == "SD"')
+    q.add_node("ST", 'field == "ST"')
+    q.add_edge("SA", "SD", 2)
+    q.add_edge("SD", "ST", 1)
+    return q
+
+
+class TestConstruction:
+    def test_counts(self, team: Pattern):
+        assert team.num_nodes == 3
+        assert team.num_edges == 2
+        assert team.size == 5
+
+    def test_add_node_with_predicate_object(self):
+        q = Pattern()
+        q.add_node("A", Cmp("x", ">=", 1))
+        assert q.predicate("A") == Cmp("x", ">=", 1)
+
+    def test_add_node_without_condition(self):
+        q = Pattern()
+        q.add_node("A")
+        assert isinstance(q.predicate("A"), AlwaysTrue)
+
+    def test_duplicate_node_raises(self):
+        q = Pattern()
+        q.add_node("A")
+        with pytest.raises(PatternError, match="duplicate"):
+            q.add_node("A")
+
+    def test_non_string_node_raises(self):
+        q = Pattern()
+        with pytest.raises(PatternError):
+            q.add_node(7)  # type: ignore[arg-type]
+
+    def test_bad_condition_type_raises(self):
+        q = Pattern()
+        with pytest.raises(PatternError):
+            q.add_node("A", condition=42)  # type: ignore[arg-type]
+
+    def test_edge_requires_known_nodes(self):
+        q = Pattern()
+        q.add_node("A")
+        with pytest.raises(PatternError, match="unknown pattern node"):
+            q.add_edge("A", "B")
+        with pytest.raises(PatternError, match="unknown pattern node"):
+            q.add_edge("B", "A")
+
+    def test_duplicate_edge_raises(self, team: Pattern):
+        with pytest.raises(PatternError, match="duplicate pattern edge"):
+            team.add_edge("SA", "SD", 3)
+
+    @pytest.mark.parametrize("bound", [0, -1, 1.5, "2"])
+    def test_invalid_bounds_raise(self, bound):
+        q = Pattern()
+        q.add_node("A")
+        q.add_node("B")
+        with pytest.raises(PatternError, match="bound"):
+            q.add_edge("A", "B", bound)  # type: ignore[arg-type]
+
+    def test_unbounded_edge(self):
+        q = Pattern()
+        q.add_node("A")
+        q.add_node("B")
+        q.add_edge("A", "B", None)
+        assert q.bound("A", "B") is None
+
+    def test_self_loop_edge(self):
+        q = Pattern()
+        q.add_node("A")
+        q.add_edge("A", "A", 2)
+        assert q.bound("A", "A") == 2
+
+
+class TestOutputNode:
+    def test_output_via_add_node(self, team: Pattern):
+        assert team.output_node == "SA"
+
+    def test_set_output_later(self):
+        q = Pattern()
+        q.add_node("A")
+        q.set_output("A")
+        assert q.output_node == "A"
+
+    def test_set_output_unknown_raises(self):
+        q = Pattern()
+        with pytest.raises(PatternError):
+            q.set_output("A")
+
+    def test_validate_require_output(self):
+        q = Pattern()
+        q.add_node("A")
+        q.validate()  # fine without output
+        with pytest.raises(PatternError, match="output"):
+            q.validate(require_output=True)
+
+    def test_validate_empty_pattern(self):
+        with pytest.raises(PatternError, match="no nodes"):
+            Pattern().validate()
+
+
+class TestInspection:
+    def test_edges_iteration(self, team: Pattern):
+        assert set(team.edges()) == {("SA", "SD", 2), ("SD", "ST", 1)}
+
+    def test_out_and_in_edges(self, team: Pattern):
+        assert dict(team.out_edges("SA")) == {"SD": 2}
+        assert dict(team.in_edges("ST")) == {"SD": 1}
+        assert dict(team.out_edges("ST")) == {}
+
+    def test_unknown_node_accessors_raise(self, team: Pattern):
+        with pytest.raises(PatternError):
+            team.predicate("zzz")
+        with pytest.raises(PatternError):
+            list(team.out_edges("zzz"))
+        with pytest.raises(PatternError):
+            list(team.in_edges("zzz"))
+        with pytest.raises(PatternError):
+            team.bound("SA", "ST")
+
+    def test_is_simulation_pattern(self, team: Pattern):
+        assert not team.is_simulation_pattern
+        q = Pattern()
+        q.add_node("A")
+        q.add_node("B")
+        q.add_edge("A", "B", 1)
+        assert q.is_simulation_pattern
+
+    def test_max_bound(self, team: Pattern):
+        assert team.max_bound == 2
+
+    def test_max_bound_unbounded(self):
+        q = Pattern()
+        q.add_node("A")
+        q.add_node("B")
+        q.add_edge("A", "B", None)
+        assert q.max_bound is None
+
+    def test_max_bound_edgeless(self):
+        q = Pattern()
+        q.add_node("A")
+        assert q.max_bound == 1
+
+    def test_referenced_attrs(self, team: Pattern):
+        assert team.referenced_attrs() == frozenset({"field", "experience"})
+
+    def test_contains(self, team: Pattern):
+        assert "SA" in team
+        assert "zzz" not in team
+
+    def test_describe_mentions_everything(self, team: Pattern):
+        text = team.describe()
+        assert "SA*" in text
+        assert "edge SA -> SD : 2" in text
+
+
+class TestIdentity:
+    def test_equal_patterns_with_different_insertion_order(self):
+        q1 = Pattern()
+        q1.add_node("A", "x >= 1")
+        q1.add_node("B", "y >= 2")
+        q1.add_edge("A", "B", 2)
+        q2 = Pattern()
+        q2.add_node("B", "y >= 2")
+        q2.add_node("A", "x >= 1")
+        q2.add_edge("A", "B", 2)
+        assert q1 == q2
+        assert hash(q1) == hash(q2)
+
+    def test_different_bounds_not_equal(self):
+        q1 = Pattern()
+        q1.add_node("A")
+        q1.add_node("B")
+        q1.add_edge("A", "B", 1)
+        q2 = Pattern()
+        q2.add_node("A")
+        q2.add_node("B")
+        q2.add_edge("A", "B", 2)
+        assert q1 != q2
+
+    def test_output_node_part_of_identity(self):
+        q1 = Pattern()
+        q1.add_node("A", output=True)
+        q2 = Pattern()
+        q2.add_node("A")
+        assert q1 != q2
+
+    def test_unbounded_and_bound_differ(self):
+        q1 = Pattern()
+        q1.add_node("A")
+        q1.add_node("B")
+        q1.add_edge("A", "B", None)
+        q2 = Pattern()
+        q2.add_node("A")
+        q2.add_node("B")
+        q2.add_edge("A", "B", 1)
+        assert q1.canonical_key() != q2.canonical_key()
+
+
+class TestSerialization:
+    def test_dict_round_trip(self, team: Pattern):
+        assert Pattern.from_dict(team.to_dict()) == team
+
+    def test_round_trip_preserves_output(self, team: Pattern):
+        assert Pattern.from_dict(team.to_dict()).output_node == "SA"
+
+    def test_round_trip_unbounded(self):
+        q = Pattern()
+        q.add_node("A")
+        q.add_node("B")
+        q.add_edge("A", "B", None)
+        assert Pattern.from_dict(q.to_dict()).bound("A", "B") is None
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(PatternError):
+            Pattern.from_dict({"format": "other"})
+        with pytest.raises(PatternError):
+            Pattern.from_dict({"format": "repro.pattern", "nodes": [{"bad": 1}]})

@@ -1,0 +1,91 @@
+"""Unit tests for the pattern text format."""
+
+import pytest
+
+from repro.datasets.paper_example import paper_pattern
+from repro.errors import PatternError
+from repro.pattern.parser import format_pattern, load_pattern, parse_pattern, save_pattern
+
+FIG1_TEXT = """
+pattern fig1-team
+node SA* : field == "SA", experience >= 5
+node SD  : field == "SD", experience >= 2
+node BA  : field == "BA", experience >= 3
+node ST  : field == "ST", experience >= 2
+edge SA -> SD : 2
+edge SA -> BA : 3
+edge SD -> ST : 1
+edge BA -> ST : 2
+"""
+
+
+class TestParse:
+    def test_parses_fig1(self):
+        pattern = parse_pattern(FIG1_TEXT)
+        assert pattern == paper_pattern()
+
+    def test_name_from_header(self):
+        assert parse_pattern(FIG1_TEXT).name == "fig1-team"
+
+    def test_star_marks_output(self):
+        assert parse_pattern(FIG1_TEXT).output_node == "SA"
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# a comment\n\nnode A : x >= 1  # trailing\nnode B\nedge A -> B : 2\n"
+        pattern = parse_pattern(text)
+        assert pattern.num_nodes == 2
+        assert pattern.bound("A", "B") == 2
+
+    def test_node_without_condition(self):
+        pattern = parse_pattern("node A\nnode B\nedge A -> B")
+        assert pattern.predicate("A").evaluate({})
+
+    def test_edge_default_bound_is_one(self):
+        pattern = parse_pattern("node A\nnode B\nedge A -> B")
+        assert pattern.bound("A", "B") == 1
+
+    def test_star_bound_is_unbounded(self):
+        pattern = parse_pattern("node A\nnode B\nedge A -> B : *")
+        assert pattern.bound("A", "B") is None
+
+    def test_unparsable_line_raises_with_lineno(self):
+        with pytest.raises(PatternError, match="line 2"):
+            parse_pattern("node A\nwhat is this\n")
+
+    def test_edge_before_node_raises(self):
+        with pytest.raises(PatternError, match="unknown pattern node"):
+            parse_pattern("edge A -> B : 1")
+
+    def test_empty_text_raises(self):
+        with pytest.raises(PatternError, match="no nodes"):
+            parse_pattern("# nothing here\n")
+
+
+class TestFormat:
+    def test_round_trip_fig1(self):
+        pattern = paper_pattern()
+        assert parse_pattern(format_pattern(pattern)) == pattern
+
+    def test_round_trip_unbounded_and_bare(self):
+        text = "node A*\nnode B : x in [1, 2]\nedge A -> B : *\n"
+        pattern = parse_pattern(text)
+        assert parse_pattern(format_pattern(pattern)) == pattern
+
+    def test_format_contains_star_for_output(self):
+        assert "node SA*" in format_pattern(paper_pattern())
+
+
+class TestFiles:
+    def test_save_and_load(self, tmp_path):
+        path = save_pattern(paper_pattern(), tmp_path / "q.pattern")
+        assert load_pattern(path) == paper_pattern()
+
+    def test_load_missing_raises(self, tmp_path):
+        with pytest.raises(PatternError, match="not found"):
+            load_pattern(tmp_path / "missing.pattern")
+
+    def test_load_uses_stem_as_default_name(self, tmp_path):
+        pattern = paper_pattern()
+        pattern.name = ""
+        path = save_pattern(pattern, tmp_path / "myquery.pattern")
+        assert load_pattern(path).name == "myquery"

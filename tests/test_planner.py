@@ -1,0 +1,77 @@
+"""Unit tests for the query planner."""
+
+from repro.datasets.paper_example import paper_pattern
+from repro.engine.planner import (
+    ALGORITHM_BOUNDED,
+    ALGORITHM_SIMULATION,
+    ROUTE_CACHE,
+    ROUTE_COMPRESSED,
+    ROUTE_DIRECT,
+    choose_algorithm,
+    make_plan,
+)
+from repro.pattern.builder import PatternBuilder
+
+
+def unit_pattern():
+    return PatternBuilder().node("A").node("B").edge("A", "B", 1).build()
+
+
+class TestAlgorithmChoice:
+    def test_bounded_for_paper_query(self):
+        algorithm, _reason = choose_algorithm(paper_pattern())
+        assert algorithm == ALGORITHM_BOUNDED
+
+    def test_simulation_for_unit_bounds(self):
+        algorithm, _reason = choose_algorithm(unit_pattern())
+        assert algorithm == ALGORITHM_SIMULATION
+
+    def test_unbounded_edge_forces_bounded(self):
+        q = PatternBuilder().node("A").node("B").edge("A", "B", None).build()
+        assert choose_algorithm(q)[0] == ALGORITHM_BOUNDED
+
+
+class TestRouteOrder:
+    def test_cache_wins(self):
+        plan = make_plan(
+            paper_pattern(), cached=True,
+            compression_available=True, compression_compatible=True,
+        )
+        assert plan.route == ROUTE_CACHE
+
+    def test_compressed_when_not_cached(self):
+        plan = make_plan(
+            paper_pattern(), cached=False,
+            compression_available=True, compression_compatible=True,
+        )
+        assert plan.route == ROUTE_COMPRESSED
+
+    def test_direct_when_nothing_available(self):
+        assert make_plan(paper_pattern()).route == ROUTE_DIRECT
+
+    def test_incompatible_compression_falls_back(self):
+        plan = make_plan(
+            paper_pattern(),
+            compression_available=True, compression_compatible=False,
+        )
+        assert plan.route == ROUTE_DIRECT
+        assert any("does not preserve" in reason for reason in plan.reasons)
+
+    def test_use_cache_false_skips_cache(self):
+        plan = make_plan(paper_pattern(), cached=True, use_cache=False)
+        assert plan.route == ROUTE_DIRECT
+
+    def test_use_compression_false_skips_compression(self):
+        plan = make_plan(
+            paper_pattern(),
+            compression_available=True, compression_compatible=True,
+            use_compression=False,
+        )
+        assert plan.route == ROUTE_DIRECT
+
+    def test_explain_mentions_route_and_algorithm(self):
+        plan = make_plan(paper_pattern())
+        text = plan.explain()
+        assert "route: direct" in text
+        assert "bounded-simulation" in text
+        assert text.count("-") >= 1  # reasons are listed

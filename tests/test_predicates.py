@@ -1,0 +1,243 @@
+"""Unit tests for the search-condition predicate DSL."""
+
+import pytest
+
+from repro.errors import PredicateError
+from repro.pattern.predicates import (
+    AlwaysTrue,
+    And,
+    Cmp,
+    In,
+    Not,
+    Or,
+    format_predicate,
+    parse_condition,
+    parse_conjunction,
+    predicate_from_dict,
+)
+
+
+class TestCmp:
+    def test_equality(self):
+        assert Cmp("field", "==", "SA").evaluate({"field": "SA"})
+        assert not Cmp("field", "==", "SA").evaluate({"field": "SD"})
+
+    def test_inequality(self):
+        assert Cmp("field", "!=", "SA").evaluate({"field": "SD"})
+
+    @pytest.mark.parametrize(
+        "op,value,attr_value,expected",
+        [
+            (">=", 5, 5, True),
+            (">=", 5, 4, False),
+            ("<=", 5, 5, True),
+            ("<=", 5, 6, False),
+            (">", 5, 6, True),
+            (">", 5, 5, False),
+            ("<", 5, 4, True),
+            ("<", 5, 5, False),
+        ],
+    )
+    def test_comparisons(self, op, value, attr_value, expected):
+        assert Cmp("x", op, value).evaluate({"x": attr_value}) is expected
+
+    def test_missing_attribute_is_false(self):
+        assert not Cmp("x", ">=", 5).evaluate({})
+
+    def test_type_mismatch_is_false_not_error(self):
+        assert not Cmp("x", ">=", 5).evaluate({"x": "seven"})
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(PredicateError, match="unknown operator"):
+            Cmp("x", "~~", 5)
+
+    def test_empty_attribute_name_raises(self):
+        with pytest.raises(PredicateError):
+            Cmp("", "==", 5)
+
+    def test_attrs_tracking(self):
+        assert Cmp("experience", ">=", 5).attrs == frozenset({"experience"})
+
+    def test_equality_and_hash(self):
+        assert Cmp("x", "==", 1) == Cmp("x", "==", 1)
+        assert hash(Cmp("x", "==", 1)) == hash(Cmp("x", "==", 1))
+        assert Cmp("x", "==", 1) != Cmp("x", "==", 2)
+
+    def test_key_distinguishes_value_types(self):
+        # 1 == True in Python; canonical keys must still differ.
+        assert Cmp("x", "==", 1).key() != Cmp("x", "==", True).key()
+
+
+class TestIn:
+    def test_membership(self):
+        pred = In("field", ["SA", "PM"])
+        assert pred.evaluate({"field": "PM"})
+        assert not pred.evaluate({"field": "SD"})
+        assert not pred.evaluate({})
+
+    def test_empty_choices_raise(self):
+        with pytest.raises(PredicateError):
+            In("field", [])
+
+    def test_attrs(self):
+        assert In("field", ["SA"]).attrs == frozenset({"field"})
+
+
+class TestCombinators:
+    def test_and(self):
+        pred = And(Cmp("f", "==", "SA"), Cmp("e", ">=", 5))
+        assert pred.evaluate({"f": "SA", "e": 7})
+        assert not pred.evaluate({"f": "SA", "e": 3})
+
+    def test_or(self):
+        pred = Or(Cmp("f", "==", "SA"), Cmp("f", "==", "PM"))
+        assert pred.evaluate({"f": "PM"})
+        assert not pred.evaluate({"f": "SD"})
+
+    def test_not(self):
+        pred = Not(Cmp("f", "==", "SA"))
+        assert pred.evaluate({"f": "SD"})
+        assert not pred.evaluate({"f": "SA"})
+
+    def test_operator_sugar(self):
+        pred = (Cmp("f", "==", "SA") & Cmp("e", ">=", 5)) | ~Cmp("f", "==", "GD")
+        assert pred.evaluate({"f": "SA", "e": 9})
+        assert pred.evaluate({"f": "SD"})
+
+    def test_nested_flattening(self):
+        pred = And(And(Cmp("a", "==", 1), Cmp("b", "==", 2)), Cmp("c", "==", 3))
+        assert len(pred.parts) == 3
+
+    def test_attrs_union(self):
+        pred = And(Cmp("a", "==", 1), Or(Cmp("b", "==", 2), Cmp("c", "==", 3)))
+        assert pred.attrs == frozenset({"a", "b", "c"})
+
+    def test_and_key_is_order_insensitive(self):
+        first = And(Cmp("a", "==", 1), Cmp("b", "==", 2))
+        second = And(Cmp("b", "==", 2), Cmp("a", "==", 1))
+        assert first == second
+
+    def test_combinator_rejects_non_predicates(self):
+        with pytest.raises(PredicateError):
+            And("not a predicate")  # type: ignore[arg-type]
+
+    def test_empty_combinator_raises(self):
+        with pytest.raises(PredicateError):
+            Or()
+
+
+class TestAlwaysTrue:
+    def test_everything_matches(self):
+        assert AlwaysTrue().evaluate({})
+        assert AlwaysTrue().evaluate({"anything": 1})
+
+    def test_no_attrs(self):
+        assert AlwaysTrue().attrs == frozenset()
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "text,attrs,expected",
+        [
+            ("experience >= 5", {"experience": 7}, True),
+            ("experience >= 5", {"experience": 3}, False),
+            ('field == "SA"', {"field": "SA"}, True),
+            ("field == 'SA'", {"field": "SA"}, True),
+            ("field = SA", {"field": "SA"}, True),
+            ("x != 3", {"x": 4}, True),
+            ("x < 3.5", {"x": 3.0}, True),
+            ("flag == true", {"flag": True}, True),
+            ("flag == false", {"flag": False}, True),
+            ('field in ["SA", "PM"]', {"field": "PM"}, True),
+            ("field in [SA, PM]", {"field": "SD"}, False),
+        ],
+    )
+    def test_parse_condition(self, text, attrs, expected):
+        assert parse_condition(text).evaluate(attrs) is expected
+
+    def test_parse_true_keywords(self):
+        for text in ("true", "*", "any"):
+            assert isinstance(parse_condition(text), AlwaysTrue)
+
+    def test_parse_conjunction(self):
+        pred = parse_conjunction('field == "SA", experience >= 5')
+        assert pred.evaluate({"field": "SA", "experience": 7})
+        assert not pred.evaluate({"field": "SA", "experience": 1})
+
+    def test_parse_conjunction_single_clause(self):
+        assert isinstance(parse_conjunction("x >= 1"), Cmp)
+
+    def test_parse_conjunction_empty_is_always_true(self):
+        assert isinstance(parse_conjunction("  "), AlwaysTrue)
+
+    def test_comma_inside_list_is_not_a_separator(self):
+        pred = parse_conjunction('field in ["SA", "PM"], experience >= 5')
+        assert isinstance(pred, And)
+        assert pred.evaluate({"field": "SA", "experience": 6})
+
+    def test_comma_inside_quotes_is_not_a_separator(self):
+        pred = parse_conjunction('name == "Smith, John"')
+        assert pred.evaluate({"name": "Smith, John"})
+
+    def test_unparsable_condition_raises(self):
+        with pytest.raises(PredicateError):
+            parse_condition("experience")
+
+    def test_empty_condition_raises(self):
+        with pytest.raises(PredicateError):
+            parse_condition("")
+
+    def test_bad_list_raises(self):
+        with pytest.raises(PredicateError):
+            parse_condition("field in SA, PM")
+
+    def test_empty_list_raises(self):
+        with pytest.raises(PredicateError):
+            parse_condition("field in []")
+
+    def test_numeric_value_parsing(self):
+        pred = parse_condition("x == 7")
+        assert pred.evaluate({"x": 7})
+        assert not pred.evaluate({"x": "7"})
+
+    def test_bare_word_is_string(self):
+        assert parse_condition("field == SA").evaluate({"field": "SA"})
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "pred",
+        [
+            AlwaysTrue(),
+            Cmp("experience", ">=", 5),
+            Cmp("field", "==", "SA"),
+            In("field", ["SA", "PM"]),
+            And(Cmp("a", "==", 1), Cmp("b", ">=", 2)),
+            Or(Cmp("a", "==", 1), Not(Cmp("b", "<", 2))),
+        ],
+    )
+    def test_dict_round_trip(self, pred):
+        assert predicate_from_dict(pred.to_dict()) == pred
+
+    @pytest.mark.parametrize(
+        "pred",
+        [
+            Cmp("experience", ">=", 5),
+            And(Cmp("field", "==", "SA"), Cmp("experience", ">=", 5)),
+            In("field", ["SA", "PM"]),
+        ],
+    )
+    def test_text_round_trip(self, pred):
+        assert parse_conjunction(format_predicate(pred)) == pred
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(PredicateError):
+            predicate_from_dict({"kind": "martian"})
+        with pytest.raises(PredicateError):
+            predicate_from_dict("nope")  # type: ignore[arg-type]
+
+    def test_format_or_and_not(self):
+        pred = Or(Cmp("a", "==", 1), Not(Cmp("b", "==", 2)))
+        text = format_predicate(pred)
+        assert "or" in text
+        assert "not" in text

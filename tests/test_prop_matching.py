@@ -1,0 +1,166 @@
+"""Property-based tests for the matchers (hypothesis).
+
+Strategy: generate random labelled digraphs and random small patterns, then
+check algebraic properties against the naive reference implementations and
+against each other.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.graph.digraph import Graph
+from repro.matching.bounded import match_bounded
+from repro.matching.isomorphism import find_isomorphisms
+from repro.matching.reference import (
+    is_valid_bounded_relation,
+    naive_bounded,
+    naive_simulation,
+)
+from repro.matching.simulation import match_simulation
+from repro.pattern.pattern import Pattern
+
+LABELS = ("A", "B", "C")
+
+
+@st.composite
+def graphs(draw, max_nodes=10, max_edges=22):
+    """A random labelled digraph."""
+    num_nodes = draw(st.integers(min_value=1, max_value=max_nodes))
+    node_labels = draw(
+        st.lists(st.sampled_from(LABELS), min_size=num_nodes, max_size=num_nodes)
+    )
+    graph = Graph()
+    for index, label in enumerate(node_labels):
+        graph.add_node(index, label=label)
+    possible = [
+        (s, t) for s in range(num_nodes) for t in range(num_nodes) if s != t
+    ]
+    if possible:
+        edges = draw(
+            st.lists(
+                st.sampled_from(possible),
+                max_size=min(max_edges, len(possible)),
+                unique=True,
+            )
+        )
+        graph.add_edges(edges)
+    return graph
+
+
+@st.composite
+def patterns(draw, max_nodes=3):
+    """A random pattern over the LABELS alphabet with random bounds."""
+    num_nodes = draw(st.integers(min_value=1, max_value=max_nodes))
+    pattern = Pattern()
+    names = [f"P{i}" for i in range(num_nodes)]
+    for index, name in enumerate(names):
+        label = draw(st.sampled_from(LABELS))
+        pattern.add_node(name, f'label == "{label}"')
+    possible = [(a, b) for a in names for b in names]
+    chosen = draw(
+        st.lists(st.sampled_from(possible), max_size=4, unique=True)
+    )
+    for source, target in chosen:
+        bound = draw(st.sampled_from([1, 2, 3, None]))
+        pattern.add_edge(source, target, bound)
+    return pattern
+
+
+@given(graphs(), patterns())
+@settings(max_examples=120, deadline=None)
+def test_bounded_matches_naive_reference(graph, pattern):
+    assert match_bounded(graph, pattern).relation == naive_bounded(graph, pattern)
+
+
+@given(graphs(), patterns())
+@settings(max_examples=80, deadline=None)
+def test_bounded_result_is_a_valid_fixpoint(graph, pattern):
+    relation = match_bounded(graph, pattern).relation
+    sets = {u: set(relation.matches_of(u)) for u in pattern.nodes()}
+    assert is_valid_bounded_relation(graph, pattern, sets)
+
+
+@given(graphs(), patterns())
+@settings(max_examples=80, deadline=None)
+def test_simulation_is_bounded_with_unit_bounds(graph, pattern):
+    """Forcing every bound to 1 must reduce bounded simulation to plain
+    simulation (the paper: 'graph simulation is a special case when the
+    bound on each pattern edge is 1')."""
+    unit = Pattern()
+    for node in pattern.nodes():
+        unit.add_node(node, pattern.predicate(node))
+    for source, target, _bound in pattern.edges():
+        unit.add_edge(source, target, 1)
+    assert (
+        match_simulation(graph, unit).relation
+        == match_bounded(graph, unit).relation
+    )
+
+
+@given(graphs(), patterns())
+@settings(max_examples=80, deadline=None)
+def test_simulation_matches_naive(graph, pattern):
+    unit = Pattern()
+    for node in pattern.nodes():
+        unit.add_node(node, pattern.predicate(node))
+    for source, target, _bound in pattern.edges():
+        unit.add_edge(source, target, 1)
+    assert match_simulation(graph, unit).relation == naive_simulation(graph, unit)
+
+
+@given(graphs(), patterns())
+@settings(max_examples=60, deadline=None)
+def test_relaxing_bounds_grows_matches(graph, pattern):
+    """Monotonicity: increasing every bound can only add match pairs."""
+    relaxed = Pattern()
+    for node in pattern.nodes():
+        relaxed.add_node(node, pattern.predicate(node))
+    for source, target, bound in pattern.edges():
+        relaxed.add_edge(source, target, None if bound is None else bound + 1)
+    tight = match_bounded(graph, pattern).relation
+    loose = match_bounded(graph, relaxed).relation
+    if not tight.is_empty:
+        assert set(tight.pairs()) <= set(loose.pairs())
+
+
+@given(graphs(), patterns())
+@settings(max_examples=60, deadline=None)
+def test_adding_edges_grows_matches(graph, pattern):
+    """Monotonicity in the data: inserting graph edges never removes pairs."""
+    before = match_bounded(graph, pattern).relation
+    bigger = graph.copy()
+    nodes = list(bigger.nodes())
+    added = 0
+    for source in nodes:
+        for target in nodes:
+            if source != target and not bigger.has_edge(source, target):
+                bigger.add_edge(source, target)
+                added += 1
+                if added >= 3:
+                    break
+        if added >= 3:
+            break
+    after = match_bounded(bigger, pattern).relation
+    if not before.is_empty:
+        assert set(before.pairs()) <= set(after.pairs())
+
+
+@given(graphs(max_nodes=7, max_edges=14), patterns(max_nodes=3))
+@settings(max_examples=40, deadline=None)
+def test_isomorphism_embeddings_within_bounded_matches(graph, pattern):
+    """Every isomorphism embedding is contained in the bounded relation
+    (bounds >= 1 only make matching easier than edge-to-edge)."""
+    relation = match_bounded(graph, pattern).relation
+    for mapping in find_isomorphisms(graph, pattern, limit=20):
+        for pattern_node, data_node in mapping.items():
+            assert data_node in relation.matches_of(pattern_node)
+
+
+@given(graphs())
+@settings(max_examples=40, deadline=None)
+def test_single_node_pattern_is_predicate_filter(graph):
+    pattern = Pattern()
+    pattern.add_node("P", 'label == "A"')
+    relation = match_bounded(graph, pattern).relation
+    expected = {v for v in graph.nodes() if graph.get(v, "label") == "A"}
+    assert set(relation.matches_of("P")) == expected

@@ -1,0 +1,105 @@
+"""Property-based round-trip tests for the pattern text format.
+
+Any pattern the builder can express must survive format -> parse with its
+structural identity (canonical key) intact — otherwise stored query files
+would drift from what the user built in the Pattern Builder.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.pattern.parser import format_pattern, parse_pattern
+from repro.pattern.pattern import Pattern
+from repro.pattern.predicates import And, Cmp, In, Predicate
+
+_ATTRS = ("field", "experience", "specialty")
+_STRING_VALUES = ("SA", "SD", "BA", "ST", "a b", "x,y")
+_OPS = ("==", "!=", ">=", "<=", ">", "<")
+
+
+@st.composite
+def predicates(draw) -> Predicate:
+    kind = draw(st.sampled_from(("cmp-num", "cmp-str", "in", "and")))
+    if kind == "cmp-num":
+        return Cmp(
+            draw(st.sampled_from(_ATTRS)),
+            draw(st.sampled_from(_OPS)),
+            draw(st.integers(min_value=-50, max_value=50)),
+        )
+    if kind == "cmp-str":
+        return Cmp(
+            draw(st.sampled_from(_ATTRS)),
+            draw(st.sampled_from(("==", "!="))),
+            draw(st.sampled_from(_STRING_VALUES)),
+        )
+    if kind == "in":
+        choices = draw(
+            st.lists(st.sampled_from(_STRING_VALUES), min_size=1, max_size=3,
+                     unique=True)
+        )
+        return In(draw(st.sampled_from(_ATTRS)), choices)
+    parts = [
+        Cmp(draw(st.sampled_from(_ATTRS)), draw(st.sampled_from(_OPS)),
+            draw(st.integers(min_value=0, max_value=20)))
+        for _ in range(draw(st.integers(min_value=2, max_value=3)))
+    ]
+    return And(*parts)
+
+
+@st.composite
+def patterns(draw) -> Pattern:
+    pattern = Pattern(name="prop")
+    num_nodes = draw(st.integers(min_value=1, max_value=5))
+    names = [f"N{i}" for i in range(num_nodes)]
+    for name in names:
+        condition = draw(st.one_of(st.none(), predicates()))
+        pattern.add_node(name, condition)
+    pairs = [(a, b) for a in names for b in names]
+    for source, target in draw(st.lists(st.sampled_from(pairs), max_size=6,
+                                        unique=True)):
+        pattern.add_edge(source, target, draw(st.sampled_from([1, 2, 5, None])))
+    if draw(st.booleans()):
+        pattern.set_output(draw(st.sampled_from(names)))
+    return pattern
+
+
+@given(patterns())
+@settings(max_examples=200, deadline=None)
+def test_text_round_trip_preserves_identity(pattern):
+    reparsed = parse_pattern(format_pattern(pattern))
+    assert reparsed.canonical_key() == pattern.canonical_key()
+
+
+@given(patterns())
+@settings(max_examples=100, deadline=None)
+def test_dict_round_trip_preserves_identity(pattern):
+    assert Pattern.from_dict(pattern.to_dict()).canonical_key() == (
+        pattern.canonical_key()
+    )
+
+
+@given(patterns())
+@settings(max_examples=60, deadline=None)
+def test_round_tripped_pattern_evaluates_identically(pattern):
+    """Semantic check on top of the structural one: both forms produce the
+    same matches on a fixed probe graph."""
+    from repro.graph.digraph import Graph
+    from repro.matching.bounded import match_bounded
+
+    graph = Graph()
+    for index in range(8):
+        graph.add_node(
+            index,
+            field=("SA", "SD", "BA", "ST")[index % 4],
+            experience=index * 3 % 11,
+            specialty=("x,y", "a b")[index % 2],
+        )
+    for index in range(8):
+        graph.add_edge(index, (index + 1) % 8)
+        if index % 2 == 0:
+            graph.add_edge(index, (index + 3) % 8)
+    reparsed = parse_pattern(format_pattern(pattern))
+    assert (
+        match_bounded(graph, reparsed).relation
+        == match_bounded(graph, pattern).relation
+    )

@@ -1,0 +1,80 @@
+"""Property-based tests for the ranking function and top-K selection."""
+
+import math
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.graph.digraph import Graph
+from repro.graph.distance import weighted_distances
+from repro.matching.bounded import match_bounded
+from repro.pattern.pattern import Pattern
+from repro.ranking.social_impact import rank_detail, rank_matches, top_k
+
+LABELS = ("A", "B")
+
+
+@st.composite
+def matched_result_graph(draw, max_nodes=9):
+    """A result graph with at least one match of the output node."""
+    num_nodes = draw(st.integers(min_value=2, max_value=max_nodes))
+    labels = draw(
+        st.lists(st.sampled_from(LABELS), min_size=num_nodes, max_size=num_nodes)
+    )
+    graph = Graph()
+    for index, label in enumerate(labels):
+        graph.add_node(index, label=label)
+    possible = [(s, t) for s in range(num_nodes) for t in range(num_nodes) if s != t]
+    graph.add_edges(
+        draw(st.lists(st.sampled_from(possible), max_size=20, unique=True))
+    )
+    pattern = Pattern()
+    pattern.add_node("OUT", 'label == "A"', output=True)
+    pattern.add_node("B", 'label == "B"')
+    pattern.add_edge("OUT", "B", draw(st.sampled_from([1, 2, 3])))
+    result = match_bounded(graph, pattern)
+    return result.result_graph(), result.relation
+
+
+@given(matched_result_graph())
+@settings(max_examples=80, deadline=None)
+def test_rank_equals_brute_force_formula(data):
+    result_graph, relation = data
+    for node in relation.matches_of("OUT"):
+        detail = rank_detail(result_graph, node)
+        descendants = weighted_distances(result_graph.out_adjacency(), node)
+        ancestors = weighted_distances(result_graph.in_adjacency(), node)
+        impact = set(descendants) | set(ancestors)
+        if not impact:
+            assert detail.rank == math.inf
+        else:
+            expected = (
+                sum(descendants.values()) + sum(ancestors.values())
+            ) / len(impact)
+            assert detail.rank == expected
+
+
+@given(matched_result_graph())
+@settings(max_examples=60, deadline=None)
+def test_rank_matches_is_sorted_and_complete(data):
+    result_graph, relation = data
+    ranked = rank_matches(result_graph)
+    assert {r.node for r in ranked} == set(relation.matches_of("OUT"))
+    values = [r.rank for r in ranked]
+    assert values == sorted(values)
+
+
+@given(matched_result_graph(), st.integers(min_value=1, max_value=5))
+@settings(max_examples=60, deadline=None)
+def test_top_k_is_prefix_of_ranking(data, k):
+    result_graph, _relation = data
+    full = rank_matches(result_graph)
+    assert top_k(result_graph, k) == full[:k]
+
+
+@given(matched_result_graph())
+@settings(max_examples=60, deadline=None)
+def test_ranks_are_nonnegative(data):
+    result_graph, _relation = data
+    for match in rank_matches(result_graph):
+        assert match.rank >= 0  # weights are >= 1 and sets are nonnegative

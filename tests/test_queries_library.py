@@ -1,0 +1,73 @@
+"""Unit tests for the bundled query library (Fig. 4's Q1/Q2/Q3 analogue)."""
+
+import pytest
+
+from repro.datasets.queries import (
+    QUERY_LIBRARY,
+    get_query,
+    q1_team_star,
+    q2_delivery_chain,
+    q3_review_diamond,
+    q4_feedback_cycle,
+    q5_reachability,
+)
+from repro.errors import PatternError
+from repro.graph.generators import collaboration_graph
+from repro.matching.bounded import match_bounded
+from repro.matching.reference import naive_bounded
+
+
+class TestLibraryShape:
+    def test_all_queries_constructible_and_valid(self):
+        for name in QUERY_LIBRARY:
+            pattern = get_query(name)
+            pattern.validate(require_output=True)
+            assert pattern.name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(PatternError, match="unknown library query"):
+            get_query("q99")
+
+    def test_star_topology(self):
+        q = q1_team_star()
+        assert dict(q.out_edges("SA")).keys() == {"SD", "BA", "ST"}
+        assert not dict(q.in_edges("SA"))
+
+    def test_chain_topology(self):
+        q = q2_delivery_chain()
+        assert list(dict(q.out_edges("SA"))) == ["SD"]
+        assert list(dict(q.out_edges("SD"))) == ["ST"]
+        assert list(dict(q.out_edges("ST"))) == ["UX"]
+
+    def test_diamond_matches_paper_topology(self):
+        q = q3_review_diamond()
+        assert {t for t, _ in q.out_edges("SA")} == {"SD", "BA"}
+        assert {t for t, _ in q.out_edges("SD")} == {"ST"}
+        assert {t for t, _ in q.out_edges("BA")} == {"ST"}
+
+    def test_cycle_is_cyclic(self):
+        q = q4_feedback_cycle()
+        assert q.bound("SA", "ST") == 2
+        assert q.bound("ST", "SA") == 2
+
+    def test_reachability_query_unbounded(self):
+        assert q5_reachability().bound("SA", "DS") is None
+
+    def test_experience_parameter_threads_through(self):
+        q = q1_team_star(experience=9)
+        assert q.predicate("SA").evaluate({"field": "SA", "experience": 9})
+        assert not q.predicate("SA").evaluate({"field": "SA", "experience": 8})
+
+
+class TestLibraryOnData:
+    @pytest.mark.parametrize("name", sorted(QUERY_LIBRARY))
+    def test_every_query_evaluates_and_agrees_with_oracle(self, name):
+        graph = collaboration_graph(120, seed=17)
+        pattern = get_query(name)
+        assert match_bounded(graph, pattern).relation == naive_bounded(graph, pattern)
+
+    def test_star_query_finds_experts_on_default_generator(self):
+        graph = collaboration_graph(400, seed=18)
+        result = match_bounded(graph, q1_team_star(experience=4))
+        assert result.is_match
+        assert result.output_matches()

@@ -1,0 +1,119 @@
+"""Unit tests for the social-impact ranking function and top-K."""
+
+import math
+
+import pytest
+
+from repro.datasets.paper_example import paper_graph, paper_pattern
+from repro.errors import RankingError
+from repro.matching.bounded import match_bounded
+from repro.ranking.social_impact import (
+    rank_detail,
+    rank_matches,
+    social_impact_rank,
+    top_k,
+)
+from repro.pattern.builder import PatternBuilder
+
+from tests.conftest import make_labelled_graph
+
+
+@pytest.fixture(scope="module")
+def fig1_rg():
+    return match_bounded(paper_graph(), paper_pattern()).result_graph()
+
+
+def simple_result_graph(edges, labels, bound=3, out_label="A"):
+    """Match a 2-node pattern and return its result graph."""
+    graph = make_labelled_graph(edges, labels)
+    pattern = (
+        PatternBuilder()
+        .node("A", 'label == "A"', output=(out_label == "A"))
+        .node("B", 'label == "B"', output=(out_label == "B"))
+        .edge("A", "B", bound)
+        .build()
+    )
+    return match_bounded(graph, pattern).result_graph()
+
+
+class TestRankFormula:
+    def test_fig1_values(self, fig1_rg):
+        assert social_impact_rank(fig1_rg, "Bob") == pytest.approx(9 / 5)
+        assert social_impact_rank(fig1_rg, "Walt") == pytest.approx(7 / 3)
+
+    def test_ancestors_count_toward_rank(self, fig1_rg):
+        # Eva is reached by everyone; she has 6 ancestors and no descendants.
+        detail = rank_detail(fig1_rg, "Eva")
+        assert not detail.descendants
+        assert len(detail.ancestors) == 6
+
+    def test_unknown_node_raises(self, fig1_rg):
+        with pytest.raises(RankingError):
+            social_impact_rank(fig1_rg, "Nobody")
+
+    def test_isolated_match_ranks_infinite(self):
+        # Pattern with a single node: matches have no witness edges at all.
+        graph = make_labelled_graph([], {"a": "A", "a2": "A"})
+        pattern = PatternBuilder().node("A", 'label == "A"', output=True).build()
+        rg = match_bounded(graph, pattern).result_graph()
+        assert social_impact_rank(rg, "a") == math.inf
+
+    def test_rank_uses_weighted_distances(self):
+        # a reaches b1 directly (1) and b2 through two hops (2).
+        rg = simple_result_graph(
+            [("a", "b1"), ("a", "x"), ("x", "b2")],
+            {"a": "A", "b1": "B", "b2": "B", "x": "M"},
+        )
+        assert social_impact_rank(rg, "a") == pytest.approx((1 + 2) / 2)
+
+    def test_impact_set_size(self, fig1_rg):
+        assert rank_detail(fig1_rg, "Bob").impact_set_size == 5
+
+
+class TestRankMatches:
+    def test_sorted_best_first(self, fig1_rg):
+        ranked = rank_matches(fig1_rg)
+        assert [r.node for r in ranked] == ["Bob", "Walt"]
+        assert ranked[0].rank <= ranked[1].rank
+
+    def test_explicit_pattern_node(self, fig1_rg):
+        ranked = rank_matches(fig1_rg, pattern_node="SD")
+        assert {r.node for r in ranked} == {"Dan", "Mat", "Pat"}
+
+    def test_requires_output_node(self):
+        rg = simple_result_graph([("a", "b")], {"a": "A", "b": "B"}, out_label=None)
+        with pytest.raises(RankingError, match="output"):
+            rank_matches(rg)
+
+    def test_unknown_pattern_node_raises(self, fig1_rg):
+        with pytest.raises(RankingError, match="unknown pattern node"):
+            rank_matches(fig1_rg, pattern_node="XX")
+
+    def test_deterministic_tie_break_by_node_id(self):
+        # Two A-matches with identical structure tie; order must be by id.
+        rg = simple_result_graph(
+            [("a2", "b"), ("a1", "b")], {"a1": "A", "a2": "A", "b": "B"}
+        )
+        ranked = rank_matches(rg, pattern_node="A")
+        assert [r.node for r in ranked] == ["a1", "a2"]
+
+
+class TestTopK:
+    def test_top_one_is_bob(self, fig1_rg):
+        assert [r.node for r in top_k(fig1_rg, 1)] == ["Bob"]
+
+    def test_k_larger_than_matches_returns_all(self, fig1_rg):
+        assert len(top_k(fig1_rg, 10)) == 2
+
+    def test_k_must_be_positive(self, fig1_rg):
+        with pytest.raises(RankingError):
+            top_k(fig1_rg, 0)
+
+    def test_top_k_prefix_of_full_ranking(self, fig1_rg):
+        full = rank_matches(fig1_rg)
+        assert top_k(fig1_rg, 1) == full[:1]
+
+    def test_ranked_match_carries_attrs(self, fig1_rg):
+        best = top_k(fig1_rg, 1)[0]
+        assert best.attrs["field"] == "SA"
+        assert best.attrs["experience"] == 7

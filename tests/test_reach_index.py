@@ -1,0 +1,169 @@
+"""Tests for the bounded-reachability index and its engine integration."""
+
+import pytest
+
+from repro.datasets.paper_example import EDGE_E1, paper_graph, paper_pattern
+from repro.engine.engine import QueryEngine
+from repro.errors import GraphError
+from repro.graph.digraph import Graph
+from repro.graph.distance import bounded_descendants
+from repro.graph.generators import collaboration_graph, random_digraph
+from repro.graph.reach_index import BoundedReachIndex
+from repro.incremental.updates import (
+    AttributeUpdate,
+    EdgeDeletion,
+    EdgeInsertion,
+    NodeDeletion,
+    NodeInsertion,
+    decompose,
+    random_updates,
+)
+from repro.matching.bounded import match_bounded
+
+
+class TestIndexBasics:
+    def test_served_results_equal_bfs(self):
+        graph = collaboration_graph(100, seed=1)
+        index = BoundedReachIndex(graph, max_depth=3)
+        for node in list(graph.nodes())[:20]:
+            for depth in (1, 2, 3):
+                assert index.reach(node, depth) == bounded_descendants(
+                    graph, node, depth
+                )
+
+    def test_hits_and_misses_counted(self):
+        graph = collaboration_graph(30, seed=2)
+        index = BoundedReachIndex(graph, max_depth=2)
+        index.reach("p0", 2)
+        index.reach("p0", 1)   # shallower depth is filtered from cache
+        stats = index.stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 1
+
+    def test_depths_beyond_max_bypass_cache(self):
+        graph = collaboration_graph(30, seed=3)
+        index = BoundedReachIndex(graph, max_depth=2)
+        assert not index.covers(3)
+        assert not index.covers(None)
+        result = index.reach("p0", None)
+        assert result == bounded_descendants(graph, "p0", None)
+        assert len(index) == 0  # nothing cached
+
+    def test_returned_dicts_are_private_copies(self):
+        graph = Graph.from_edges([("a", "b")])
+        index = BoundedReachIndex(graph, max_depth=2)
+        first = index.reach("a", 2)
+        first["junk"] = 99
+        assert "junk" not in index.reach("a", 2)
+
+    def test_invalid_depth_raises(self):
+        with pytest.raises(GraphError):
+            BoundedReachIndex(Graph(), max_depth=0)
+
+
+class TestInvalidation:
+    def test_edge_insertion_invalidates_affected_area(self):
+        # chain a -> b -> c; index depth 2; inserting c -> d must invalidate
+        # ancestors of c within 1 hop (b) and c itself, but not a.
+        graph = Graph.from_edges([("a", "b"), ("b", "c")])
+        graph.add_node("d")
+        index = BoundedReachIndex(graph, max_depth=2)
+        for node in ("a", "b", "c"):
+            index.reach(node, 2)
+        EdgeInsertion("c", "d").apply(graph)
+        dropped = index.on_update(EdgeInsertion("c", "d"))
+        assert dropped == 2  # c and b
+        # Fresh reads must now see d.
+        assert "d" in index.reach("b", 2)
+        assert index.reach("a", 2) == bounded_descendants(graph, "a", 2)
+
+    def test_deletion_invalidates(self):
+        graph = Graph.from_edges([("a", "b"), ("b", "c")])
+        index = BoundedReachIndex(graph, max_depth=2)
+        index.reach("a", 2)
+        EdgeDeletion("b", "c").apply(graph)
+        index.on_update(EdgeDeletion("b", "c"))
+        assert index.reach("a", 2) == {"b": 1}
+
+    def test_attribute_updates_do_not_invalidate(self):
+        graph = Graph.from_edges([("a", "b")])
+        index = BoundedReachIndex(graph, max_depth=2)
+        index.reach("a", 2)
+        AttributeUpdate("a", "x", 1).apply(graph)
+        assert index.on_update(AttributeUpdate("a", "x", 1)) == 0
+        assert len(index) == 1
+
+    def test_node_lifecycle(self):
+        graph = Graph.from_edges([("a", "b")])
+        index = BoundedReachIndex(graph, max_depth=2)
+        index.reach("a", 2)
+        NodeInsertion("c").apply(graph)
+        assert index.on_update(NodeInsertion("c")) == 0
+        for primitive in decompose(graph, NodeDeletion("a")):
+            primitive.apply(graph)
+            index.on_update(primitive)
+        assert "a" not in graph
+        assert len(index) == 0
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_index_consistent_through_random_updates(self, seed):
+        graph = random_digraph(20, 45, seed=seed)
+        index = BoundedReachIndex(graph, max_depth=3)
+        for node in graph.nodes():
+            index.reach(node, 3)
+        for update in random_updates(graph, 20, seed=seed + 10):
+            update.apply(graph)
+            index.on_update(update)
+            # Spot-check a handful of nodes against fresh BFS.
+            for node in list(graph.nodes())[::5]:
+                assert index.reach(node, 3) == bounded_descendants(graph, node, 3), (
+                    seed, update,
+                )
+
+
+class TestMatcherAndEngineIntegration:
+    def test_match_bounded_with_index_is_identical(self):
+        graph = collaboration_graph(200, seed=4)
+        pattern = paper_pattern()
+        index = BoundedReachIndex(graph, max_depth=3)
+        with_index = match_bounded(graph, pattern, reach_index=index)
+        without = match_bounded(graph, pattern)
+        assert with_index.relation == without.relation
+
+    def test_engine_roundtrip_with_index_and_updates(self):
+        engine = QueryEngine()
+        graph = paper_graph()
+        engine.register_graph("fig1", graph)
+        engine.enable_reach_index("fig1", max_depth=3)
+        pattern = paper_pattern()
+        first = engine.evaluate("fig1", pattern, cache_result=False)
+        engine.update_graph("fig1", [EdgeInsertion(*EDGE_E1)])
+        second = engine.evaluate("fig1", pattern, cache_result=False)
+        assert ("SD", "Fred") in set(second.relation.pairs())
+        assert first.relation != second.relation
+        assert second.relation == match_bounded(graph, pattern).relation
+        stats = engine.reach_index_stats("fig1")
+        assert stats is not None
+        assert stats["misses"] > 0
+
+    def test_engine_index_under_node_updates(self):
+        engine = QueryEngine()
+        graph = collaboration_graph(80, seed=5)
+        engine.register_graph("g", graph)
+        engine.enable_reach_index("g", max_depth=3)
+        pattern = paper_pattern()
+        engine.evaluate("g", pattern, cache_result=False)
+        engine.update_graph("g", [
+            NodeInsertion.with_attrs("zz", field="SA", experience=9),
+            EdgeInsertion("zz", "p0"),
+            NodeDeletion("p1"),
+        ])
+        fresh = engine.evaluate("g", pattern, use_cache=False, cache_result=False)
+        assert fresh.relation == match_bounded(graph, pattern).relation
+
+    def test_disable_reach_index(self):
+        engine = QueryEngine()
+        engine.register_graph("fig1", paper_graph())
+        engine.enable_reach_index("fig1")
+        engine.disable_reach_index("fig1")
+        assert engine.reach_index_stats("fig1") is None

@@ -1,0 +1,116 @@
+"""Unit tests for result-graph construction."""
+
+import pytest
+
+from repro.datasets.paper_example import paper_graph, paper_pattern
+from repro.errors import EvaluationError
+from repro.matching.base import MatchRelation
+from repro.matching.bounded import match_bounded
+from repro.matching.result_graph import ResultGraph, build_result_graph
+from repro.pattern.builder import PatternBuilder
+
+from tests.conftest import make_labelled_graph
+
+
+@pytest.fixture(scope="module")
+def fig1_result():
+    return match_bounded(paper_graph(), paper_pattern())
+
+
+class TestFig1ResultGraph:
+    def test_expected_edges_with_weights(self, fig1_result):
+        rg = fig1_result.result_graph()
+        expected = {
+            ("Bob", "Dan", 1), ("Bob", "Mat", 1), ("Bob", "Pat", 2),
+            ("Bob", "Jean", 3), ("Walt", "Pat", 2), ("Walt", "Jean", 2),
+            ("Dan", "Eva", 1), ("Mat", "Eva", 1), ("Pat", "Eva", 1),
+            ("Jean", "Eva", 1),
+        }
+        assert set(rg.edges()) == expected
+
+    def test_state_and_bfs_paths_agree(self, fig1_result):
+        """Building from matcher state or by fresh BFS must be identical."""
+        from_state = fig1_result.result_graph()
+        from_bfs = build_result_graph(
+            fig1_result.graph, fig1_result.pattern, fig1_result.relation, state=None
+        )
+        assert set(from_state.edges()) == set(from_bfs.edges())
+        assert set(from_state.nodes()) == set(from_bfs.nodes())
+
+    def test_matched_pattern_nodes(self, fig1_result):
+        rg = fig1_result.result_graph()
+        assert rg.matched_pattern_nodes("Bob") == frozenset({"SA"})
+        assert rg.matched_pattern_nodes("Eva") == frozenset({"ST"})
+
+    def test_weight_lookup(self, fig1_result):
+        rg = fig1_result.result_graph()
+        assert rg.weight("Bob", "Jean") == 3
+        assert rg.weight("Bob", "Eva") is None  # no SA->ST pattern edge
+
+    def test_node_attrs_passthrough(self, fig1_result):
+        rg = fig1_result.result_graph()
+        assert rg.node_attrs("Bob")["experience"] == 7
+
+    def test_counts(self, fig1_result):
+        rg = fig1_result.result_graph()
+        assert rg.num_nodes == 7
+        assert rg.num_edges == 10
+
+
+class TestConstruction:
+    def test_empty_relation_gives_empty_result_graph(self):
+        g = make_labelled_graph([], {"a": "A"})
+        q = PatternBuilder().node("A", 'label == "Z"').build()
+        relation = MatchRelation.from_sets(q, {"A": set()})
+        rg = build_result_graph(g, q, relation)
+        assert rg.num_nodes == 0
+        assert rg.num_edges == 0
+
+    def test_node_matching_two_pattern_nodes(self):
+        g = make_labelled_graph([("a", "b")], {"a": "A", "b": "A"})
+        q = (
+            PatternBuilder()
+            .node("X", 'label == "A"')
+            .node("Y", 'label == "A"')
+            .edge("X", "Y", None)
+            .edge("Y", "Y", None)
+            .build()
+        )
+        # b fails (no outgoing edge) for both X and Y... use a cycle instead.
+        g2 = make_labelled_graph([("a", "b"), ("b", "a")], {"a": "A", "b": "A"})
+        relation = match_bounded(g2, q).relation
+        rg = build_result_graph(g2, q, relation)
+        assert rg.matched_pattern_nodes("a") == frozenset({"X", "Y"})
+
+    def test_min_weight_kept_when_edges_overlap(self):
+        # Two pattern edges inducing the same matched pair keep one weight —
+        # the shortest distance, which is the same for both.
+        g = make_labelled_graph([("a", "b")], {"a": "A", "b": "B"})
+        q = (
+            PatternBuilder()
+            .node("X", 'label == "A"')
+            .node("Y", 'label == "B"')
+            .node("Y2", 'label == "B"')
+            .edge("X", "Y", 1)
+            .edge("X", "Y2", 3)
+            .build()
+        )
+        relation = match_bounded(g, q).relation
+        rg = build_result_graph(g, q, relation)
+        assert rg.weight("a", "b") == 1
+        assert rg.num_edges == 1
+
+    def test_rejects_nonpositive_weight(self):
+        rg = ResultGraph(make_labelled_graph([], {"a": "A"}), paper_pattern())
+        rg._add_node("a", "SA")
+        with pytest.raises(EvaluationError):
+            rg._add_edge("a", "a", 0)
+
+    def test_adjacency_views_are_consistent(self, fig1_result):
+        rg = fig1_result.result_graph()
+        for source, target, weight in rg.edges():
+            assert rg.out_adjacency()[source][target] == weight
+            assert rg.in_adjacency()[target][source] == weight
+
+    def test_repr(self, fig1_result):
+        assert "7 nodes" in repr(fig1_result.result_graph())

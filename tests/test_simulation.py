@@ -1,0 +1,162 @@
+"""Unit tests for plain graph simulation."""
+
+import pytest
+
+from repro.graph.digraph import Graph
+from repro.matching.reference import naive_simulation
+from repro.matching.simulation import (
+    match_simulation,
+    simulates,
+    simulation_candidates,
+)
+from repro.pattern.builder import PatternBuilder
+from repro.pattern.pattern import Pattern
+
+from tests.conftest import make_labelled_graph
+
+
+def chain_query(*labels: str) -> Pattern:
+    builder = PatternBuilder()
+    for label in labels:
+        builder.node(label, f'label == "{label}"')
+    for left, right in zip(labels, labels[1:]):
+        builder.edge(left, right, 1)
+    return builder.build()
+
+
+class TestCandidates:
+    def test_candidates_by_predicate(self):
+        g = make_labelled_graph([], {"a": "A", "b": "B", "a2": "A"})
+        q = chain_query("A", "B")
+        cands = simulation_candidates(g, q)
+        assert cands["A"] == {"a", "a2"}
+        assert cands["B"] == {"b"}
+
+    def test_no_candidates(self):
+        g = make_labelled_graph([], {"a": "A"})
+        q = chain_query("Z")
+        assert simulation_candidates(g, q)["Z"] == set()
+
+
+class TestMatchSimulation:
+    def test_single_edge_match(self):
+        g = make_labelled_graph([("a", "b")], {"a": "A", "b": "B"})
+        result = match_simulation(g, chain_query("A", "B"))
+        assert sorted(result.relation.pairs()) == [("A", "a"), ("B", "b")]
+
+    def test_missing_edge_means_empty(self):
+        g = make_labelled_graph([], {"a": "A", "b": "B"})
+        result = match_simulation(g, chain_query("A", "B"))
+        assert result.relation.is_empty
+        assert not result.is_match
+
+    def test_one_pattern_node_to_many(self):
+        g = make_labelled_graph(
+            [("a", "b1"), ("a", "b2")], {"a": "A", "b1": "B", "b2": "B"}
+        )
+        result = match_simulation(g, chain_query("A", "B"))
+        assert result.relation.matches_of("B") == {"b1", "b2"}
+
+    def test_cascading_removal(self):
+        # a -> b -> (nothing): b fails B->C so a fails A->B.
+        g = make_labelled_graph([("a", "b")], {"a": "A", "b": "B", "c": "C"})
+        result = match_simulation(g, chain_query("A", "B", "C"))
+        assert result.relation.is_empty
+
+    def test_chain_of_three_matches(self):
+        g = make_labelled_graph(
+            [("a", "b"), ("b", "c")], {"a": "A", "b": "B", "c": "C"}
+        )
+        result = match_simulation(g, chain_query("A", "B", "C"))
+        assert result.relation.num_pairs == 3
+
+    def test_cyclic_pattern_on_cycle(self, cycle3: Graph):
+        q = (
+            PatternBuilder()
+            .node("X", 'label == "X"')
+            .node("Y", 'label == "Y"')
+            .node("Z", 'label == "Z"')
+            .edge("X", "Y", 1)
+            .edge("Y", "Z", 1)
+            .edge("Z", "X", 1)
+            .build()
+        )
+        result = match_simulation(cycle3, q)
+        assert sorted(result.relation.pairs()) == [("X", "x"), ("Y", "y"), ("Z", "z")]
+
+    def test_cyclic_pattern_on_path_fails(self):
+        g = make_labelled_graph([("x", "y")], {"x": "X", "y": "Y"})
+        q = (
+            PatternBuilder()
+            .node("X", 'label == "X"')
+            .node("Y", 'label == "Y"')
+            .edge("X", "Y", 1)
+            .edge("Y", "X", 1)
+            .build()
+        )
+        assert match_simulation(g, q).relation.is_empty
+
+    def test_pattern_self_loop_needs_graph_cycle(self):
+        q = Pattern()
+        q.add_node("A", 'label == "A"')
+        q.add_edge("A", "A", 1)
+        no_cycle = make_labelled_graph([("a", "b")], {"a": "A", "b": "A"})
+        # b has no outgoing edge to an A, so b fails; then a's only A-successor
+        # is gone and a fails too.
+        assert match_simulation(no_cycle, q).relation.is_empty
+        with_cycle = make_labelled_graph([("a", "a2"), ("a2", "a")], {"a": "A", "a2": "A"})
+        assert match_simulation(with_cycle, q).relation.num_pairs == 2
+
+    def test_edgeless_pattern_matches_by_predicate_only(self):
+        g = make_labelled_graph([], {"a": "A", "b": "A", "c": "B"})
+        q = Pattern()
+        q.add_node("A", 'label == "A"')
+        assert match_simulation(g, q).relation.matches_of("A") == {"a", "b"}
+
+    def test_stats_record_algorithm(self):
+        g = make_labelled_graph([("a", "b")], {"a": "A", "b": "B"})
+        result = match_simulation(g, chain_query("A", "B"))
+        assert result.stats["algorithm"] == "simulation"
+        assert result.stats["seconds"] >= 0
+
+    def test_simulation_equals_bounded_with_unit_bounds(self, fig1, fig1_query):
+        from repro.matching.bounded import match_bounded
+
+        # Rebuild the paper query with all bounds 1; the two matchers must agree.
+        unit = Pattern()
+        for node in fig1_query.nodes():
+            unit.add_node(node, fig1_query.predicate(node))
+        for source, target, _bound in fig1_query.edges():
+            unit.add_edge(source, target, 1)
+        assert match_simulation(fig1, unit).relation == match_bounded(fig1, unit).relation
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_agrees_with_naive_on_random_graphs(self, seed):
+        from repro.graph.generators import random_digraph
+
+        g = random_digraph(18, 45, num_labels=3, seed=seed)
+        q = (
+            PatternBuilder()
+            .node("A", 'label == "L0"')
+            .node("B", 'label == "L1"')
+            .node("C", 'label == "L2"')
+            .edge("A", "B", 1)
+            .edge("B", "C", 1)
+            .edge("C", "A", 1)
+            .build()
+        )
+        assert match_simulation(g, q).relation == naive_simulation(g, q)
+
+
+class TestSimulatesChecker:
+    def test_valid_relation_accepted(self):
+        g = make_labelled_graph([("a", "b")], {"a": "A", "b": "B"})
+        assert simulates(g, chain_query("A", "B"), [("A", "a"), ("B", "b")])
+
+    def test_predicate_violation_rejected(self):
+        g = make_labelled_graph([("a", "b")], {"a": "A", "b": "B"})
+        assert not simulates(g, chain_query("A", "B"), [("A", "b")])
+
+    def test_edge_violation_rejected(self):
+        g = make_labelled_graph([], {"a": "A", "b": "B"})
+        assert not simulates(g, chain_query("A", "B"), [("A", "a"), ("B", "b")])

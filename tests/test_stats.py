@@ -1,0 +1,107 @@
+"""Unit tests for graph statistics."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.digraph import Graph
+from repro.graph.generators import twitter_like_graph
+from repro.graph.stats import (
+    DegreeStats,
+    attribute_histogram,
+    degree_stats,
+    density,
+    graph_profile,
+    reciprocity,
+    sampled_reach,
+)
+
+
+@pytest.fixture
+def small() -> Graph:
+    g = Graph(name="s")
+    g.add_node("a", field="SA")
+    g.add_node("b", field="SD")
+    g.add_node("c", field="SD")
+    g.add_edges([("a", "b"), ("b", "a"), ("a", "c")])
+    return g
+
+
+class TestDegreeStats:
+    def test_from_values(self):
+        stats = DegreeStats.from_values([0, 1, 2, 5])
+        assert stats.minimum == 0
+        assert stats.maximum == 5
+        assert stats.mean == 2.0
+        assert stats.median == 1.5
+        assert stats.zeros == 1
+
+    def test_odd_median(self):
+        assert DegreeStats.from_values([1, 7, 3]).median == 3.0
+
+    def test_empty_raises(self):
+        with pytest.raises(GraphError):
+            DegreeStats.from_values([])
+
+    def test_out_and_in_direction(self, small: Graph):
+        out = degree_stats(small, "out")
+        assert out.maximum == 2  # a
+        inc = degree_stats(small, "in")
+        assert inc.zeros == 0 if inc.minimum > 0 else inc.zeros >= 0
+        assert degree_stats(small, "in").maximum == 1
+
+    def test_bad_direction_raises(self, small: Graph):
+        with pytest.raises(GraphError):
+            degree_stats(small, "diagonal")
+
+
+class TestAggregates:
+    def test_attribute_histogram(self, small: Graph):
+        assert attribute_histogram(small, "field") == {"SA": 1, "SD": 2}
+
+    def test_histogram_counts_missing_as_none(self):
+        g = Graph()
+        g.add_node("a")
+        g.add_node("b", field="SA")
+        assert attribute_histogram(g, "field") == {None: 1, "SA": 1}
+
+    def test_density(self, small: Graph):
+        assert density(small) == pytest.approx(3 / 6)
+
+    def test_density_degenerate(self):
+        g = Graph()
+        g.add_node("a")
+        assert density(g) == 0.0
+
+    def test_reciprocity(self, small: Graph):
+        assert reciprocity(small) == pytest.approx(2 / 3)
+
+    def test_reciprocity_no_edges(self):
+        assert reciprocity(Graph()) == 0.0
+
+    def test_sampled_reach_full_coverage_on_small_graph(self, small: Graph):
+        # a reaches {b, c, a? a->b->a cycle gives a at 2}, b reaches {a,...}
+        value = sampled_reach(small, 2, samples=10)
+        assert value > 0
+
+    def test_sampled_reach_deterministic(self):
+        g = twitter_like_graph(200, seed=1)
+        assert sampled_reach(g, 2, seed=5) == sampled_reach(g, 2, seed=5)
+
+    def test_sampled_reach_empty_graph(self):
+        assert sampled_reach(Graph(), 2) == 0.0
+
+
+class TestProfile:
+    def test_profile_keys(self, small: Graph):
+        profile = graph_profile(small)
+        for key in ("nodes", "edges", "density", "reciprocity",
+                    "out_degree", "in_degree", "histogram", "avg_reach_2"):
+            assert key in profile
+        assert profile["nodes"] == 3
+        assert isinstance(profile["out_degree"], DegreeStats)
+
+    def test_profile_on_generator_output(self):
+        g = twitter_like_graph(150, seed=2)
+        profile = graph_profile(g)
+        assert profile["edges"] == g.num_edges
+        assert 0 < profile["density"] < 1

@@ -1,0 +1,110 @@
+"""Unit tests for the file-backed graph store."""
+
+import pytest
+
+from repro.datasets.paper_example import paper_graph, paper_pattern
+from repro.engine.storage import GraphStore
+from repro.errors import StorageError
+from repro.matching.base import MatchRelation
+from repro.matching.bounded import match_bounded
+
+
+@pytest.fixture
+def store(tmp_path) -> GraphStore:
+    return GraphStore(tmp_path / "catalog")
+
+
+class TestGraphs:
+    def test_round_trip(self, store: GraphStore):
+        store.save_graph("fig1", paper_graph())
+        assert store.load_graph("fig1") == paper_graph()
+
+    def test_listing_sorted(self, store: GraphStore):
+        store.save_graph("zeta", paper_graph())
+        store.save_graph("alpha", paper_graph())
+        assert store.list_graphs() == ["alpha", "zeta"]
+
+    def test_has_graph(self, store: GraphStore):
+        assert not store.has_graph("fig1")
+        store.save_graph("fig1", paper_graph())
+        assert store.has_graph("fig1")
+
+    def test_delete(self, store: GraphStore):
+        store.save_graph("fig1", paper_graph())
+        store.delete_graph("fig1")
+        assert store.list_graphs() == []
+
+    def test_delete_missing_raises(self, store: GraphStore):
+        with pytest.raises(StorageError):
+            store.delete_graph("nope")
+
+    def test_load_missing_raises(self, store: GraphStore):
+        with pytest.raises(StorageError, match="no stored graph"):
+            store.load_graph("nope")
+
+    def test_overwrite_replaces(self, store: GraphStore):
+        store.save_graph("g", paper_graph())
+        store.save_graph("g", paper_graph(include_e1=True))
+        assert store.load_graph("g").has_edge("Fred", "Eva")
+
+
+class TestNames:
+    @pytest.mark.parametrize("bad", ["../evil", "a/b", "", ".hidden", "x" * 200])
+    def test_invalid_names_rejected(self, store: GraphStore, bad):
+        with pytest.raises(StorageError, match="invalid store name"):
+            store.save_graph(bad, paper_graph())
+
+    @pytest.mark.parametrize("good", ["fig1", "my-graph", "a.b_c", "G2"])
+    def test_valid_names_accepted(self, store: GraphStore, good):
+        store.save_graph(good, paper_graph())
+        assert store.has_graph(good)
+
+
+class TestPatterns:
+    def test_round_trip(self, store: GraphStore):
+        store.save_pattern("team", paper_pattern())
+        assert store.load_pattern("team") == paper_pattern()
+
+    def test_listing_and_delete(self, store: GraphStore):
+        store.save_pattern("team", paper_pattern())
+        assert store.list_patterns() == ["team"]
+        store.delete_pattern("team")
+        assert store.list_patterns() == []
+
+    def test_missing_raises(self, store: GraphStore):
+        with pytest.raises(StorageError):
+            store.load_pattern("nope")
+        with pytest.raises(StorageError):
+            store.delete_pattern("nope")
+
+
+class TestRelations:
+    def test_round_trip(self, store: GraphStore):
+        relation = match_bounded(paper_graph(), paper_pattern()).relation
+        store.save_relation("fig1-team", relation)
+        assert store.load_relation("fig1-team") == relation
+
+    def test_empty_relation_round_trip(self, store: GraphStore):
+        relation = MatchRelation({"A": frozenset()})
+        store.save_relation("empty", relation)
+        assert store.load_relation("empty") == relation
+
+    def test_listing_and_delete(self, store: GraphStore):
+        store.save_relation("r1", MatchRelation({"A": {"x"}}))
+        assert store.list_relations() == ["r1"]
+        store.delete_relation("r1")
+        assert store.list_relations() == []
+
+    def test_malformed_file_raises(self, store: GraphStore, tmp_path):
+        store.save_relation("bad", MatchRelation({"A": {"x"}}))
+        # Corrupt the stored file.
+        path = store.root / "results" / "bad.json"
+        path.write_text("{]")
+        with pytest.raises(StorageError, match="malformed"):
+            store.load_relation("bad")
+
+    def test_missing_raises(self, store: GraphStore):
+        with pytest.raises(StorageError):
+            store.load_relation("nope")
+        with pytest.raises(StorageError):
+            store.delete_relation("nope")

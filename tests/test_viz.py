@@ -1,0 +1,126 @@
+"""Unit tests for the textual and DOT views."""
+
+import pytest
+
+from repro.datasets.paper_example import paper_graph, paper_pattern
+from repro.errors import ReproError
+from repro.matching.bounded import match_bounded
+from repro.ranking.social_impact import rank_matches
+from repro.viz.ascii import (
+    drill_down,
+    graph_summary,
+    node_card,
+    relation_summary,
+    render_ranking,
+    render_result_graph,
+    render_table,
+    roll_up,
+)
+from repro.viz.dot import graph_to_dot, pattern_to_dot, result_to_dot
+
+
+@pytest.fixture(scope="module")
+def fig1_result():
+    return match_bounded(paper_graph(), paper_pattern())
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        text = render_table(("name", "n"), [("bob", 1), ("alexander", 22)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "alexander" in lines[3]
+
+    def test_empty_rows(self):
+        text = render_table(("a",), [])
+        assert len(text.splitlines()) == 2
+
+
+class TestGraphViews:
+    def test_summary_contains_counts_and_histogram(self):
+        text = graph_summary(paper_graph())
+        assert "9 nodes, 12 edges" in text
+        assert "SD" in text
+
+    def test_node_card(self):
+        text = node_card(paper_graph(), "Bob")
+        assert "experience: 7" in text
+        assert "'Bob'" in text
+        assert "Dan" in text  # collaborates-with
+
+    def test_node_card_unknown_raises(self):
+        with pytest.raises(ReproError):
+            node_card(paper_graph(), "Nobody")
+
+
+class TestResultViews:
+    def test_relation_summary_lists_matches(self, fig1_result):
+        text = relation_summary(fig1_result.relation)
+        assert "SA: Bob, Walt" in text
+
+    def test_relation_summary_empty(self):
+        from repro.matching.base import MatchRelation
+
+        assert "no match" in relation_summary(MatchRelation({"A": frozenset()}))
+
+    def test_roll_up_counts(self, fig1_result):
+        text = roll_up(fig1_result.result_graph())
+        assert "7 matches" in text
+        assert "SD" in text
+
+    def test_drill_down_shows_witness_edges(self, fig1_result):
+        text = drill_down(fig1_result.result_graph(), "Bob")
+        assert "-[3]-> Jean" in text
+        assert "field: SA" in text
+
+    def test_drill_down_unknown_raises(self, fig1_result):
+        with pytest.raises(ReproError):
+            drill_down(fig1_result.result_graph(), "Nobody")
+
+    def test_render_result_graph_lists_edges(self, fig1_result):
+        text = render_result_graph(fig1_result.result_graph())
+        assert "Bob -[1]-> Dan" in text
+
+    def test_render_ranking(self, fig1_result):
+        ranked = rank_matches(fig1_result.result_graph())
+        text = render_ranking(ranked)
+        assert "1.8000" in text
+        assert "Bob" in text
+
+    def test_render_ranking_truncates_to_k(self, fig1_result):
+        ranked = rank_matches(fig1_result.result_graph())
+        text = render_ranking(ranked, k=1)
+        assert "Walt" not in text
+
+
+class TestDot:
+    def test_graph_to_dot_well_formed(self):
+        dot = graph_to_dot(paper_graph())
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert '"Bob" -> "Dan";' in dot
+
+    def test_pattern_to_dot_marks_output_and_bounds(self):
+        dot = pattern_to_dot(paper_pattern())
+        assert "doublecircle" in dot
+        assert '[label="3"]' in dot
+
+    def test_pattern_to_dot_unbounded_star(self):
+        from repro.pattern.builder import PatternBuilder
+
+        q = PatternBuilder().node("A").node("B").edge("A", "B", None).build()
+        assert '[label="*"]' in pattern_to_dot(q)
+
+    def test_result_to_dot_highlights_top(self, fig1_result):
+        dot = result_to_dot(fig1_result.result_graph(), highlight="Bob")
+        assert "color=red" in dot
+        assert dot.count("penwidth=2") == 1  # exactly one highlighted node
+
+    def test_dot_escapes_quotes(self):
+        from repro.graph.digraph import Graph
+
+        g = Graph()
+        g.add_node('we"ird')
+        dot = graph_to_dot(g)
+        assert '\\"' in dot
