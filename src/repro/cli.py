@@ -9,6 +9,7 @@ select/view data  ``expfinder show --graph g.json [--node Bob]``
 generate data     ``expfinder generate --kind collab --nodes 500 --out g.json``
 build a pattern   pattern files (see ``repro.pattern.parser`` syntax)
 run a query       ``expfinder query --graph g.json --pattern q.pattern``
+run many queries  ``expfinder batch --graph g.json --pattern q1 --pattern q2``
 browse top-K      ``expfinder topk --graph g.json --pattern q.pattern -k 3``
 batch updates     ``expfinder update --graph g.json --insert a:b --delete c:d``
 compress          ``expfinder compress --graph g.json --attrs field``
@@ -79,6 +80,20 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--explain", action="store_true", help="print the plan")
     query.add_argument("--result-graph", action="store_true", help="print witness edges")
     query.set_defaults(handler=_cmd_query)
+
+    batch = sub.add_parser(
+        "batch",
+        help="evaluate many pattern queries in one engine pass "
+             "(shared candidate generation via the attribute index)",
+    )
+    batch.add_argument("--graph", required=True)
+    batch.add_argument(
+        "--pattern", action="append", required=True, metavar="SPEC",
+        help="pattern file or lib:<name>; repeat for each query",
+    )
+    batch.add_argument("--verbose", action="store_true",
+                       help="print the full relation of every query")
+    batch.set_defaults(handler=_cmd_batch)
 
     topk = sub.add_parser("topk", help="rank the output node's matches")
     topk.add_argument("--graph", required=True)
@@ -192,6 +207,35 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print()
         print(views.render_result_graph(result.result_graph()))
     return 0 if result.is_match else 1
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.engine.engine import QueryEngine
+
+    graph = load_graph(args.graph)
+    patterns = [_resolve_pattern(spec) for spec in args.pattern]
+    engine = QueryEngine()
+    engine.register_graph("cli", graph)
+    results = engine.evaluate_many("cli", patterns)
+    all_matched = True
+    for spec, result in zip(args.pattern, results):
+        status = "match" if result.is_match else "no-match"
+        all_matched = all_matched and result.is_match
+        print(
+            f"{spec}: {status} ({result.relation.num_pairs} pairs, "
+            f"route={result.stats['route']}, algorithm={result.stats['algorithm']}, "
+            f"{result.stats['seconds']:.4f}s)"
+        )
+        if args.verbose:
+            print(views.relation_summary(result.relation))
+            print()
+    batch_stats = results[0].stats["batch"] if results else {}
+    print(
+        f"batch: {len(results)} queries, "
+        f"{batch_stats.get('distinct_predicates', 0)} distinct predicates, "
+        f"{batch_stats.get('seconds_total', 0.0):.4f}s total"
+    )
+    return 0 if all_matched else 1
 
 
 def _cmd_topk(args: argparse.Namespace) -> int:

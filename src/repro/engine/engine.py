@@ -15,6 +15,7 @@ from typing import Any, Sequence
 
 from repro.errors import CompressionError, EvaluationError
 from repro.graph.digraph import Graph, NodeId
+from repro.graph.index import AttributeIndex, batch_candidates, predicate_key
 from repro.compression.compress import CompressedGraph, compress
 from repro.compression.decompress import decompress_result
 from repro.compression.maintain import MaintainedCompression
@@ -23,6 +24,7 @@ from repro.engine.planner import (
     ALGORITHM_SIMULATION,
     ROUTE_CACHE,
     ROUTE_COMPRESSED,
+    ROUTE_DIRECT,
     Plan,
     make_plan,
 )
@@ -30,7 +32,7 @@ from repro.engine.storage import GraphStore
 from repro.incremental.inc_bounded import IncrementalBoundedSimulation
 from repro.incremental.inc_simulation import IncrementalSimulation
 from repro.incremental.updates import Update, decompose
-from repro.matching.base import MatchResult, Stopwatch
+from repro.matching.base import MatchRelation, MatchResult, Stopwatch
 from repro.matching.bounded import match_bounded
 from repro.matching.simulation import match_simulation
 from repro.pattern.pattern import Pattern
@@ -42,7 +44,7 @@ from repro.ranking.social_impact import top_k as social_top_k
 class RegisteredGraph:
     """A named data graph plus its per-graph engine artefacts."""
 
-    __slots__ = ("name", "graph", "version", "compression", "reach_index")
+    __slots__ = ("name", "graph", "version", "compression", "reach_index", "attr_index")
 
     def __init__(self, name: str, graph: Graph) -> None:
         self.name = name
@@ -50,6 +52,9 @@ class RegisteredGraph:
         self.version = 0
         self.compression: MaintainedCompression | CompressedGraph | None = None
         self.reach_index = None  # BoundedReachIndex, opt-in
+        # Attribute postings build lazily on first use, so registration is
+        # free; the engine keeps them consistent through update_graph().
+        self.attr_index: AttributeIndex | None = AttributeIndex(graph)
 
     def compressed(self) -> CompressedGraph | None:
         """The current compressed form, if any."""
@@ -104,7 +109,11 @@ class QueryEngine:
         try:
             return self._registered[name]
         except KeyError:
-            raise EvaluationError(f"unknown graph: {name!r}") from None
+            known = ", ".join(sorted(self._registered)) or "none"
+            raise EvaluationError(
+                f"unknown graph: {name!r} (registered: {known}; "
+                "use register_graph() or load_graph() first)"
+            ) from None
 
     # ------------------------------------------------------------------
     # compression management
@@ -161,21 +170,79 @@ class QueryEngine:
         return entry.reach_index.stats() if entry.reach_index is not None else None
 
     # ------------------------------------------------------------------
+    # attribute-index management
+    # ------------------------------------------------------------------
+    def enable_attr_index(self, name: str) -> None:
+        """(Re)attach the attribute index (on by default; builds lazily)."""
+        entry = self._entry(name)
+        if entry.attr_index is None:
+            entry.attr_index = AttributeIndex(entry.graph)
+
+    def disable_attr_index(self, name: str) -> None:
+        """Drop the attribute index; candidate generation falls back to scans."""
+        self._entry(name).attr_index = None
+
+    def attr_index_stats(self, name: str) -> dict[str, int] | None:
+        entry = self._entry(name)
+        return entry.attr_index.stats() if entry.attr_index is not None else None
+
+    # ------------------------------------------------------------------
     # evaluation
     # ------------------------------------------------------------------
     def explain(self, name: str, pattern: Pattern) -> Plan:
         """The plan :meth:`evaluate` would follow right now (no execution)."""
         entry = self._entry(name)
-        compressed = entry.compressed()
         key = cache_key(name, pattern)
+        return self._plan_query(
+            pattern, cached=key in self._cache, available=entry.compressed()
+        )
+
+    @staticmethod
+    def _plan_query(
+        pattern: Pattern,
+        cached: bool,
+        available: CompressedGraph | None,
+        use_cache: bool = True,
+        use_compression: bool = True,
+    ) -> Plan:
+        """The one :func:`make_plan` call site shared by every evaluate path.
+
+        ``available`` is the single compression snapshot: it drives both
+        availability and compatibility, so the plan can never describe two
+        different compressed graphs.
+        """
         return make_plan(
             pattern,
-            cached=key in self._cache,
-            compression_available=compressed is not None,
+            cached=cached,
+            compression_available=available is not None,
             compression_compatible=(
-                compressed.is_compatible(pattern) if compressed is not None else False
+                available.is_compatible(pattern) if available is not None else False
             ),
+            use_cache=use_cache,
+            use_compression=use_compression,
         )
+
+    @staticmethod
+    def _stamp_stats(
+        result: MatchResult,
+        route: str,
+        plan: Plan,
+        name: str,
+        entry: RegisteredGraph,
+        seconds: float,
+        batch: dict[str, Any] | None = None,
+    ) -> None:
+        stats: dict[str, Any] = {
+            "route": route,
+            "algorithm": plan.algorithm,
+            "seconds": seconds,
+            "plan": plan,
+            "graph": name,
+            "graph_version": entry.version,
+        }
+        if batch is not None:
+            stats["batch"] = batch
+        result.stats.update(stats)
 
     def evaluate(
         self,
@@ -191,51 +258,182 @@ class QueryEngine:
         watch = Stopwatch()
         key = cache_key(name, pattern)
         cached_entry: CacheEntry | None = self._cache.get(key) if use_cache else None
-        compressed = entry.compressed() if use_compression else None
-        plan = make_plan(
+        available = entry.compressed()
+        compressed = available if use_compression else None
+        plan = self._plan_query(
             pattern,
             cached=cached_entry is not None,
-            compression_available=entry.compressed() is not None,
-            compression_compatible=(
-                compressed.is_compatible(pattern) if compressed is not None else False
-            ),
+            available=available,
             use_cache=use_cache,
             use_compression=use_compression,
         )
 
-        if plan.route == ROUTE_CACHE:
-            assert cached_entry is not None
-            result = MatchResult(entry.graph, pattern, cached_entry.relation)
-        elif plan.route == ROUTE_COMPRESSED:
-            assert compressed is not None
-            quotient_result = self._run_matcher(compressed.quotient, pattern, plan)
-            result = decompress_result(quotient_result, compressed)
-        else:
-            result = self._run_matcher(
-                entry.graph, pattern, plan, reach_index=entry.reach_index
-            )
-
-        result.stats.update(
-            {
-                "route": plan.route,
-                "algorithm": plan.algorithm,
-                "seconds": watch.seconds(),
-                "plan": plan,
-                "graph": name,
-                "graph_version": entry.version,
-            }
+        result = self._dispatch_route(
+            entry,
+            pattern,
+            plan,
+            cached_relation=cached_entry.relation if cached_entry is not None else None,
+            compressed=compressed,
         )
+
+        self._stamp_stats(result, plan.route, plan, name, entry, watch.seconds())
         if cache_result and plan.route != ROUTE_CACHE:
             self._cache.put(key, result.relation)
         return result
 
+    def evaluate_many(
+        self,
+        name: str,
+        patterns: Sequence[Pattern],
+        use_cache: bool = True,
+        use_compression: bool = True,
+        cache_result: bool = True,
+    ) -> list[MatchResult]:
+        """Evaluate a batch of pattern queries, amortising shared work.
+
+        All queries are planned up front; every *direct-route* query then
+        draws its candidate sets from one shared pool computed once per
+        distinct predicate (indexed where possible, a single scan for the
+        rest) instead of each query re-scanning the graph.  Cache and
+        compressed routes behave exactly as in :meth:`evaluate`, and a
+        query repeated inside the batch reuses the relation computed
+        earlier in the same call.  Returns one :class:`MatchResult` per
+        pattern, in input order.
+
+        >>> from repro.datasets.paper_example import paper_graph, paper_pattern
+        >>> engine = QueryEngine()
+        >>> engine.register_graph("fig1", paper_graph())
+        >>> results = engine.evaluate_many("fig1", [paper_pattern(), paper_pattern()])
+        >>> [sorted(r.relation.matches_of("SA")) for r in results]
+        [['Bob', 'Walt'], ['Bob', 'Walt']]
+        """
+        entry = self._entry(name)
+        patterns = list(patterns)
+        for pattern in patterns:
+            pattern.validate()
+        watch = Stopwatch()
+        available = entry.compressed()
+        compressed = available if use_compression else None
+
+        planned: list[tuple[Pattern, tuple, Plan, CacheEntry | None]] = []
+        direct_predicates: dict[tuple, Any] = {}
+        for pattern in patterns:
+            key = cache_key(name, pattern)
+            cached_entry = self._cache.get(key) if use_cache else None
+            plan = self._plan_query(
+                pattern,
+                cached=cached_entry is not None,
+                available=available,
+                use_cache=use_cache,
+                use_compression=use_compression,
+            )
+            planned.append((pattern, key, plan, cached_entry))
+            if plan.route == ROUTE_DIRECT:
+                for pattern_node in pattern.nodes():
+                    predicate = pattern.predicate(pattern_node)
+                    direct_predicates.setdefault(predicate_key(predicate), predicate)
+
+        shared = (
+            batch_candidates(
+                entry.graph, direct_predicates.values(), index=entry.attr_index
+            )
+            if direct_predicates
+            else {}
+        )
+
+        results: list[MatchResult] = []
+        fresh: dict[tuple, MatchRelation] = {}
+        # One dict shared by every result; seconds_total is stamped once the
+        # whole batch has run (per-result stamping would under-report it).
+        batch_info: dict[str, Any] = {
+            "size": len(patterns),
+            "distinct_predicates": len(direct_predicates),
+        }
+        for pattern, key, plan, cached_entry in planned:
+            query_watch = Stopwatch()
+            route = plan.route
+            if route != ROUTE_CACHE and key in fresh:
+                # An identical query appeared earlier in this batch; reuse
+                # its relation and stamp a plan that says so (the original
+                # plan's route was never executed for this query).
+                result = MatchResult(entry.graph, pattern, fresh[key])
+                route = ROUTE_CACHE
+                plan = Plan(
+                    ROUTE_CACHE,
+                    plan.algorithm,
+                    ("identical query already evaluated earlier in this batch",),
+                )
+            else:
+                candidates = None
+                if route == ROUTE_DIRECT:
+                    # The shared sets are handed over as-is: neither matcher
+                    # mutates its `candidates` argument (refine_simulation
+                    # and BoundedState both copy internally).
+                    candidates = {
+                        u: shared[predicate_key(pattern.predicate(u))]
+                        for u in pattern.nodes()
+                    }
+                result = self._dispatch_route(
+                    entry,
+                    pattern,
+                    plan,
+                    cached_relation=(
+                        cached_entry.relation if cached_entry is not None else None
+                    ),
+                    compressed=compressed,
+                    candidates=candidates,
+                )
+            self._stamp_stats(
+                result, route, plan, name, entry, query_watch.seconds(), batch=batch_info
+            )
+            if route != ROUTE_CACHE:
+                fresh[key] = result.relation
+                if cache_result:
+                    self._cache.put(key, result.relation)
+            results.append(result)
+        batch_info["seconds_total"] = watch.seconds()
+        return results
+
+    def _dispatch_route(
+        self,
+        entry: RegisteredGraph,
+        pattern: Pattern,
+        plan: Plan,
+        cached_relation: MatchRelation | None,
+        compressed: CompressedGraph | None,
+        candidates: dict[str, set[NodeId]] | None = None,
+    ) -> MatchResult:
+        """Execute a plan's route — the one dispatch both evaluate paths use."""
+        if plan.route == ROUTE_CACHE:
+            assert cached_relation is not None
+            return MatchResult(entry.graph, pattern, cached_relation)
+        if plan.route == ROUTE_COMPRESSED:
+            assert compressed is not None
+            quotient_result = self._run_matcher(compressed.quotient, pattern, plan)
+            return decompress_result(quotient_result, compressed)
+        return self._run_matcher(
+            entry.graph,
+            pattern,
+            plan,
+            reach_index=entry.reach_index,
+            index=None if candidates is not None else entry.attr_index,
+            candidates=candidates,
+        )
+
     @staticmethod
     def _run_matcher(
-        graph: Graph, pattern: Pattern, plan: Plan, reach_index=None
+        graph: Graph,
+        pattern: Pattern,
+        plan: Plan,
+        reach_index=None,
+        index: AttributeIndex | None = None,
+        candidates: dict[str, set[NodeId]] | None = None,
     ) -> MatchResult:
         if plan.algorithm == ALGORITHM_SIMULATION:
-            return match_simulation(graph, pattern)
-        return match_bounded(graph, pattern, reach_index=reach_index)
+            return match_simulation(graph, pattern, index=index, candidates=candidates)
+        return match_bounded(
+            graph, pattern, reach_index=reach_index, index=index, candidates=candidates
+        )
 
     # ------------------------------------------------------------------
     # ranking
@@ -274,9 +472,13 @@ class QueryEngine:
         if existing is not None and existing.pinned:
             return
         if pattern.is_simulation_pattern:
-            maintainer: Any = IncrementalSimulation(entry.graph, pattern)
+            maintainer: Any = IncrementalSimulation(
+                entry.graph, pattern, index=entry.attr_index
+            )
         else:
-            maintainer = IncrementalBoundedSimulation(entry.graph, pattern)
+            maintainer = IncrementalBoundedSimulation(
+                entry.graph, pattern, index=entry.attr_index
+            )
         self._cache.put(key, maintainer.relation(), pinned=True, maintainer=maintainer)
 
     def unpin(self, name: str, pattern: Pattern) -> None:
@@ -297,6 +499,7 @@ class QueryEngine:
             # deletions plus a bare node removal, so every maintainer sees
             # a primitive sequence it can follow without pre-images.
             for primitive in decompose(entry.graph, update):
+                prior_version = entry.graph.version
                 primitive.apply(entry.graph)
                 for _key, cache_entry in pinned:
                     cache_entry.maintainer.apply(primitive, apply_to_graph=False)
@@ -304,6 +507,8 @@ class QueryEngine:
                     entry.compression.apply(primitive, apply_to_graph=False)
                 if entry.reach_index is not None:
                     entry.reach_index.on_update(primitive)
+                if entry.attr_index is not None:
+                    entry.attr_index.on_update(primitive, prior_version=prior_version)
         if entry.compression is not None and not isinstance(
             entry.compression, MaintainedCompression
         ):

@@ -83,6 +83,12 @@ class ExpFinder:
         """``M(Q,G)`` with engine routing (cache / compressed / direct)."""
         return self.engine.evaluate(graph_name, pattern, **kwargs)
 
+    def match_many(
+        self, graph_name: str, patterns: Sequence[Pattern], **kwargs: Any
+    ) -> list[MatchResult]:
+        """Evaluate many queries in one batch (shared candidate work)."""
+        return self.engine.evaluate_many(graph_name, patterns, **kwargs)
+
     def find_experts(
         self,
         graph_name: str,

@@ -26,6 +26,13 @@ from repro.graph.io import (
     save_edgelist,
     save_graph,
 )
+from repro.graph.index import (
+    AttributeIndex,
+    Resolution,
+    batch_candidates,
+    candidates_from_index,
+    predicate_key,
+)
 from repro.graph.reach_index import BoundedReachIndex
 from repro.graph.stats import (
     DegreeStats,
@@ -60,6 +67,11 @@ __all__ = [
     "load_graph",
     "save_edgelist",
     "save_graph",
+    "AttributeIndex",
+    "Resolution",
+    "batch_candidates",
+    "candidates_from_index",
+    "predicate_key",
     "BoundedReachIndex",
     "DegreeStats",
     "attribute_histogram",

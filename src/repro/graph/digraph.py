@@ -44,7 +44,7 @@ class Graph:
     ['dan']
     """
 
-    __slots__ = ("name", "_attrs", "_succ", "_pred", "_num_edges")
+    __slots__ = ("name", "_attrs", "_succ", "_pred", "_num_edges", "_version")
 
     def __init__(self, name: str = "") -> None:
         self.name = name
@@ -52,6 +52,7 @@ class Graph:
         self._succ: dict[NodeId, dict[NodeId, None]] = {}
         self._pred: dict[NodeId, dict[NodeId, None]] = {}
         self._num_edges = 0
+        self._version = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -62,8 +63,10 @@ class Graph:
             self._attrs[node] = {}
             self._succ[node] = {}
             self._pred[node] = {}
+            self._version += 1
         if attrs:
             self._attrs[node].update(attrs)
+            self._version += 1
 
     def add_nodes(self, nodes: Iterable[NodeId]) -> None:
         """Add many attribute-less nodes at once."""
@@ -87,6 +90,7 @@ class Graph:
         self._succ[source][target] = None
         self._pred[target][source] = None
         self._num_edges += 1
+        self._version += 1
         return True
 
     def add_edges(self, edges: Iterable[Edge]) -> int:
@@ -104,6 +108,7 @@ class Graph:
         del self._succ[source][target]
         del self._pred[target][source]
         self._num_edges -= 1
+        self._version += 1
 
     def remove_node(self, node: NodeId) -> None:
         """Remove ``node`` and every incident edge; raises if absent."""
@@ -116,6 +121,7 @@ class Graph:
         del self._attrs[node]
         del self._succ[node]
         del self._pred[node]
+        self._version += 1
 
     @classmethod
     def from_edges(
@@ -159,6 +165,25 @@ class Graph:
         """``|G|`` in the paper's sense: nodes plus edges."""
         return self.num_nodes + self._num_edges
 
+    @property
+    def version(self) -> int:
+        """Mutation counter, bumped by every structural or attribute change.
+
+        Engine-owned caches (:class:`~repro.graph.index.AttributeIndex`,
+        :class:`~repro.graph.reach_index.BoundedReachIndex`) compare this
+        against the version they last synchronized with to detect
+        out-of-band mutations.  Writing through :meth:`attrs`' live dict
+        bypasses the counter — use :meth:`set` or the update objects.
+
+        >>> g = Graph()
+        >>> g.add_node("a"); g.add_node("b"); g.version
+        2
+        >>> g.add_edge("a", "b"); g.version
+        True
+        3
+        """
+        return self._version
+
     def __len__(self) -> int:
         return len(self._attrs)
 
@@ -196,6 +221,7 @@ class Graph:
     def set(self, node: NodeId, attr: str, value: Any) -> None:
         """Set a single attribute of ``node``."""
         self.attrs(node)[attr] = value
+        self._version += 1
 
     def successors(self, node: NodeId) -> Iterator[NodeId]:
         try:

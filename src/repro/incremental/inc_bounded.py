@@ -62,10 +62,11 @@ class IncrementalBoundedSimulation:
         graph: Graph,
         pattern: Pattern,
         state: BoundedState | None = None,
+        index=None,
     ) -> None:
         pattern.validate()
         if state is None:
-            state = BoundedState(graph, pattern)
+            state = BoundedState(graph, pattern, index=index)
         elif state.graph is not graph or state.pattern is not pattern:
             raise UpdateError("state belongs to a different graph/pattern")
         self.graph = graph

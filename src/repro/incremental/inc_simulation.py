@@ -57,11 +57,13 @@ class IncrementalSimulation:
 
     __slots__ = ("graph", "pattern", "cand", "sim", "cnt", "_in_edges", "_out_edges")
 
-    def __init__(self, graph: Graph, pattern: Pattern) -> None:
+    def __init__(self, graph: Graph, pattern: Pattern, index=None) -> None:
         pattern.validate()
         self.graph = graph
         self.pattern = pattern
-        self.cand: dict[str, set[NodeId]] = simulation_candidates(graph, pattern)
+        self.cand: dict[str, set[NodeId]] = simulation_candidates(
+            graph, pattern, index=index
+        )
         self.sim: dict[str, set[NodeId]] = {u: set(vs) for u, vs in self.cand.items()}
         self.cnt: dict[PatternEdge, dict[NodeId, int]] = {}
         self._in_edges: dict[str, list[PatternEdge]] = {u: [] for u in pattern.nodes()}

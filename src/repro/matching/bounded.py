@@ -55,12 +55,23 @@ class BoundedState:
         "_reach_index",
     )
 
-    def __init__(self, graph: Graph, pattern: Pattern, reach_index=None) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        pattern: Pattern,
+        reach_index=None,
+        index=None,
+        candidates: dict[str, set[NodeId]] | None = None,
+    ) -> None:
         pattern.validate()
         self.graph = graph
         self.pattern = pattern
         self._reach_index = reach_index
-        self.cand: dict[str, set[NodeId]] = simulation_candidates(graph, pattern)
+        if candidates is not None:
+            # Defensive copy: the state owns (and mutates) its candidate sets.
+            self.cand = {u: set(vs) for u, vs in candidates.items()}
+        else:
+            self.cand = simulation_candidates(graph, pattern, index=index)
         self.sim: dict[str, set[NodeId]] = {u: set(vs) for u, vs in self.cand.items()}
         self.S: dict[PatternEdge, dict[NodeId, dict[NodeId, int]]] = {}
         self.R: dict[PatternEdge, dict[NodeId, set[NodeId]]] = {}
@@ -275,14 +286,23 @@ class BoundedState:
                     )
 
 
-def match_bounded(graph: Graph, pattern: Pattern, reach_index=None) -> MatchResult:
+def match_bounded(
+    graph: Graph,
+    pattern: Pattern,
+    reach_index=None,
+    index=None,
+    candidates: dict[str, set[NodeId]] | None = None,
+) -> MatchResult:
     """Compute ``M(Q,G)`` under bounded simulation.
 
     The returned :class:`MatchResult` carries the refinement state, so
     deriving the result graph or feeding the incremental module costs no
     recomputation.  An optional
     :class:`~repro.graph.reach_index.BoundedReachIndex` (kept consistent by
-    its owner) serves the truncated BFS runs from cache.
+    its owner) serves the truncated BFS runs from cache; an optional
+    :class:`~repro.graph.index.AttributeIndex` (``index``) serves candidate
+    generation, and ``candidates`` supplies precomputed candidate sets
+    outright (the batch evaluator's shared-work path).
 
     >>> from repro.graph.digraph import Graph
     >>> from repro.pattern.pattern import Pattern
@@ -296,7 +316,17 @@ def match_bounded(graph: Graph, pattern: Pattern, reach_index=None) -> MatchResu
     [('X', 'a'), ('Y', 'b')]
     """
     watch = Stopwatch()
-    state = BoundedState(graph, pattern, reach_index=reach_index)
+    state = BoundedState(
+        graph, pattern, reach_index=reach_index, index=index, candidates=candidates
+    )
     relation = state.relation()
-    stats = {"algorithm": "bounded-simulation", "seconds": watch.seconds()}
+    if candidates is not None:
+        candidate_source = "precomputed"
+    else:
+        candidate_source = "scan" if index is None else "index"
+    stats = {
+        "algorithm": "bounded-simulation",
+        "seconds": watch.seconds(),
+        "candidate_source": candidate_source,
+    }
     return MatchResult(graph, pattern, relation, stats=stats, state=state)

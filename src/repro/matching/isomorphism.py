@@ -25,12 +25,14 @@ MappingType = dict[str, NodeId]
 
 
 def find_isomorphisms(
-    graph: Graph, pattern: Pattern, limit: int | None = None
+    graph: Graph, pattern: Pattern, limit: int | None = None, index=None
 ) -> Iterator[MappingType]:
     """Yield injective embeddings of ``pattern`` into ``graph``.
 
     ``limit`` caps how many embeddings are produced (isomorphism counts are
-    exponential; benchmarks use ``limit=1`` for existence checks).
+    exponential; benchmarks use ``limit=1`` for existence checks).  An
+    optional :class:`~repro.graph.index.AttributeIndex` serves the initial
+    candidate sets instead of a full scan.
 
     >>> g = Graph.from_edges([("a", "b")], nodes={"a": {"l": "X"}, "b": {"l": "Y"}})
     >>> q = Pattern(); q.add_node("X", 'l == "X"'); q.add_node("Y", 'l == "Y"')
@@ -39,7 +41,7 @@ def find_isomorphisms(
     [{'X': 'a', 'Y': 'b'}]
     """
     pattern.validate()
-    candidates = simulation_candidates(graph, pattern)
+    candidates = simulation_candidates(graph, pattern, index=index)
     order = _search_order(pattern, candidates)
     required_out = {u: len(dict(pattern.out_edges(u))) for u in pattern.nodes()}
     required_in = {u: len(dict(pattern.in_edges(u))) for u in pattern.nodes()}
@@ -112,11 +114,13 @@ def _edges_consistent(
     return True
 
 
-def has_isomorphism(graph: Graph, pattern: Pattern) -> bool:
+def has_isomorphism(graph: Graph, pattern: Pattern, index=None) -> bool:
     """Existence check (first embedding only)."""
-    return next(find_isomorphisms(graph, pattern, limit=1), None) is not None
+    return next(find_isomorphisms(graph, pattern, limit=1, index=index), None) is not None
 
 
-def count_isomorphisms(graph: Graph, pattern: Pattern, limit: int | None = None) -> int:
+def count_isomorphisms(
+    graph: Graph, pattern: Pattern, limit: int | None = None, index=None
+) -> int:
     """Number of embeddings, optionally capped at ``limit``."""
-    return sum(1 for _ in find_isomorphisms(graph, pattern, limit=limit))
+    return sum(1 for _ in find_isomorphisms(graph, pattern, limit=limit, index=index))

@@ -20,27 +20,26 @@ from collections import deque
 from typing import Iterable
 
 from repro.graph.digraph import Graph, NodeId
+from repro.graph.index import AttributeIndex, candidates_from_index
 from repro.matching.base import MatchRelation, MatchResult, Stopwatch
 from repro.pattern.pattern import Pattern
 
 PatternEdge = tuple[str, str]
 
 
-def simulation_candidates(graph: Graph, pattern: Pattern) -> dict[str, set[NodeId]]:
+def simulation_candidates(
+    graph: Graph, pattern: Pattern, index: AttributeIndex | None = None
+) -> dict[str, set[NodeId]]:
     """Predicate-satisfying candidates per pattern node.
 
-    One pass over the graph evaluates every pattern predicate on every node
-    (patterns are tiny, graphs are not — this ordering keeps attribute
-    dictionaries hot in cache).
+    With an :class:`~repro.graph.index.AttributeIndex`, equality-shaped
+    predicates are answered from postings and only the rest scan.  Without
+    one, a single shared pass over the graph evaluates every distinct
+    pattern predicate on every node.  Both paths live in
+    :func:`~repro.graph.index.candidates_from_index`, so indexed and
+    scanned candidates cannot drift apart.
     """
-    candidates: dict[str, set[NodeId]] = {u: set() for u in pattern.nodes()}
-    predicates = [(u, pattern.predicate(u)) for u in pattern.nodes()]
-    for node in graph.nodes():
-        attrs = graph.attrs(node)
-        for pattern_node, predicate in predicates:
-            if predicate.evaluate(attrs):
-                candidates[pattern_node].add(node)
-    return candidates
+    return candidates_from_index(graph, pattern, index)
 
 
 def refine_simulation(
@@ -95,8 +94,17 @@ def refine_simulation(
     return sim
 
 
-def match_simulation(graph: Graph, pattern: Pattern) -> MatchResult:
+def match_simulation(
+    graph: Graph,
+    pattern: Pattern,
+    index: AttributeIndex | None = None,
+    candidates: dict[str, set[NodeId]] | None = None,
+) -> MatchResult:
     """Compute ``M(Q,G)`` under plain graph simulation.
+
+    ``index`` routes candidate generation through an attribute index;
+    ``candidates`` skips it entirely (the batch evaluator precomputes
+    shared candidate sets and hands each query its own copy).
 
     >>> from repro.graph.digraph import Graph
     >>> from repro.pattern.pattern import Pattern
@@ -107,10 +115,18 @@ def match_simulation(graph: Graph, pattern: Pattern) -> MatchResult:
     [('X', 'a'), ('Y', 'b')]
     """
     watch = Stopwatch()
-    candidates = simulation_candidates(graph, pattern)
+    if candidates is None:
+        candidates = simulation_candidates(graph, pattern, index=index)
+        candidate_source = "scan" if index is None else "index"
+    else:
+        candidate_source = "precomputed"
     refined = refine_simulation(graph, pattern, candidates)
     relation = MatchRelation.from_sets(pattern, refined)
-    stats = {"algorithm": "simulation", "seconds": watch.seconds()}
+    stats = {
+        "algorithm": "simulation",
+        "seconds": watch.seconds(),
+        "candidate_source": candidate_source,
+    }
     return MatchResult(graph, pattern, relation, stats=stats)
 
 

@@ -1,0 +1,258 @@
+"""Batch query evaluation: equivalence, shared work, CLI, error surfaces."""
+
+from typing import Any, Mapping
+
+import pytest
+
+from repro.cli import main
+from repro.datasets.paper_example import paper_graph, paper_pattern
+from repro.engine.engine import QueryEngine
+from repro.errors import EvaluationError
+from repro.expfinder import ExpFinder
+from repro.graph.generators import collaboration_graph
+from repro.graph.io import save_graph
+from repro.pattern.builder import PatternBuilder
+from repro.pattern.parser import save_pattern
+from repro.pattern.pattern import Pattern
+from repro.pattern.predicates import Predicate, parse_conjunction
+
+
+def team_patterns(count: int) -> list[Pattern]:
+    """``count`` hiring queries drawn from a small predicate vocabulary, so
+    a batch shares candidate work across them."""
+    patterns = []
+    for i in range(count):
+        senior = 4 + (i % 3)
+        bound = 1 + (i % 2)
+        patterns.append(
+            PatternBuilder(f"team-{i}")
+            .node("SA", f"experience >= {senior}", field="SA", output=True)
+            .node("SD", "experience >= 2", field="SD")
+            .node("ST", field="ST")
+            .edge("SA", "SD", bound)
+            .edge("SD", "ST", bound)
+            .build()
+        )
+    return patterns
+
+
+class CountingPredicate(Predicate):
+    """Wraps a predicate and counts evaluations in a shared mutable cell.
+
+    Not an indexable type, so candidate generation must actually evaluate
+    it — which is exactly what the shared-work assertion needs to observe.
+    """
+
+    __slots__ = ("inner", "counter")
+
+    def __init__(self, inner: Predicate, counter: list) -> None:
+        self.inner = inner
+        self.counter = counter
+
+    def evaluate(self, attrs: Mapping[str, Any]) -> bool:
+        self.counter[0] += 1
+        return self.inner.evaluate(attrs)
+
+    @property
+    def attrs(self):
+        return self.inner.attrs
+
+    def key(self) -> tuple:
+        return ("counting",) + self.inner.key()
+
+    def to_dict(self) -> dict:
+        raise NotImplementedError("test-only predicate")
+
+
+def counted_patterns(count: int, counter: list) -> list[Pattern]:
+    patterns = []
+    for i in range(count):
+        senior = 4 + (i % 3)
+        pattern = Pattern(f"counted-{i}")
+        pattern.add_node(
+            "SA",
+            CountingPredicate(
+                parse_conjunction(f'field == "SA", experience >= {senior}'), counter
+            ),
+        )
+        pattern.add_node(
+            "SD", CountingPredicate(parse_conjunction('field == "SD"'), counter)
+        )
+        pattern.add_edge("SA", "SD", 1 + (i % 2))
+        patterns.append(pattern)
+    return patterns
+
+
+class TestEvaluateMany:
+    @pytest.fixture
+    def engine(self):
+        engine = QueryEngine()
+        engine.register_graph("g", collaboration_graph(250, seed=4))
+        return engine
+
+    def test_matches_individual_evaluates(self, engine):
+        patterns = team_patterns(6)
+        batch = engine.evaluate_many("g", patterns, use_cache=False, cache_result=False)
+        for pattern, result in zip(patterns, batch):
+            solo = engine.evaluate("g", pattern, use_cache=False, cache_result=False)
+            assert result.relation == solo.relation
+
+    def test_results_in_input_order(self, engine):
+        patterns = team_patterns(4)
+        results = engine.evaluate_many("g", patterns)
+        assert [r.pattern for r in results] == patterns
+
+    def test_batch_stats_attached(self, engine):
+        results = engine.evaluate_many("g", team_patterns(5))
+        stats = results[0].stats
+        assert stats["batch"]["size"] == 5
+        assert stats["batch"]["distinct_predicates"] > 0
+        assert stats["route"] in ("direct", "cache")
+        assert stats["candidate_source"] == "precomputed"
+
+    def test_duplicate_query_reuses_batch_result(self, engine):
+        pattern = team_patterns(1)[0]
+        results = engine.evaluate_many("g", [pattern, pattern], use_cache=False)
+        assert results[0].stats["route"] == "direct"
+        assert results[1].stats["route"] == "cache"
+        # The stamped plan agrees with the executed route.
+        assert results[1].stats["plan"].route == "cache"
+        assert results[0].relation == results[1].relation
+
+    def test_cache_route_served_from_cache(self, engine):
+        pattern = team_patterns(1)[0]
+        engine.evaluate("g", pattern)
+        results = engine.evaluate_many("g", [pattern])
+        assert results[0].stats["route"] == "cache"
+
+    def test_batch_populates_cache(self, engine):
+        pattern = team_patterns(1)[0]
+        engine.evaluate_many("g", [pattern])
+        assert engine.evaluate("g", pattern).stats["route"] == "cache"
+
+    def test_batch_on_paper_example(self):
+        engine = QueryEngine()
+        engine.register_graph("fig1", paper_graph())
+        results = engine.evaluate_many("fig1", [paper_pattern()] * 3)
+        for result in results:
+            assert sorted(result.relation.matches_of("SA")) == ["Bob", "Walt"]
+
+    def test_facade_match_many(self):
+        finder = ExpFinder()
+        finder.add_graph("fig1", paper_graph())
+        results = finder.match_many("fig1", [paper_pattern(), paper_pattern()])
+        assert len(results) == 2 and all(r.is_match for r in results)
+
+    def test_empty_batch(self, engine):
+        assert engine.evaluate_many("g", []) == []
+
+
+class TestSharedPredicateWork:
+    def test_batch_does_fewer_predicate_evaluations(self):
+        """Acceptance criterion: evaluate_many over 20 patterns performs
+        fewer total predicate evaluations than 20 separate evaluate calls."""
+        graph = collaboration_graph(300, seed=9)
+
+        sequential_counter = [0]
+        engine = QueryEngine()
+        engine.register_graph("g", graph)
+        for pattern in counted_patterns(20, sequential_counter):
+            engine.evaluate("g", pattern, use_cache=False, cache_result=False)
+        sequential = sequential_counter[0]
+
+        batch_counter = [0]
+        engine = QueryEngine()
+        engine.register_graph("g", graph)
+        engine.evaluate_many(
+            "g",
+            counted_patterns(20, batch_counter),
+            use_cache=False,
+            cache_result=False,
+        )
+        batched = batch_counter[0]
+
+        assert batched < sequential
+        # 20 patterns share 4 distinct predicates (3 SA thresholds + 1 SD),
+        # so the batch should do roughly 4/40ths of the sequential work.
+        assert batched <= sequential // 5
+
+    def test_batch_and_sequential_agree_under_counting(self):
+        graph = collaboration_graph(150, seed=2)
+        engine = QueryEngine()
+        engine.register_graph("g", graph)
+        counter = [0]
+        patterns = counted_patterns(6, counter)
+        batch = engine.evaluate_many("g", patterns, use_cache=False, cache_result=False)
+        for pattern, result in zip(patterns, batch):
+            solo = engine.evaluate("g", pattern, use_cache=False, cache_result=False)
+            assert result.relation == solo.relation
+
+
+class TestUnknownGraphErrors:
+    """Regression: unregistered graph names surface EvaluationError with a
+    helpful message, never a bare KeyError."""
+
+    @pytest.fixture
+    def engine(self):
+        engine = QueryEngine()
+        engine.register_graph("known", paper_graph())
+        return engine
+
+    def test_evaluate_unknown_graph(self, engine):
+        with pytest.raises(EvaluationError, match="unknown graph: 'nope'"):
+            engine.evaluate("nope", paper_pattern())
+
+    def test_evaluate_mentions_registered_graphs(self, engine):
+        with pytest.raises(EvaluationError, match="registered: known"):
+            engine.evaluate("nope", paper_pattern())
+
+    def test_evaluate_many_unknown_graph(self, engine):
+        with pytest.raises(EvaluationError, match="unknown graph"):
+            engine.evaluate_many("nope", [paper_pattern()])
+
+    def test_top_k_unknown_graph(self, engine):
+        with pytest.raises(EvaluationError, match="unknown graph"):
+            engine.top_k("nope", paper_pattern(), 3)
+
+    def test_never_a_key_error(self, engine):
+        for call in (
+            lambda: engine.evaluate("nope", paper_pattern()),
+            lambda: engine.evaluate_many("nope", [paper_pattern()]),
+            lambda: engine.explain("nope", paper_pattern()),
+            lambda: engine.update_graph("nope", []),
+        ):
+            with pytest.raises(EvaluationError):
+                call()
+
+
+class TestCliBatch:
+    @pytest.fixture
+    def graph_file(self, tmp_path):
+        return str(save_graph(paper_graph(), tmp_path / "fig1.json"))
+
+    @pytest.fixture
+    def pattern_file(self, tmp_path):
+        return str(save_pattern(paper_pattern(), tmp_path / "team.pattern"))
+
+    def test_batch_two_queries(self, graph_file, pattern_file, capsys):
+        code = main(
+            ["batch", "--graph", graph_file,
+             "--pattern", pattern_file, "--pattern", pattern_file]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "match" in out
+        assert "batch: 2 queries" in out
+
+    def test_batch_verbose_prints_relations(self, graph_file, pattern_file, capsys):
+        code = main(["batch", "--graph", graph_file,
+                     "--pattern", pattern_file, "--verbose"])
+        assert code == 0
+        assert "SA: Bob, Walt" in capsys.readouterr().out
+
+    def test_batch_no_match_exit_code(self, graph_file, tmp_path, capsys):
+        pattern = Pattern("none")
+        pattern.add_node("X", 'field == "NOPE"')
+        spec = str(save_pattern(pattern, tmp_path / "none.pattern"))
+        assert main(["batch", "--graph", graph_file, "--pattern", spec]) == 1
+        assert "no-match" in capsys.readouterr().out

@@ -1,0 +1,33 @@
+"""Execute the code examples embedded in README.md and docs/*.md.
+
+The documentation's fenced code blocks are written as doctest sessions, so
+``doctest.testfile`` runs them exactly as a reader would (one shared
+namespace per file, examples in order).  CI runs the same pass via
+``python -m doctest``; this test keeps it enforced locally too.
+"""
+
+import doctest
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DOC_FILES = [
+    "README.md",
+    "docs/architecture.md",
+    "docs/performance.md",
+]
+
+
+@pytest.mark.parametrize("relative", DOC_FILES)
+def test_documentation_examples(relative):
+    path = REPO_ROOT / relative
+    assert path.exists(), f"{relative} is missing"
+    result = doctest.testfile(
+        str(path),
+        module_relative=False,
+        optionflags=doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE,
+    )
+    assert result.attempted > 0, f"{relative} lost its executable examples"
+    assert result.failed == 0, f"{relative}: {result.failed} example(s) failed"

@@ -22,6 +22,7 @@ MODULE_NAMES = [
     "repro.graph.digraph",
     "repro.graph.distance",
     "repro.graph.generators",
+    "repro.graph.index",
     "repro.incremental.inc_simulation",
     "repro.matching.bounded",
     "repro.matching.isomorphism",
