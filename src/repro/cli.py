@@ -79,6 +79,9 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--pattern", required=True)
     query.add_argument("--explain", action="store_true", help="print the plan")
     query.add_argument("--result-graph", action="store_true", help="print witness edges")
+    query.add_argument("--workers", type=int, default=1,
+                       help="evaluate with N worker processes "
+                            "(ball-sharded; default 1 = sequential)")
     query.set_defaults(handler=_cmd_query)
 
     batch = sub.add_parser(
@@ -93,6 +96,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument("--verbose", action="store_true",
                        help="print the full relation of every query")
+    batch.add_argument("--workers", type=int, default=1,
+                       help="farm queries out to N worker processes "
+                            "(default 1 = sequential)")
     batch.set_defaults(handler=_cmd_batch)
 
     topk = sub.add_parser("topk", help="rank the output node's matches")
@@ -190,18 +196,40 @@ def _resolve_pattern(spec: str) -> Pattern:
     return load_pattern(spec)
 
 
-def _evaluate(graph: Graph, pattern: Pattern):
+def _check_workers(workers: int) -> int:
+    """CLI-level validation so `--workers 0` fails before any work starts.
+
+    Delegates to the engine's one rule (`validate_workers`) and rephrases
+    the failure in flag terms, so CLI and engine can never disagree about
+    what a valid worker count is.
+    """
+    from repro.engine.parallel import validate_workers
+    from repro.errors import EvaluationError
+
+    try:
+        return validate_workers(workers)
+    except EvaluationError as exc:
+        raise CliError(f"--workers: {exc}") from None
+
+
+def _evaluate(graph: Graph, pattern: Pattern, workers: int = 1):
+    if workers > 1:
+        from repro.engine.parallel import ParallelExecutor
+
+        with ParallelExecutor(workers) as executor:
+            return executor.match(graph, pattern)
     if pattern.is_simulation_pattern:
         return match_simulation(graph, pattern)
     return match_bounded(graph, pattern)
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    workers = _check_workers(args.workers)
     graph, pattern = _load_inputs(args)
     if args.explain:
         print(make_plan(pattern).explain())
         print()
-    result = _evaluate(graph, pattern)
+    result = _evaluate(graph, pattern, workers=workers)
     print(views.relation_summary(result.relation))
     if args.result_graph and result.is_match:
         print()
@@ -212,11 +240,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
 def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.engine.engine import QueryEngine
 
+    workers = _check_workers(args.workers)
     graph = load_graph(args.graph)
     patterns = [_resolve_pattern(spec) for spec in args.pattern]
     engine = QueryEngine()
     engine.register_graph("cli", graph)
-    results = engine.evaluate_many("cli", patterns)
+    results = engine.evaluate_many("cli", patterns, workers=workers)
     all_matched = True
     for spec, result in zip(args.pattern, results):
         status = "match" if result.is_match else "no-match"
@@ -230,10 +259,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             print(views.relation_summary(result.relation))
             print()
     batch_stats = results[0].stats["batch"] if results else {}
+    workers_note = f", {workers} workers" if workers > 1 else ""
     print(
         f"batch: {len(results)} queries, "
         f"{batch_stats.get('distinct_predicates', 0)} distinct predicates, "
-        f"{batch_stats.get('seconds_total', 0.0):.4f}s total"
+        f"{batch_stats.get('seconds_total', 0.0):.4f}s total{workers_note}"
     )
     return 0 if all_matched else 1
 

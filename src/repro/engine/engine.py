@@ -28,6 +28,7 @@ from repro.engine.planner import (
     Plan,
     make_plan,
 )
+from repro.engine.parallel import ParallelExecutor, validate_workers
 from repro.engine.storage import GraphStore
 from repro.incremental.inc_bounded import IncrementalBoundedSimulation
 from repro.incremental.inc_simulation import IncrementalSimulation
@@ -78,6 +79,23 @@ class QueryEngine:
         self.store = store
         self._registered: dict[str, RegisteredGraph] = {}
         self._cache = QueryCache(capacity=cache_capacity)
+        # One executor per worker count, alive across calls (released by
+        # close()).  Pool reuse only helps the ball-subgraph sharded path;
+        # the shared-graph and batch-farming paths fork a fresh pool per
+        # call by design (children must snapshot the graph at fork time).
+        self._executors: dict[int, ParallelExecutor] = {}
+
+    def _executor(self, workers: int) -> ParallelExecutor:
+        executor = self._executors.get(workers)
+        if executor is None:
+            executor = self._executors[workers] = ParallelExecutor(workers)
+        return executor
+
+    def close(self) -> None:
+        """Release the engine's worker pools (idempotent; engine reusable)."""
+        for executor in self._executors.values():
+            executor.close()
+        self._executors.clear()
 
     # ------------------------------------------------------------------
     # graph management
@@ -251,9 +269,19 @@ class QueryEngine:
         use_cache: bool = True,
         use_compression: bool = True,
         cache_result: bool = True,
+        workers: int | None = None,
     ) -> MatchResult:
-        """Evaluate a pattern query following the §II route order."""
+        """Evaluate a pattern query following the §II route order.
+
+        ``workers`` > 1 evaluates the *direct* route with sharded
+        parallelism (:class:`~repro.engine.parallel.ParallelExecutor`):
+        the graph is decomposed into distance-bounded balls and the
+        successor-row work fans out to a worker pool, producing exactly
+        the sequential relation.  Cache and compressed routes are already
+        cheap and stay sequential.
+        """
         pattern.validate()
+        workers = validate_workers(workers)
         entry = self._entry(name)
         watch = Stopwatch()
         key = cache_key(name, pattern)
@@ -268,13 +296,20 @@ class QueryEngine:
             use_compression=use_compression,
         )
 
-        result = self._dispatch_route(
-            entry,
-            pattern,
-            plan,
-            cached_relation=cached_entry.relation if cached_entry is not None else None,
-            compressed=compressed,
-        )
+        if workers > 1 and plan.route == ROUTE_DIRECT:
+            result = self._executor(workers).match(
+                entry.graph, pattern, index=entry.attr_index
+            )
+        else:
+            result = self._dispatch_route(
+                entry,
+                pattern,
+                plan,
+                cached_relation=(
+                    cached_entry.relation if cached_entry is not None else None
+                ),
+                compressed=compressed,
+            )
 
         self._stamp_stats(result, plan.route, plan, name, entry, watch.seconds())
         if cache_result and plan.route != ROUTE_CACHE:
@@ -288,6 +323,7 @@ class QueryEngine:
         use_cache: bool = True,
         use_compression: bool = True,
         cache_result: bool = True,
+        workers: int | None = None,
     ) -> list[MatchResult]:
         """Evaluate a batch of pattern queries, amortising shared work.
 
@@ -300,6 +336,15 @@ class QueryEngine:
         earlier in the same call.  Returns one :class:`MatchResult` per
         pattern, in input order.
 
+        ``workers`` > 1 parallelises the batch: each distinct direct-route
+        query becomes one worker-pool task (with its shared candidate
+        sets precomputed here), so many small queries run concurrently.
+        A single-query batch instead delegates to :meth:`evaluate`'s
+        *per-query* sharded parallelism — one big query is split across
+        workers rather than occupying one.  Farmed results carry no
+        refinement state (relations cross a process boundary); deriving a
+        result graph from them recomputes witnesses on demand.
+
         >>> from repro.datasets.paper_example import paper_graph, paper_pattern
         >>> engine = QueryEngine()
         >>> engine.register_graph("fig1", paper_graph())
@@ -311,6 +356,37 @@ class QueryEngine:
         patterns = list(patterns)
         for pattern in patterns:
             pattern.validate()
+        workers = validate_workers(workers)
+        if workers > 1 and len(patterns) == 1:
+            result = self.evaluate(
+                name,
+                patterns[0],
+                use_cache=use_cache,
+                use_compression=use_compression,
+                cache_result=cache_result,
+                workers=workers,
+            )
+            # Preserve evaluate_many's contract: every result carries batch
+            # stats (the CLI and callers read them unconditionally).  Like
+            # the multi-query path, distinct predicates are counted only
+            # when the query actually went the direct route (0 on a cache
+            # or compressed hit).
+            result.stats["batch"] = {
+                "size": 1,
+                "distinct_predicates": (
+                    len(
+                        {
+                            predicate_key(patterns[0].predicate(u))
+                            for u in patterns[0].nodes()
+                        }
+                    )
+                    if result.stats["route"] == ROUTE_DIRECT
+                    else 0
+                ),
+                "workers": workers,
+                "seconds_total": result.stats["seconds"],
+            }
+            return [result]
         watch = Stopwatch()
         available = entry.compressed()
         compressed = available if use_compression else None
@@ -341,6 +417,39 @@ class QueryEngine:
             else {}
         )
 
+        def shared_candidates(pattern: Pattern) -> dict[str, set[NodeId]]:
+            # The shared sets are handed over as-is: neither matcher
+            # mutates its `candidates` argument (refine_simulation and
+            # BoundedState both copy internally).
+            return {
+                u: shared[predicate_key(pattern.predicate(u))]
+                for u in pattern.nodes()
+            }
+
+        # Per-batch parallelism: each distinct direct-route query becomes
+        # one pool task carrying its precomputed candidate sets; cache and
+        # compressed routes stay in this process.
+        farmed: dict[tuple, tuple[MatchRelation, dict[str, Any]]] = {}
+        if workers > 1:
+            task_keys: list[tuple] = []
+            tasks: list[tuple[Pattern, dict[str, tuple]]] = []
+            seen_keys: set[tuple] = set()
+            for pattern, key, plan, _cached_entry in planned:
+                if plan.route == ROUTE_DIRECT and key not in seen_keys:
+                    seen_keys.add(key)
+                    task_keys.append(key)
+                    tasks.append(
+                        (
+                            pattern,
+                            {
+                                u: predicate_key(pattern.predicate(u))
+                                for u in pattern.nodes()
+                            },
+                        )
+                    )
+            outcomes = self._executor(workers).match_many(entry.graph, tasks, shared)
+            farmed = dict(zip(task_keys, outcomes))
+
         results: list[MatchResult] = []
         fresh: dict[tuple, MatchRelation] = {}
         # One dict shared by every result; seconds_total is stamped once the
@@ -348,6 +457,7 @@ class QueryEngine:
         batch_info: dict[str, Any] = {
             "size": len(patterns),
             "distinct_predicates": len(direct_predicates),
+            "workers": workers,
         }
         for pattern, key, plan, cached_entry in planned:
             query_watch = Stopwatch()
@@ -363,16 +473,15 @@ class QueryEngine:
                     plan.algorithm,
                     ("identical query already evaluated earlier in this batch",),
                 )
+            elif route == ROUTE_DIRECT and key in farmed:
+                relation, worker_stats = farmed[key]
+                result = MatchResult(
+                    entry.graph, pattern, relation, stats=dict(worker_stats)
+                )
             else:
-                candidates = None
-                if route == ROUTE_DIRECT:
-                    # The shared sets are handed over as-is: neither matcher
-                    # mutates its `candidates` argument (refine_simulation
-                    # and BoundedState both copy internally).
-                    candidates = {
-                        u: shared[predicate_key(pattern.predicate(u))]
-                        for u in pattern.nodes()
-                    }
+                candidates = (
+                    shared_candidates(pattern) if route == ROUTE_DIRECT else None
+                )
                 result = self._dispatch_route(
                     entry,
                     pattern,
@@ -384,7 +493,17 @@ class QueryEngine:
                     candidates=candidates,
                 )
             self._stamp_stats(
-                result, route, plan, name, entry, query_watch.seconds(), batch=batch_info
+                result,
+                route,
+                plan,
+                name,
+                entry,
+                # Parent-side wall time is meaningless for a query that ran
+                # in a pool worker; keep the worker-measured seconds there.
+                result.stats.get("seconds", query_watch.seconds())
+                if key in farmed
+                else query_watch.seconds(),
+                batch=batch_info,
             )
             if route != ROUTE_CACHE:
                 fresh[key] = result.relation

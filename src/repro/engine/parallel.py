@@ -1,0 +1,363 @@
+"""Parallel sharded evaluation — ball partitioning plus a worker pool.
+
+Bounded simulation splits into two phases with very different shapes:
+
+1. **successor-row construction** — one truncated BFS per candidate of
+   every pattern node with out-edges.  This dominates evaluation cost and
+   is embarrassingly parallel once the graph is decomposed into
+   distance-bounded balls (:mod:`repro.graph.partition`): a worker holding
+   the ball around its pivots computes exactly the rows the sequential
+   matcher would, because each pivot's full radius-``depth`` ball is inside
+   the shard.
+2. **removal fixpoint** — a worklist cascade over the merged rows.  Pattern
+   cycles and ``*`` bounds make refutations propagate arbitrarily far, so
+   this phase is *not* ball-local; running it once over the merged state
+   (:meth:`~repro.matching.bounded.BoundedState.from_successor_rows`) is
+   the boundary refinement that makes the parallel result equal the
+   sequential one exactly.  ``tests/test_differential.py`` asserts that
+   equality over hundreds of seeded random graphs and patterns.
+
+:class:`ParallelExecutor` fans both workloads out to a
+:mod:`multiprocessing` pool:
+
+* :meth:`ParallelExecutor.match` — *per-query* parallelism: shard one big
+  query's successor-row work across workers, merge, refine.
+* :meth:`ParallelExecutor.match_many` — *per-batch* parallelism: farm whole
+  (pattern, candidates) tasks out, one query per worker at a time, with
+  the data graph shipped once per worker via the pool initializer.
+
+Simulation patterns (every bound 1) ride the same sharded machinery: with
+all bounds 1, bounded simulation's fixpoint coincides with plain
+simulation's, so the merged relation equals ``match_simulation``'s (also
+asserted by the differential harness).
+
+Workers are separate processes; a speedup needs actual spare cores.  On a
+single-core host the sharded path still produces identical results, just
+with fork/pickle overhead on top — ``benchmarks/bench_parallel_eval.py``
+measures both situations honestly.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any, Sequence
+
+from repro.errors import EvaluationError
+from repro.graph.digraph import Graph, NodeId
+from repro.graph.distance import bounded_descendants
+from repro.graph.index import AttributeIndex, candidates_from_index
+from repro.graph.partition import Shard, decompose
+from repro.matching.base import MatchRelation, MatchResult, Stopwatch
+from repro.matching.bounded import BoundedState, PatternEdge, match_bounded
+from repro.matching.simulation import match_simulation
+from repro.pattern.pattern import Pattern
+
+#: Per-shard worker payload: (ball subgraph or None, pattern, pivots,
+#: candidates, depths).  ``None`` means "use the shared graph".
+ShardPayload = tuple[Graph | None, Pattern, dict, dict, dict]
+
+# Set once per batch worker (fork inheritance or pool initializer), so
+# per-task payloads stay tiny: the graph and the shared candidate table —
+# {predicate key: node set}, computed once for the whole batch — never
+# travel per query; a task carries only its pattern and the table keys its
+# pattern nodes resolve to.
+_batch_graph: Graph | None = None
+_batch_table: dict[tuple, set[NodeId]] | None = None
+
+# The shared data graph for broad-cover sharded queries.  Under the fork
+# start method the parent sets it *before* creating the pool and children
+# inherit it for free (copy-on-write); under spawn the pool initializer
+# ships it once per worker.
+_shared_graph: Graph | None = None
+
+
+def _set_shared_graph(graph: Graph | None) -> None:
+    global _shared_graph
+    _shared_graph = graph
+
+
+def validate_workers(workers: int | None) -> int:
+    """Normalize a ``workers`` argument: ``None`` means sequential (1).
+
+    Raises :class:`EvaluationError` for anything that is not a positive
+    integer, so every entry point (engine, CLI, facade) rejects bad values
+    with one consistent message.
+    """
+    if workers is None:
+        return 1
+    if isinstance(workers, bool) or not isinstance(workers, int) or workers < 1:
+        raise EvaluationError(f"workers must be a positive integer (got {workers!r})")
+    return workers
+
+
+def _shard_rows(
+    payload: ShardPayload,
+) -> dict[PatternEdge, dict[NodeId, dict[NodeId, int]]]:
+    """Successor rows for one shard (runs inside a worker process).
+
+    For every owned pivot: one truncated BFS over the ball subgraph (equal
+    to a full-graph BFS because the cover is sound), filtered per out-edge
+    against the child candidates present in the ball.
+    """
+    subgraph, pattern, pivots, candidates, depths = payload
+    if subgraph is None:
+        subgraph = _shared_graph
+        assert subgraph is not None, "shared graph was not installed"
+    rows: dict[PatternEdge, dict[NodeId, dict[NodeId, int]]] = {}
+    for u, pivot_list in pivots.items():
+        out_edges = list(pattern.out_edges(u))
+        for target, _bound in out_edges:
+            rows.setdefault((u, target), {})
+        for pivot in pivot_list:
+            reach = bounded_descendants(subgraph, pivot, depths[u])
+            for target, bound in out_edges:
+                child_cand = candidates[target]
+                rows[(u, target)][pivot] = {
+                    reached: dist
+                    for reached, dist in reach.items()
+                    if reached in child_cand and (bound is None or dist <= bound)
+                }
+    return rows
+
+
+def _init_batch_worker(
+    graph: Graph | None, table: dict[tuple, set[NodeId]] | None
+) -> None:
+    global _batch_graph, _batch_table
+    _batch_graph = graph
+    _batch_table = table
+
+
+def _batch_query(
+    payload: tuple[Pattern, dict[str, tuple]],
+) -> tuple[MatchRelation, dict[str, Any]]:
+    """Evaluate one whole query against the worker's graph (batch mode)."""
+    pattern, key_by_node = payload
+    assert _batch_graph is not None, "batch graph was not installed"
+    assert _batch_table is not None, "batch candidate table was not installed"
+    candidates = {u: _batch_table[key] for u, key in key_by_node.items()}
+    if pattern.is_simulation_pattern:
+        result = match_simulation(_batch_graph, pattern, candidates=candidates)
+    else:
+        result = match_bounded(_batch_graph, pattern, candidates=candidates)
+    return result.relation, result.stats
+
+
+class ParallelExecutor:
+    """A reusable worker pool for sharded and batched evaluation.
+
+    The pool is created lazily on first parallel use and reused across
+    calls (forking a pool costs more than a small query); close it with
+    :meth:`close` or use the executor as a context manager.  With
+    ``workers=1`` everything runs inline in the calling process — same
+    code path, no processes — so callers can treat the executor as the one
+    evaluation front end regardless of parallelism.
+
+    >>> from repro.datasets.paper_example import paper_graph, paper_pattern
+    >>> with ParallelExecutor(workers=2) as executor:
+    ...     result = executor.match(paper_graph(), paper_pattern())
+    >>> sorted(result.relation.matches_of("SA"))
+    ['Bob', 'Walt']
+    >>> result.stats["parallel"]["workers"]
+    2
+    """
+
+    def __init__(self, workers: int, start_method: str | None = None) -> None:
+        self.workers = validate_workers(workers)
+        self._ctx = multiprocessing.get_context(start_method)
+        self._pool = None
+
+    # ------------------------------------------------------------------
+    # pool lifecycle
+    # ------------------------------------------------------------------
+    def _query_pool(self):
+        if self._pool is None:
+            self._pool = self._ctx.Pool(self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Terminate the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:
+        state = "live pool" if self._pool is not None else "no pool"
+        return f"<ParallelExecutor workers={self.workers} ({state})>"
+
+    # ------------------------------------------------------------------
+    # per-query parallelism
+    # ------------------------------------------------------------------
+    def match(
+        self,
+        graph: Graph,
+        pattern: Pattern,
+        index: AttributeIndex | None = None,
+        num_shards: int | None = None,
+    ) -> MatchResult:
+        """``M(Q,G)`` via sharded evaluation: partition, fan out, merge.
+
+        Candidate generation runs once in the calling process (through
+        ``index`` when given); the graph is decomposed into
+        ``num_shards`` (default: one per worker) ball shards whose
+        successor rows the pool computes; the merged state then runs the
+        standard removal fixpoint.  The result carries full refinement
+        state, exactly like :func:`~repro.matching.bounded.match_bounded`.
+        """
+        pattern.validate()
+        watch = Stopwatch()
+        candidates = candidates_from_index(graph, pattern, index)
+        shards = decompose(graph, pattern, candidates, num_shards or self.workers)
+        # Balls pay off when they are selective; for broad queries they
+        # overlap so much that materializing and shipping one induced
+        # subgraph per shard costs more than sharing the one full graph
+        # (fork inheritance makes sharing free on POSIX).  Ownership and
+        # soundness are identical either way: a BFS from a pivot sees the
+        # same nodes in its ball subgraph as in any supergraph of it.
+        inline = self.workers == 1 or len(shards) <= 1
+        ball_total = sum(len(shard.nodes) for shard in shards)
+        # Inline runs read the caller's graph directly — materializing a
+        # ball subgraph would copy it for nothing.
+        materialize = not inline and ball_total <= graph.num_nodes
+        payloads = [
+            self._shard_payload(graph, pattern, shard, candidates, materialize)
+            for shard in shards
+        ]
+        if inline:
+            _set_shared_graph(graph)
+            try:
+                rows_list = [_shard_rows(payload) for payload in payloads]
+            finally:
+                _set_shared_graph(None)
+        elif materialize:
+            rows_list = self._query_pool().map(_shard_rows, payloads)
+        else:
+            rows_list = self._shared_graph_map(graph, payloads)
+        merged: dict[PatternEdge, dict[NodeId, dict[NodeId, int]]] = {}
+        for rows in rows_list:
+            for edge, row in rows.items():
+                merged.setdefault(edge, {}).update(row)
+        state = BoundedState.from_successor_rows(graph, pattern, candidates, merged)
+        relation = state.relation()
+        stats = {
+            "algorithm": (
+                "simulation" if pattern.is_simulation_pattern else "bounded-simulation"
+            ),
+            "seconds": watch.seconds(),
+            "candidate_source": "scan" if index is None else "index",
+            "parallel": {
+                "mode": "sharded-query",
+                "workers": self.workers,
+                "shards": len(shards),
+                "pivots": sum(shard.num_pivots for shard in shards),
+                "shipping": (
+                    "inline"
+                    if inline
+                    else ("ball-subgraphs" if materialize else "shared-graph")
+                ),
+            },
+        }
+        return MatchResult(graph, pattern, relation, stats=stats, state=state)
+
+    @staticmethod
+    def _shard_payload(
+        graph: Graph,
+        pattern: Pattern,
+        shard: Shard,
+        candidates: dict[str, set[NodeId]],
+        materialize: bool,
+    ) -> ShardPayload:
+        """What one worker needs: the ball (sub)graph and local candidates.
+
+        Candidates are restricted to the ball — entries beyond it are
+        unreachable within the shard's depths anyway, and smaller sets mean
+        smaller pickles.  ``materialize=False`` sends no graph at all; the
+        worker reads the shared one.
+        """
+        local_candidates = {u: vs & shard.nodes for u, vs in candidates.items()}
+        return (
+            shard.subgraph(graph) if materialize else None,
+            pattern,
+            dict(shard.pivots),
+            local_candidates,
+            dict(shard.depths),
+        )
+
+    def _shared_graph_map(self, graph: Graph, payloads: list[ShardPayload]):
+        """Fan shard work out over a pool that shares the full graph.
+
+        A dedicated pool is created per call: under the fork start method
+        the children inherit the graph from the parent's module global at
+        zero cost; under spawn the initializer ships it once per worker.
+        That beats pickling a near-full induced subgraph into every task,
+        which is what broad-cover queries would otherwise pay.
+        """
+        _set_shared_graph(graph)
+        try:
+            if self._ctx.get_start_method() == "fork":
+                pool = self._ctx.Pool(self.workers)
+            else:  # pragma: no cover - non-fork platforms
+                pool = self._ctx.Pool(
+                    self.workers, initializer=_set_shared_graph, initargs=(graph,)
+                )
+            with pool:
+                return pool.map(_shard_rows, payloads)
+        finally:
+            _set_shared_graph(None)
+
+    # ------------------------------------------------------------------
+    # per-batch parallelism
+    # ------------------------------------------------------------------
+    def match_many(
+        self,
+        graph: Graph,
+        tasks: Sequence[tuple[Pattern, dict[str, tuple]]],
+        table: dict[tuple, set[NodeId]],
+    ) -> list[tuple[MatchRelation, dict[str, Any]]]:
+        """Evaluate whole queries across the pool.
+
+        Each task is ``(pattern, {pattern node: candidate-table key})``;
+        ``table`` maps those keys (canonical predicate keys) to candidate
+        sets computed once for the whole batch.  The graph and the table
+        ship once per worker — fork inheritance on POSIX, pool initializer
+        elsewhere — so a task pickles only its pattern and a few keys.
+        Returns ``(relation, worker stats)`` per task, in order.  With one
+        worker (or one task) everything runs inline.
+        """
+        if not tasks:
+            return []
+        if self.workers == 1 or len(tasks) == 1:
+            _init_batch_worker(graph, table)
+            try:
+                return [_batch_query(task) for task in tasks]
+            finally:
+                _init_batch_worker(None, None)
+        try:
+            if self._ctx.get_start_method() == "fork":
+                # Children inherit graph and table from the parent's module
+                # globals for free (copy-on-write); nothing to pickle.
+                _init_batch_worker(graph, table)
+                pool = self._ctx.Pool(self.workers)
+            else:  # pragma: no cover - non-fork platforms
+                pool = self._ctx.Pool(
+                    self.workers,
+                    initializer=_init_batch_worker,
+                    initargs=(graph, table),
+                )
+            with pool:
+                return pool.map(_batch_query, list(tasks))
+        finally:
+            _init_batch_worker(None, None)

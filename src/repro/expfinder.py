@@ -79,15 +79,35 @@ class ExpFinder:
     def pattern_from_file(path: str | Path) -> Pattern:
         return load_pattern(path)
 
-    def match(self, graph_name: str, pattern: Pattern, **kwargs: Any) -> MatchResult:
-        """``M(Q,G)`` with engine routing (cache / compressed / direct)."""
-        return self.engine.evaluate(graph_name, pattern, **kwargs)
+    def match(
+        self,
+        graph_name: str,
+        pattern: Pattern,
+        workers: int | None = None,
+        **kwargs: Any,
+    ) -> MatchResult:
+        """``M(Q,G)`` with engine routing (cache / compressed / direct).
+
+        ``workers`` > 1 runs the direct route with ball-sharded parallel
+        evaluation (identical result, fanned out to a process pool).
+        """
+        return self.engine.evaluate(graph_name, pattern, workers=workers, **kwargs)
 
     def match_many(
-        self, graph_name: str, patterns: Sequence[Pattern], **kwargs: Any
+        self,
+        graph_name: str,
+        patterns: Sequence[Pattern],
+        workers: int | None = None,
+        **kwargs: Any,
     ) -> list[MatchResult]:
-        """Evaluate many queries in one batch (shared candidate work)."""
-        return self.engine.evaluate_many(graph_name, patterns, **kwargs)
+        """Evaluate many queries in one batch (shared candidate work).
+
+        ``workers`` > 1 farms the batch's distinct direct-route queries out
+        to a process pool (one big query is sharded instead).
+        """
+        return self.engine.evaluate_many(
+            graph_name, patterns, workers=workers, **kwargs
+        )
 
     def find_experts(
         self,

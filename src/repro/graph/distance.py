@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Callable, Iterator, Mapping
+from typing import Callable, Iterable, Iterator, Mapping
 
 from repro.graph.digraph import Graph, NodeId
 
@@ -53,12 +53,28 @@ def _bounded_search(
     if bound is not None and bound < 1:
         return {}
     dist: dict[NodeId, int] = {}
-    frontier = deque()
+    frontier: deque = deque()
     for first in neighbours(source):
         if first not in dist:
             dist[first] = 1
             frontier.append(first)
-    depth = 1
+    _expand(neighbours, dist, frontier, 1, bound)
+    return dist
+
+
+def _expand(
+    neighbours: Callable[[NodeId], Iterator[NodeId]],
+    dist: dict[NodeId, int],
+    frontier: deque,
+    depth: int,
+    bound: int | None,
+) -> None:
+    """Level-by-level BFS expansion shared by the search entry points.
+
+    ``dist``/``frontier`` carry the seeded starting level (``depth``);
+    expansion stops at ``bound`` (``None`` = exhaustive), mutating ``dist``
+    in place.
+    """
     while frontier and (bound is None or depth < bound):
         depth += 1
         for _ in range(len(frontier)):
@@ -67,6 +83,32 @@ def _bounded_search(
                 if nxt not in dist:
                     dist[nxt] = depth
                     frontier.append(nxt)
+
+
+def multi_source_descendants(
+    graph: Graph, sources: Iterable[NodeId], bound: int | None
+) -> dict[NodeId, int]:
+    """Distance from the *nearest* of ``sources`` to every node within ``bound``.
+
+    Unlike the rest of this module, this helper uses empty-path semantics:
+    every source appears in the result at distance 0.  That is exactly what
+    ball covers need — a shard built from a multi-source search contains
+    each pivot *and* each pivot's individual radius-``bound`` ball, because
+    any node within ``bound`` of some pivot is within ``bound`` of the
+    nearest pivot.  One search over the union costs far less than one
+    :func:`bounded_descendants` call per pivot.
+
+    >>> g = Graph.from_edges([("a", "b"), ("b", "c"), ("x", "c")])
+    >>> multi_source_descendants(g, ["a", "x"], 1)
+    {'a': 0, 'x': 0, 'b': 1, 'c': 1}
+    """
+    dist: dict[NodeId, int] = {}
+    frontier: deque = deque()
+    for source in sources:
+        if source not in dist:
+            dist[source] = 0
+            frontier.append(source)
+    _expand(graph.successors, dist, frontier, 0, bound)
     return dist
 
 

@@ -64,23 +64,84 @@ class BoundedState:
         candidates: dict[str, set[NodeId]] | None = None,
     ) -> None:
         pattern.validate()
+        self._reach_index = reach_index
+        if candidates is None:
+            candidates = simulation_candidates(graph, pattern, index=index)
+        self._init_containers(graph, pattern, candidates)
+        self._build_successor_sets()
+        self._initial_refinement()
+
+    def _init_containers(
+        self, graph: Graph, pattern: Pattern, candidates: dict[str, set[NodeId]]
+    ) -> None:
+        """Shared state setup for both constructors (candidates are copied:
+        the state owns and mutates its sets)."""
         self.graph = graph
         self.pattern = pattern
-        self._reach_index = reach_index
-        if candidates is not None:
-            # Defensive copy: the state owns (and mutates) its candidate sets.
-            self.cand = {u: set(vs) for u, vs in candidates.items()}
-        else:
-            self.cand = simulation_candidates(graph, pattern, index=index)
+        self.cand = {u: set(vs) for u, vs in candidates.items()}
         self.sim: dict[str, set[NodeId]] = {u: set(vs) for u, vs in self.cand.items()}
         self.S: dict[PatternEdge, dict[NodeId, dict[NodeId, int]]] = {}
         self.R: dict[PatternEdge, dict[NodeId, set[NodeId]]] = {}
         self.cnt: dict[PatternEdge, dict[NodeId, int]] = {}
         self._in_edges: dict[str, list[PatternEdge]] = {u: [] for u in pattern.nodes()}
         for source, target, _bound in pattern.edges():
-            self._in_edges[target].append((source, target))
-        self._build_successor_sets()
-        self._initial_refinement()
+            edge = (source, target)
+            self._in_edges[target].append(edge)
+            self.S[edge] = {}
+            self.R[edge] = {}
+            self.cnt[edge] = {}
+
+    @classmethod
+    def from_successor_rows(
+        cls,
+        graph: Graph,
+        pattern: Pattern,
+        candidates: dict[str, set[NodeId]],
+        rows: dict[PatternEdge, dict[NodeId, dict[NodeId, int]]],
+    ) -> "BoundedState":
+        """Assemble a state from externally computed ``S`` rows.
+
+        This is the merge step of parallel sharded evaluation
+        (:mod:`repro.engine.parallel`): workers return, per pattern edge and
+        owned source candidate, the bounded successor entries their ball
+        subgraph yields (identical to the full-graph entries because ball
+        covers are sound), and this constructor rebuilds ``R``/``cnt`` and
+        runs the very same initial removal fixpoint the sequential
+        constructor runs — the boundary refinement that makes cross-shard
+        refutations cascade.  Every candidate of every pattern edge's source
+        must have a row (possibly empty); a missing row means the shard
+        decomposition lost a pivot and raises instead of silently producing
+        a wrong (too large) relation.
+        """
+        pattern.validate()
+        state = cls.__new__(cls)
+        state._reach_index = None
+        state._init_containers(graph, pattern, candidates)
+        unknown = [edge for edge in rows if edge not in state.S]
+        if unknown:
+            raise EvaluationError(f"rows for unknown pattern edges: {unknown}")
+        for edge, row in rows.items():
+            child_sim = state.sim[edge[1]]
+            for data_node, entries in row.items():
+                if data_node not in state.cand[edge[0]]:
+                    raise EvaluationError(
+                        f"row for non-candidate {data_node!r} of {edge[0]!r}"
+                    )
+                state.S[edge][data_node] = dict(entries)
+                for reached in entries:
+                    state.R[edge].setdefault(reached, set()).add(data_node)
+                state.cnt[edge][data_node] = sum(
+                    1 for reached in entries if reached in child_sim
+                )
+        for (source, _target), edge_rows in state.S.items():
+            if set(edge_rows) != state.cand[source]:
+                lost = state.cand[source] - set(edge_rows)
+                raise EvaluationError(
+                    f"merged S rows incomplete for source {source!r}: "
+                    f"{len(lost)} candidate(s) have no row"
+                )
+        state._initial_refinement()
+        return state
 
     # ------------------------------------------------------------------
     # construction
@@ -91,11 +152,6 @@ class BoundedState:
             if not out_edges:
                 continue
             depth = self._bfs_depth(bound for _, bound in out_edges)
-            for edge_target, _bound in out_edges:
-                edge = (source_pattern, edge_target)
-                self.S[edge] = {}
-                self.R[edge] = {}
-                self.cnt[edge] = {}
             for data_node in self.cand[source_pattern]:
                 reach = self._reach(data_node, depth)
                 self._fill_entries(source_pattern, data_node, reach)

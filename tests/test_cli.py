@@ -202,3 +202,69 @@ class TestDemo:
         assert "1.8000" in out          # f(SA, Bob) = 9/5
         assert "2.3333" in out          # f(SA, Walt) = 7/3
         assert "ΔM +(SD, Fred)" in out  # Example 3
+
+
+class TestWorkers:
+    """CLI error paths and happy paths for the --workers flag."""
+
+    def test_query_parallel_matches_sequential_output(
+        self, graph_file, pattern_file, capsys
+    ):
+        assert main(["query", "--graph", graph_file, "--pattern", pattern_file]) == 0
+        sequential = capsys.readouterr().out
+        assert main(["query", "--graph", graph_file, "--pattern", pattern_file,
+                     "--workers", "2"]) == 0
+        assert capsys.readouterr().out == sequential
+        assert "SA: Bob, Walt" in sequential
+
+    @pytest.mark.parametrize("workers", ["0", "-4"])
+    def test_query_rejects_bad_workers(self, graph_file, pattern_file, capsys,
+                                       workers):
+        code = main(["query", "--graph", graph_file, "--pattern", pattern_file,
+                     "--workers", workers])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "--workers: workers must be a positive integer" in err
+
+    @pytest.mark.parametrize("workers", ["0", "-1"])
+    def test_batch_rejects_bad_workers(self, graph_file, pattern_file, capsys,
+                                       workers):
+        code = main(["batch", "--graph", graph_file, "--pattern", pattern_file,
+                     "--workers", workers])
+        assert code == 2
+        assert "--workers: workers must be a positive integer" in capsys.readouterr().err
+
+    def test_batch_single_pattern_with_workers(self, graph_file, pattern_file,
+                                               capsys):
+        # A one-query batch delegates to per-query sharding; the summary
+        # line must still render (regression: KeyError on stats["batch"]).
+        code = main(["batch", "--graph", graph_file, "--pattern", pattern_file,
+                     "--workers", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batch: 1 queries" in out
+        assert "2 workers" in out
+
+    def test_batch_parallel_reports_workers(self, graph_file, pattern_file, capsys):
+        code = main(["batch", "--graph", graph_file, "--pattern", pattern_file,
+                     "--pattern", pattern_file, "--workers", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batch: 2 queries" in out
+        assert "2 workers" in out
+
+    def test_batch_empty_query_file_is_error(self, graph_file, tmp_path, capsys):
+        empty = tmp_path / "empty.pattern"
+        empty.write_text("")
+        code = main(["batch", "--graph", graph_file, "--pattern", str(empty),
+                     "--workers", "2"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_query_parallel_missing_graph_file_is_error(self, tmp_path,
+                                                        pattern_file, capsys):
+        code = main(["query", "--graph", str(tmp_path / "none.json"),
+                     "--pattern", pattern_file, "--workers", "2"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

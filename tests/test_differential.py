@@ -1,0 +1,155 @@
+"""Differential testing: parallel sharded evaluation ≡ sequential evaluation.
+
+Every case generates a seeded random graph and a seeded random pattern,
+evaluates both sequentially and through the sharded
+:class:`~repro.engine.parallel.ParallelExecutor`, and requires the two
+relations to be *byte-identical* (set equality plus equal serialized
+forms).  The query-set evaluation literature (Brochier et al.,
+arXiv:1806.10813) shows expert-finding results depend heavily on which
+queries you test with, so the harness sweeps many query shapes — chains,
+cycles, mixed bounds, ``*`` edges, edge-free patterns — not just the paper
+example.
+
+Seeds are fixed and appear in the pytest parametrize id (and in every
+assertion message), so a failure names the exact case to replay:
+
+    pytest tests/test_differential.py -k "seed17" -x
+
+One worker pool is shared by the whole module; forking per case would
+dominate runtime.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.engine.engine import QueryEngine
+from repro.engine.parallel import ParallelExecutor
+from repro.graph.digraph import Graph
+from repro.graph.generators import random_digraph
+from repro.matching.bounded import match_bounded
+from repro.matching.simulation import match_simulation
+from repro.pattern.pattern import Pattern
+
+BOUNDED_SEEDS = range(60)
+SIMULATION_SEEDS = range(60)
+ENGINE_SEEDS = range(6)
+
+
+@pytest.fixture(scope="module")
+def executor():
+    with ParallelExecutor(workers=2) as shared:
+        yield shared
+
+
+def random_case(seed: int, simulation_only: bool = False) -> tuple[Graph, Pattern]:
+    """A seeded (graph, pattern) pair; every shape decision comes from seed."""
+    rng = random.Random(seed * 2 + int(simulation_only))
+    num_nodes = rng.randint(12, 40)
+    num_edges = rng.randint(num_nodes, 3 * num_nodes)
+    graph = random_digraph(num_nodes, num_edges, seed=seed)
+
+    pattern = Pattern(f"rand-s{seed}")
+    names = [f"Q{i}" for i in range(rng.randint(1, 4))]
+    for name in names:
+        roll = rng.random()
+        if roll < 0.40:
+            condition = f'label == "L{rng.randrange(3)}"'
+        elif roll < 0.70:
+            condition = f"x >= {rng.randint(0, 6)}"
+        elif roll < 0.85:
+            condition = 'label in ["L0", "L1"]'
+        else:
+            condition = None  # unconstrained node: full-graph candidates
+        pattern.add_node(name, condition)
+    pairs = [(a, b) for a in names for b in names if a != b]
+    rng.shuffle(pairs)
+    for source, target in pairs[: rng.randint(0, min(len(pairs), len(names) + 1))]:
+        bound = 1 if simulation_only else rng.choice([1, 1, 2, 3, None])
+        pattern.add_edge(source, target, bound)
+    return graph, pattern
+
+
+def sequential_result(graph: Graph, pattern: Pattern):
+    """What the planner would run: simulation iff every bound is 1."""
+    if pattern.is_simulation_pattern:
+        return match_simulation(graph, pattern)
+    return match_bounded(graph, pattern)
+
+
+def assert_identical(seed, parallel, sequential) -> None:
+    __tracebackhide__ = True
+    assert parallel.relation == sequential.relation, (
+        f"seed {seed}: parallel relation diverged\n"
+        f"  parallel:   {parallel.relation!r}\n"
+        f"  sequential: {sequential.relation!r}"
+    )
+    # Byte-identity, not just set equality: the canonical serialized forms
+    # must match too (this is what persists and crosses process borders).
+    assert parallel.relation.to_dict() == sequential.relation.to_dict(), (
+        f"seed {seed}: serialized relations differ"
+    )
+
+
+@pytest.mark.parametrize("seed", BOUNDED_SEEDS, ids=lambda s: f"seed{s}")
+def test_parallel_equals_sequential_bounded(executor, seed):
+    graph, pattern = random_case(seed)
+    sequential = sequential_result(graph, pattern)
+    parallel = executor.match(graph, pattern)
+    assert_identical(seed, parallel, sequential)
+    # The merged state must also be internally consistent, not merely land
+    # on the right answer; this catches S/R/cnt merge bugs at their source.
+    if parallel._state is not None:
+        parallel._state.check_invariants()
+
+
+@pytest.mark.parametrize("seed", SIMULATION_SEEDS, ids=lambda s: f"seed{s}")
+def test_parallel_equals_sequential_simulation(executor, seed):
+    """All-bounds-1 cases, plus the cross-matcher invariant.
+
+    With every bound 1, bounded simulation's fixpoint coincides with plain
+    simulation's, so all three evaluators must agree: the quadratic
+    matcher, the cubic matcher, and the sharded parallel path.
+    """
+    graph, pattern = random_case(seed, simulation_only=True)
+    via_simulation = match_simulation(graph, pattern)
+    via_bounded = match_bounded(graph, pattern)
+    assert via_bounded.relation == via_simulation.relation, (
+        f"seed {seed}: bounded(all bounds=1) != plain simulation"
+    )
+    parallel = executor.match(graph, pattern)
+    assert_identical(seed, parallel, via_simulation)
+
+
+@pytest.mark.parametrize("seed", ENGINE_SEEDS, ids=lambda s: f"seed{s}")
+def test_engine_workers_equals_sequential(seed):
+    """The engine's ``workers=N`` route produces the sequential relation."""
+    graph, pattern = random_case(seed)
+    engine = QueryEngine()
+    engine.register_graph("g", graph)
+    sequential = engine.evaluate("g", pattern, use_cache=False, cache_result=False)
+    parallel = engine.evaluate(
+        "g", pattern, use_cache=False, cache_result=False, workers=2
+    )
+    assert_identical(seed, parallel, sequential)
+    assert parallel.stats["parallel"]["workers"] == 2
+
+
+def test_engine_batch_workers_equals_sequential():
+    """Per-batch parallelism: one pool pass over many distinct queries."""
+    cases = [random_case(seed) for seed in range(8)]
+    graph = cases[0][0]
+    patterns = [pattern for _graph, pattern in cases]
+    engine = QueryEngine()
+    engine.register_graph("g", graph)
+    sequential = engine.evaluate_many(
+        "g", patterns, use_cache=False, cache_result=False
+    )
+    parallel = engine.evaluate_many(
+        "g", patterns, use_cache=False, cache_result=False, workers=2
+    )
+    for seed, (seq, par) in enumerate(zip(sequential, parallel)):
+        assert_identical(seed, par, seq)
+    assert parallel[0].stats["batch"]["workers"] == 2

@@ -16,6 +16,7 @@ MODULE_NAMES = [
     "repro.compression.maintain",
     "repro.engine.cache",
     "repro.engine.engine",
+    "repro.engine.parallel",
     "repro.engine.planner",
     "repro.engine.storage",
     "repro.expfinder",
@@ -23,6 +24,7 @@ MODULE_NAMES = [
     "repro.graph.distance",
     "repro.graph.generators",
     "repro.graph.index",
+    "repro.graph.partition",
     "repro.incremental.inc_simulation",
     "repro.matching.bounded",
     "repro.matching.isomorphism",

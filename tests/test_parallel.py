@@ -1,0 +1,284 @@
+"""Unit tests for the parallel evaluation subsystem (`engine.parallel`).
+
+The exhaustive parallel-vs-sequential equivalence lives in
+tests/test_differential.py; this module covers the machinery itself:
+worker validation, pool lifecycle, stats, engine routing, and the facade.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.engine import QueryEngine
+from repro.engine.parallel import ParallelExecutor, validate_workers
+from repro.errors import EvaluationError
+from repro.expfinder import ExpFinder
+from repro.matching.bounded import BoundedState, match_bounded
+from repro.matching.simulation import simulation_candidates
+from repro.pattern.builder import PatternBuilder
+
+
+class TestValidateWorkers:
+    def test_none_means_sequential(self):
+        assert validate_workers(None) == 1
+
+    @pytest.mark.parametrize("workers", [1, 2, 7])
+    def test_positive_integers_pass_through(self, workers):
+        assert validate_workers(workers) == workers
+
+    @pytest.mark.parametrize("workers", [0, -1, -10, 1.5, "2", True, False])
+    def test_everything_else_raises(self, workers):
+        with pytest.raises(EvaluationError, match="positive integer"):
+            validate_workers(workers)
+
+
+class TestExecutor:
+    def test_match_parity_and_stats(self, fig1, fig1_query):
+        sequential = match_bounded(fig1, fig1_query)
+        with ParallelExecutor(workers=2) as executor:
+            parallel = executor.match(fig1, fig1_query)
+        assert parallel.relation == sequential.relation
+        info = parallel.stats["parallel"]
+        assert info["mode"] == "sharded-query"
+        assert info["workers"] == 2
+        assert info["shards"] == 2
+        assert parallel.stats["algorithm"] == "bounded-simulation"
+        assert parallel.stats["candidate_source"] == "scan"
+
+    def test_result_carries_state(self, fig1, fig1_query):
+        with ParallelExecutor(workers=2) as executor:
+            result = executor.match(fig1, fig1_query)
+        assert isinstance(result._state, BoundedState)
+        result._state.check_invariants()
+        assert result.result_graph().num_nodes > 0
+
+    def test_single_worker_runs_inline(self, fig1, fig1_query):
+        executor = ParallelExecutor(workers=1)
+        result = executor.match(fig1, fig1_query)
+        assert executor._pool is None  # no processes were forked
+        assert result.relation == match_bounded(fig1, fig1_query).relation
+
+    @pytest.fixture
+    def selective_case(self):
+        """A graph whose candidate balls cover a small fraction of it.
+
+        Two tiny chains match; a sea of filler nodes does not, so the
+        decomposition ships induced ball subgraphs instead of sharing the
+        whole graph.
+        """
+        from repro.graph.digraph import Graph
+
+        graph = Graph(name="selective")
+        for index in range(40):
+            graph.add_node(f"filler{index}", label="F")
+        for which in ("1", "2"):
+            graph.add_node(f"s{which}", label="S")
+            graph.add_node(f"t{which}", label="T")
+            graph.add_edge(f"s{which}", f"t{which}")
+        pattern = (
+            PatternBuilder("chain")
+            .node("S", 'label == "S"')
+            .node("T", 'label == "T"')
+            .edge("S", "T", 1)
+            .build()
+        )
+        return graph, pattern
+
+    def test_selective_balls_ship_subgraphs(self, selective_case):
+        graph, pattern = selective_case
+        with ParallelExecutor(workers=2) as executor:
+            result = executor.match(graph, pattern)
+        assert result.stats["parallel"]["shipping"] == "ball-subgraphs"
+        assert sorted(result.relation.matches_of("S")) == ["s1", "s2"]
+
+    def test_broad_balls_share_the_graph(self, fig1, fig1_query):
+        with ParallelExecutor(workers=2) as executor:
+            result = executor.match(fig1, fig1_query)
+        assert result.stats["parallel"]["shipping"] == "shared-graph"
+
+    def test_close_is_idempotent(self, selective_case):
+        graph, pattern = selective_case
+        executor = ParallelExecutor(workers=2)
+        executor.match(graph, pattern)
+        assert executor._pool is not None
+        executor.close()
+        executor.close()
+        assert executor._pool is None
+
+    def test_pool_reused_across_matches(self, selective_case):
+        graph, pattern = selective_case
+        with ParallelExecutor(workers=2) as executor:
+            executor.match(graph, pattern)
+            pool = executor._pool
+            executor.match(graph, pattern)
+            assert executor._pool is pool
+
+    def test_bad_workers_rejected_at_construction(self):
+        with pytest.raises(EvaluationError, match="positive integer"):
+            ParallelExecutor(workers=0)
+
+    def test_num_shards_override(self, fig1, fig1_query):
+        with ParallelExecutor(workers=2) as executor:
+            result = executor.match(fig1, fig1_query, num_shards=4)
+        assert result.stats["parallel"]["shards"] == 4
+        assert result.relation == match_bounded(fig1, fig1_query).relation
+
+    def test_match_many_parity(self, fig1, fig1_query):
+        from repro.graph.index import predicate_key
+
+        candidates = simulation_candidates(fig1, fig1_query)
+        keys = {
+            u: predicate_key(fig1_query.predicate(u)) for u in fig1_query.nodes()
+        }
+        table = {keys[u]: candidates[u] for u in fig1_query.nodes()}
+        tasks = [(fig1_query, keys)] * 3
+        with ParallelExecutor(workers=2) as executor:
+            outcomes = executor.match_many(fig1, tasks, table)
+        expected = match_bounded(fig1, fig1_query).relation
+        assert [relation for relation, _stats in outcomes] == [expected] * 3
+        assert all(stats["algorithm"] == "bounded-simulation" for _r, stats in outcomes)
+
+    def test_match_many_empty(self, fig1):
+        with ParallelExecutor(workers=2) as executor:
+            assert executor.match_many(fig1, [], {}) == []
+
+    def test_simulation_pattern_same_relation(self, diamond):
+        pattern = (
+            PatternBuilder("path")
+            .node("A", 'label == "A"')
+            .node("B", 'label == "B"')
+            .edge("A", "B", 1)
+            .build()
+        )
+        from repro.matching.simulation import match_simulation
+
+        with ParallelExecutor(workers=2) as executor:
+            result = executor.match(diamond, pattern)
+        assert result.relation == match_simulation(diamond, pattern).relation
+        assert result.stats["algorithm"] == "simulation"
+
+
+class TestEngineWorkers:
+    @pytest.fixture
+    def engine(self, fig1):
+        engine = QueryEngine()
+        engine.register_graph("fig1", fig1)
+        return engine
+
+    def test_direct_route_parity(self, engine, fig1_query):
+        sequential = engine.evaluate(
+            "fig1", fig1_query, use_cache=False, cache_result=False
+        )
+        parallel = engine.evaluate(
+            "fig1", fig1_query, use_cache=False, cache_result=False, workers=2
+        )
+        assert parallel.relation == sequential.relation
+        assert parallel.stats["route"] == "direct"
+        assert parallel.stats["parallel"]["workers"] == 2
+
+    def test_parallel_result_is_cached(self, engine, fig1_query):
+        engine.evaluate("fig1", fig1_query, workers=2)
+        again = engine.evaluate("fig1", fig1_query, workers=2)
+        assert again.stats["route"] == "cache"
+        assert "parallel" not in again.stats
+
+    def test_unknown_graph_still_names_registered_graphs(self, engine, fig1_query):
+        with pytest.raises(EvaluationError, match="registered: fig1"):
+            engine.evaluate("nope", fig1_query, workers=2)
+
+    @pytest.mark.parametrize("workers", [0, -3])
+    def test_bad_workers_raise_before_evaluating(self, engine, fig1_query, workers):
+        with pytest.raises(EvaluationError, match="positive integer"):
+            engine.evaluate("fig1", fig1_query, workers=workers)
+        with pytest.raises(EvaluationError, match="positive integer"):
+            engine.evaluate_many("fig1", [fig1_query], workers=workers)
+
+    def test_compressed_route_ignores_workers(self, engine, fig1_query):
+        engine.compress_graph("fig1", ["field", "specialty", "experience"])
+        result = engine.evaluate(
+            "fig1", fig1_query, use_cache=False, cache_result=False, workers=2
+        )
+        assert result.stats["route"] == "compressed"
+        sequential = engine.evaluate(
+            "fig1",
+            fig1_query,
+            use_cache=False,
+            use_compression=False,
+            cache_result=False,
+        )
+        assert result.relation == sequential.relation
+
+    def test_batch_workers_parity_and_dedup(self, engine, fig1_query):
+        patterns = [fig1_query, fig1_query, fig1_query]
+        results = engine.evaluate_many(
+            "fig1", patterns, use_cache=False, cache_result=False, workers=2
+        )
+        expected = match_bounded(engine.graph("fig1"), fig1_query).relation
+        assert [r.relation for r in results] == [expected] * 3
+        # Only the first occurrence is farmed; repeats are batch-local reuse.
+        assert results[0].stats["route"] == "direct"
+        assert results[1].stats["route"] == "cache"
+        assert results[0].stats["batch"]["workers"] == 2
+
+    def test_single_query_batch_uses_sharded_parallelism(self, engine, fig1_query):
+        results = engine.evaluate_many(
+            "fig1", [fig1_query], use_cache=False, cache_result=False, workers=2
+        )
+        assert results[0].stats["parallel"]["mode"] == "sharded-query"
+        # The evaluate_many contract holds on the delegated path too: every
+        # result carries batch stats (the CLI reads them unconditionally).
+        batch_info = results[0].stats["batch"]
+        assert batch_info["size"] == 1
+        assert batch_info["workers"] == 2
+        assert batch_info["distinct_predicates"] == 4
+
+    def test_engine_reuses_one_executor_per_worker_count(self, engine, fig1_query):
+        engine.evaluate("fig1", fig1_query, use_cache=False, cache_result=False,
+                        workers=2)
+        first = engine._executors[2]
+        engine.evaluate("fig1", fig1_query, use_cache=False, cache_result=False,
+                        workers=2)
+        assert engine._executors[2] is first
+        engine.close()
+        assert engine._executors == {}
+        engine.close()  # idempotent
+        # ...and the engine keeps working after close()
+        result = engine.evaluate(
+            "fig1", fig1_query, use_cache=False, cache_result=False, workers=2
+        )
+        assert result.is_match
+
+    def test_farmed_result_graph_recomputes(self, engine, fig1_query):
+        second = (
+            PatternBuilder("pair")
+            .node("SA", 'field == "SA"', output=True)
+            .node("SD", 'field == "SD"')
+            .edge("SA", "SD", 2)
+            .build()
+        )
+        results = engine.evaluate_many(
+            "fig1",
+            [fig1_query, second],
+            use_cache=False,
+            cache_result=False,
+            workers=2,
+        )
+        for result in results:
+            assert result._state is None  # relations crossed a process border
+            assert result.result_graph().num_nodes > 0
+
+
+class TestFacadeWorkers:
+    def test_match_and_match_many(self, fig1, fig1_query):
+        finder = ExpFinder()
+        finder.add_graph("g", fig1)
+        sequential = finder.match("g", fig1_query, use_cache=False, cache_result=False)
+        parallel = finder.match(
+            "g", fig1_query, use_cache=False, cache_result=False, workers=2
+        )
+        assert parallel.relation == sequential.relation
+        many = finder.match_many(
+            "g", [fig1_query, fig1_query], use_cache=False, cache_result=False,
+            workers=2,
+        )
+        assert [r.relation for r in many] == [sequential.relation] * 2

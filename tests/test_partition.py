@@ -1,0 +1,190 @@
+"""Unit and property tests for the ball decomposition (`graph.partition`).
+
+The load-bearing property is *cover soundness*: every node within the
+pattern-derived radius of a pivot lies inside that pivot's shard, so a
+shard-local truncated BFS equals a full-graph one and no successor row can
+straddle shards undetected.  If this property broke, parallel evaluation
+would silently return relations that are too large.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datasets.paper_example import paper_graph, paper_pattern
+from repro.errors import GraphError
+from repro.graph.distance import bounded_descendants, multi_source_descendants
+from repro.graph.generators import random_digraph
+from repro.graph.partition import Shard, decompose, pattern_radius, source_depth
+from repro.matching.simulation import simulation_candidates
+from repro.pattern.builder import PatternBuilder
+from repro.pattern.pattern import Pattern
+
+from tests.test_differential import random_case
+
+PROPERTY_SEEDS = range(30)
+
+
+def decompose_case(seed: int, num_shards: int | None = None):
+    graph, pattern = random_case(seed)
+    candidates = simulation_candidates(graph, pattern)
+    if num_shards is None:
+        num_shards = random.Random(seed).randint(1, 5)
+    return graph, pattern, candidates, decompose(graph, pattern, candidates, num_shards)
+
+
+class TestDepths:
+    def test_source_depth_is_max_out_bound(self):
+        pattern = paper_pattern()  # SA's out-edges carry bounds 2 and 3
+        assert source_depth(pattern, "SA") == 3
+        assert source_depth(pattern, "SD") == 1
+        assert source_depth(pattern, "ST") == 0  # no out-edges
+
+    def test_source_depth_unbounded(self):
+        pattern = (
+            PatternBuilder("star")
+            .node("A", 'label == "A"')
+            .node("B", 'label == "B"')
+            .edge("A", "B", None)
+            .build()
+        )
+        assert source_depth(pattern, "A") is None
+        assert pattern_radius(pattern) is None
+
+    def test_pattern_radius_paper_example(self):
+        assert pattern_radius(paper_pattern()) == 3
+
+
+class TestDecomposeShape:
+    def test_paper_example_two_shards(self):
+        graph, pattern = paper_graph(), paper_pattern()
+        candidates = simulation_candidates(graph, pattern)
+        shards = decompose(graph, pattern, candidates, 2)
+        assert len(shards) == 2
+        assert all(isinstance(shard, Shard) for shard in shards)
+        assert [shard.index for shard in shards] == [0, 1]
+
+    def test_never_more_shards_than_requested_and_no_empty_shards(self):
+        for seed in PROPERTY_SEEDS:
+            _graph, _pattern, _candidates, shards = decompose_case(seed)
+            assert all(shard.num_pivots > 0 for shard in shards)
+
+    def test_more_shards_than_pivots_collapses(self):
+        graph, pattern = paper_graph(), paper_pattern()
+        candidates = simulation_candidates(graph, pattern)
+        shards = decompose(graph, pattern, candidates, 100)
+        total = sum(shard.num_pivots for shard in shards)
+        assert len(shards) <= total
+
+    def test_deterministic(self):
+        graph, pattern = paper_graph(), paper_pattern()
+        candidates = simulation_candidates(graph, pattern)
+        first = decompose(graph, pattern, candidates, 3)
+        second = decompose(graph, pattern, candidates, 3)
+        assert first == second
+
+    def test_bad_num_shards_raises(self):
+        graph, pattern = paper_graph(), paper_pattern()
+        candidates = simulation_candidates(graph, pattern)
+        with pytest.raises(GraphError, match="num_shards"):
+            decompose(graph, pattern, candidates, 0)
+
+    def test_missing_candidates_raise(self):
+        graph, pattern = paper_graph(), paper_pattern()
+        with pytest.raises(GraphError, match="missing"):
+            decompose(graph, pattern, {}, 2)
+
+    def test_edge_free_pattern_has_no_shards(self):
+        graph = paper_graph()
+        pattern = Pattern("flat")
+        pattern.add_node("A", 'field == "SA"')
+        assert decompose(graph, pattern, {"A": {"Bob"}}, 4) == []
+
+
+class TestCoverSoundness:
+    @pytest.mark.parametrize("seed", PROPERTY_SEEDS, ids=lambda s: f"seed{s}")
+    def test_every_pivot_ball_is_inside_its_shard(self, seed):
+        graph, _pattern, _candidates, shards = decompose_case(seed)
+        for shard in shards:
+            for u, pivots in shard.pivots.items():
+                radius = shard.depths[u]
+                for pivot in pivots:
+                    assert pivot in shard.nodes, f"seed {seed}: pivot outside shard"
+                    ball = set(bounded_descendants(graph, pivot, radius))
+                    missing = ball - shard.nodes
+                    assert not missing, (
+                        f"seed {seed}: shard {shard.index} ball for pivot "
+                        f"{pivot!r} (pattern node {u!r}, radius {radius}) "
+                        f"leaks {sorted(map(repr, missing))[:5]}"
+                    )
+
+    @pytest.mark.parametrize("seed", PROPERTY_SEEDS, ids=lambda s: f"seed{s}")
+    def test_every_source_candidate_owned_exactly_once(self, seed):
+        graph, pattern, candidates, shards = decompose_case(seed)
+        sources = [u for u in pattern.nodes() if source_depth(pattern, u) != 0]
+        seen: dict[tuple, int] = {}
+        for shard in shards:
+            for u, pivots in shard.pivots.items():
+                for pivot in pivots:
+                    seen[(u, pivot)] = seen.get((u, pivot), 0) + 1
+        expected = {(u, v) for u in sources for v in candidates[u]}
+        assert set(seen) == expected, f"seed {seed}: pivot ownership mismatch"
+        assert all(count == 1 for count in seen.values()), (
+            f"seed {seed}: a pivot is owned by several shards"
+        )
+
+    def test_unbounded_radius_ball_is_full_descendant_set(self):
+        graph = random_digraph(25, 60, seed=3)
+        pattern = (
+            PatternBuilder("reach")
+            .node("A", 'label == "L0"')
+            .node("B", 'label == "L1"')
+            .edge("A", "B", None)
+            .build()
+        )
+        candidates = simulation_candidates(graph, pattern)
+        shards = decompose(graph, pattern, candidates, 2)
+        for shard in shards:
+            for pivot in shard.pivots.get("A", ()):
+                reachable = set(bounded_descendants(graph, pivot, None))
+                assert reachable <= shard.nodes
+
+    def test_subgraph_bfs_equals_full_graph_bfs(self):
+        """The consequence the executor relies on, stated directly."""
+        for seed in range(10):
+            graph, _pattern, _candidates, shards = decompose_case(seed)
+            for shard in shards:
+                subgraph = shard.subgraph(graph)
+                for u, pivots in shard.pivots.items():
+                    for pivot in pivots:
+                        assert bounded_descendants(
+                            subgraph, pivot, shard.depths[u]
+                        ) == bounded_descendants(graph, pivot, shard.depths[u])
+
+
+class TestMultiSourceDescendants:
+    def test_sources_at_distance_zero(self):
+        graph = paper_graph()
+        out = multi_source_descendants(graph, ["Bob"], 0)
+        assert out == {"Bob": 0}
+
+    def test_matches_per_source_union(self):
+        for seed in range(10):
+            graph = random_digraph(20, 50, seed=seed)
+            rng = random.Random(seed)
+            sources = rng.sample(range(20), 4)
+            bound = rng.choice([1, 2, 3, None])
+            merged = multi_source_descendants(graph, sources, bound)
+            union = set(sources)
+            for source in sources:
+                union |= set(bounded_descendants(graph, source, bound))
+            assert set(merged) == union
+            for node, dist in merged.items():
+                if node not in sources:
+                    best = min(
+                        bounded_descendants(graph, s, bound).get(node, 10**9)
+                        for s in sources
+                    )
+                    assert dist == best
