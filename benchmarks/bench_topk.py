@@ -1,88 +1,210 @@
-"""E10 — "how top-K matches are selected based on the ranking function".
+"""E13 — bulk top-K ranking vs. the naive per-match path.
 
-Times the two stages of top-K expert selection: building the weighted
-result graph from the match state, and ranking every output-node match by
-social impact.  Expected shape: result-graph construction dominates; the
-ranking stage is Dijkstra-per-match over a graph that is much smaller than
-G; K itself is almost free (ranking sorts once).
+Two seeded workloads, both with 5000+ matches of the output node, both
+asserting (always, on any host) that the ranked output — order, scores and
+``RankedMatch`` evidence — is *identical* across the naive path, the bulk
+context path and the ``workers=N`` parallel path:
+
+* **prunable** — witness-edge weights are heterogeneous: a small elite of
+  hubs is directly wired to its team (weight-1 witnesses) while the other
+  5000 hubs reach their teams through a relay (weight-2 witnesses).  The
+  bulk path's admissible bound (minimum incident witness weight) proves
+  every weight-2 hub is outside the top-10 after scoring just the elite,
+  so lazy selection runs ~10 Dijkstras instead of ~10 000.  The >= 2x
+  speedup assertion runs on *any* host — the win is algorithmic
+  (deterministic pruning), not parallelism.
+* **uniform** — every witness weighs 1, so the bound cannot separate
+  anything and every match must be fully scored.  This is the worst case
+  for laziness, and an honest stress for fan-out: per-match Dijkstras over
+  5-node components are so cheap that per-call pool forks and shipping
+  5000 ``RankedMatch`` results back dominate (the same Amdahl shape as
+  E12's sharded-query case), so on >= 4 cores the assertion is a
+  catastrophic-regression floor (>= 0.5x vs. naive, measured number always
+  printed), and on smaller hosts it is skipped with the measured number.
+  Fan-out is timed ranking-only (same pre-built result graph as the other
+  two paths) so the comparison is apples-to-apples.
+
+The file also enforces the subsystem's contract change at the door:
+``k < 1`` raises ``RankingError`` for every metric, in the engine and in
+the CLI.
 """
+
+from __future__ import annotations
+
+import os
+import time
 
 import pytest
 
-from benchmarks.conftest import cached_collab, team_pattern
+from repro.cli import main as cli_main
+from repro.engine.engine import QueryEngine
+from repro.engine.parallel import ParallelExecutor
+from repro.errors import RankingError
+from repro.graph.digraph import Graph
+from repro.graph.io import save_graph
 from repro.matching.bounded import match_bounded
-from repro.matching.result_graph import build_result_graph
+from repro.graph.index import AttributeIndex
+from repro.pattern.builder import PatternBuilder
+from repro.pattern.parser import save_pattern
 from repro.ranking.metrics import METRICS
-from repro.ranking.social_impact import rank_matches, top_k
+from repro.ranking.social_impact import rank_matches
+from repro.ranking.social_impact import top_k as naive_top_k
+from repro.ranking.topk import RankingContext, bulk_top_k_detail, bulk_top_k_scores
 
-SIZES = (500, 1500)
-
-
-def _matched(size):
-    graph = cached_collab(size)
-    pattern = team_pattern(senior=4)
-    result = match_bounded(graph, pattern)
-    assert result.is_match, "benchmark workload must produce matches"
-    return result
+REGULAR = 5000
+ELITE = 24
+K = 10
+WORKERS = 4
+CORES = os.cpu_count() or 1
 
 
-@pytest.mark.parametrize("size", SIZES)
-@pytest.mark.benchmark(group="E10-result-graph")
-def test_result_graph_construction(benchmark, size):
-    result = _matched(size)
-    result_graph = benchmark(
-        lambda: build_result_graph(
-            result.graph, result.pattern, result.relation, state=result._state
-        )
+def clustered_graph(direct: bool) -> Graph:
+    """5024 disjoint teams; ``direct=False`` routes regular teams via relays.
+
+    Every hub (field SA) must reach its SD team members within 2 hops.
+    Elite hubs are always wired directly (witness weight 1); regular hubs
+    are wired through a non-matching relay (witness weight 2) unless
+    ``direct`` forces weight-1 witnesses everywhere (the uniform workload).
+    """
+    graph = Graph(name="ranking-bench")
+    for index in range(ELITE):
+        hub = f"elite{index:05d}"
+        graph.add_node(hub, field="SA", experience=9)
+        for member in range(3):
+            sd = f"{hub}sd{member}"
+            graph.add_node(sd, field="SD", experience=5)
+            graph.add_edge(hub, sd)
+    for index in range(REGULAR):
+        hub = f"hub{index:05d}"
+        graph.add_node(hub, field="SA", experience=7)
+        members = [f"{hub}sd{member}" for member in range(4)]
+        for sd in members:
+            graph.add_node(sd, field="SD", experience=4)
+        if direct:
+            for sd in members:
+                graph.add_edge(hub, sd)
+        else:
+            relay = f"{hub}relay"
+            graph.add_node(relay, field="X", experience=1)
+            graph.add_edge(hub, relay)
+            for sd in members:
+                graph.add_edge(relay, sd)
+    return graph
+
+
+def team_pattern():
+    return (
+        PatternBuilder("bench-team")
+        .node("SA", "experience >= 5", field="SA", output=True)
+        .node("SD", "experience >= 2", field="SD")
+        .edge("SA", "SD", 2)
+        .build(require_output=True)
     )
-    benchmark.extra_info["matches"] = result_graph.num_nodes
-    benchmark.extra_info["witness_edges"] = result_graph.num_edges
 
 
-@pytest.mark.parametrize("size", SIZES)
-@pytest.mark.benchmark(group="E10-ranking")
-def test_rank_all_matches(benchmark, size):
-    result_graph = _matched(size).result_graph()
-    ranked = benchmark(lambda: rank_matches(result_graph))
-    benchmark.extra_info["candidates_ranked"] = len(ranked)
+@pytest.fixture(scope="module", params=["prunable", "uniform"])
+def workload(request):
+    graph = clustered_graph(direct=request.param == "uniform")
+    pattern = team_pattern()
+    result = match_bounded(graph, pattern, index=AttributeIndex(graph))
+    assert result.is_match
+    result_graph = result.result_graph()
+    matches = len(rank_matches(result_graph))
+    assert matches >= 5000, f"workload must have 5k+ matches, got {matches}"
+    return request.param, graph, pattern, result_graph
 
 
-@pytest.mark.parametrize("k", (1, 5, 25))
-@pytest.mark.benchmark(group="E10-topk")
-def test_top_k_selection(benchmark, k):
-    result_graph = _matched(1500).result_graph()
-    experts = benchmark(lambda: top_k(result_graph, k))
-    benchmark.extra_info["k"] = k
-    benchmark.extra_info["returned"] = len(experts)
+def test_bulk_ranking_vs_naive(workload):
+    """Wall-clock and identity: naive vs. bulk vs. workers=N, ranking only.
+
+    All three paths rank the *same pre-built result graph* (k experts out
+    of 5024 matches), so the measured ratios isolate the ranking stage —
+    evaluation and result-graph construction are shared setup.
+    """
+    name, _graph, _pattern, result_graph = workload
+
+    start = time.perf_counter()
+    naive = naive_top_k(result_graph, K)
+    t_naive = time.perf_counter() - start
+
+    start = time.perf_counter()
+    context = RankingContext(result_graph)
+    bulk = bulk_top_k_detail(context, K)
+    t_bulk = time.perf_counter() - start
+
+    with ParallelExecutor(WORKERS) as executor:
+        start = time.perf_counter()
+        parallel_context = RankingContext(result_graph)
+        parallel = bulk_top_k_detail(
+            parallel_context, K, score_many=executor.rank_many
+        )
+        t_parallel = time.perf_counter() - start
+
+    # Identity first — order, ranks and evidence, on every host.
+    assert bulk == naive, f"[{name}] bulk top-K diverged from naive"
+    assert parallel == naive, f"[{name}] workers={WORKERS} top-K diverged"
+
+    speedup = t_naive / t_bulk
+    par_speedup = t_naive / t_parallel
+    scored = context.stats["details_scored"]
+    pruned = context.stats["pruned_by_bound"]
+    print(
+        f"\n[E13/{name}] {REGULAR + ELITE} matches, k={K}: "
+        f"naive {t_naive * 1e3:.0f}ms, bulk {t_bulk * 1e3:.0f}ms "
+        f"({scored} scored, {pruned} pruned) -> {speedup:.1f}x; "
+        f"{WORKERS}-worker {t_parallel * 1e3:.0f}ms -> {par_speedup:.1f}x "
+        f"({CORES} cores)"
+    )
+
+    if name == "prunable":
+        # The bound prunes ~every weight-2 hub: this is an algorithmic win
+        # and must hold on any host, single-core included.
+        assert pruned >= REGULAR - K, f"bound pruning disengaged: {pruned}"
+        assert speedup >= 2.0, (
+            f"bulk lazy ranking should beat naive >= 2x at "
+            f"{REGULAR + ELITE} matches; got {speedup:.2f}x"
+        )
+    else:
+        # Nothing is prunable and per-match scoring is tiny, so pool forks
+        # and result shipping dominate — assert only the catastrophic-
+        # regression floor where cores exist (E12's sharded-case policy);
+        # identity above is the real always-on guarantee.
+        if CORES < WORKERS:
+            pytest.skip(
+                f"uniform: host has {CORES} core(s); {WORKERS} workers cannot "
+                f"win wall-clock (bulk {speedup:.2f}x, parallel "
+                f"{par_speedup:.2f}x; results identical)"
+            )
+        assert par_speedup >= 0.5, (
+            f"{WORKERS}-worker scoring regressed catastrophically on "
+            f"{CORES} cores: {par_speedup:.2f}x"
+        )
 
 
-@pytest.mark.parametrize("metric_name", sorted(METRICS))
-@pytest.mark.benchmark(group="E10-metrics")
-def test_alternative_metrics(benchmark, metric_name):
-    """'Other metrics can be readily supported': their relative costs."""
-    result_graph = _matched(500).result_graph()
-    metric = METRICS[metric_name]
-    scored = benchmark(lambda: metric.rank_all(result_graph))
-    benchmark.extra_info["candidates_ranked"] = len(scored)
+def test_bulk_identity_for_alternative_metrics(workload):
+    """Every pluggable metric: bulk == rank_all()[:k], scores included."""
+    name, _graph, _pattern, result_graph = workload
+    if name != "prunable":
+        pytest.skip("metric identity is workload-independent; checked once")
+    for metric in METRICS.values():
+        naive = metric.rank_all(result_graph)[:K]
+        bulk = bulk_top_k_scores(RankingContext(result_graph), K, metric)
+        assert bulk == naive, f"metric {metric.name} diverged"
 
 
-@pytest.mark.benchmark(group="E10-shape")
-def test_shape_topk_cost_independent_of_k(benchmark):
-    """Selecting K=1 vs K=25 costs the same: ranking happens once."""
-    import time
-
-    result_graph = _matched(1500).result_graph()
-
-    def measure():
-        started = time.perf_counter()
-        top_k(result_graph, 1)
-        small_k = time.perf_counter() - started
-        started = time.perf_counter()
-        top_k(result_graph, 25)
-        large_k = time.perf_counter() - started
-        return small_k, large_k
-
-    small_k, large_k = benchmark.pedantic(measure, rounds=5, iterations=1)
-    benchmark.extra_info["k1_ms"] = round(small_k * 1e3, 3)
-    benchmark.extra_info["k25_ms"] = round(large_k * 1e3, 3)
-    assert large_k < small_k * 3 + 0.01  # same order of magnitude
+def test_k_below_one_raises_everywhere(tmp_path):
+    """The contract change: k < 1 is RankingError for every metric."""
+    graph = clustered_graph(direct=True)
+    pattern = team_pattern()
+    engine = QueryEngine()
+    engine.register_graph("bench", graph)
+    for metric in METRICS:
+        for bad in (0, -1):
+            with pytest.raises(RankingError):
+                engine.top_k("bench", pattern, bad, metric=metric)
+    graph_file = str(save_graph(graph, tmp_path / "bench.json"))
+    pattern_file = str(save_pattern(pattern, tmp_path / "bench.pattern"))
+    for metric in METRICS:
+        code = cli_main(["topk", "--graph", graph_file, "--pattern",
+                         pattern_file, "-k", "0", "--metric", metric])
+        assert code == 2, f"CLI accepted k=0 for metric {metric}"

@@ -34,7 +34,7 @@ from repro.matching.bounded import match_bounded
 from repro.matching.simulation import match_simulation
 from repro.pattern.parser import load_pattern
 from repro.pattern.pattern import Pattern
-from repro.ranking.metrics import METRICS, get_metric
+from repro.ranking.metrics import METRICS
 from repro.ranking.social_impact import rank_matches
 from repro.viz import ascii as views
 from repro.viz.dot import result_to_dot
@@ -107,6 +107,9 @@ def _build_parser() -> argparse.ArgumentParser:
     topk.add_argument("-k", type=int, default=5)
     topk.add_argument("--metric", choices=sorted(METRICS), default="social-impact")
     topk.add_argument("--dot", default=None, help="write a DOT file highlighting the top-1")
+    topk.add_argument("--workers", type=int, default=1,
+                      help="evaluate and score with N worker processes "
+                           "(default 1 = sequential)")
     topk.set_defaults(handler=_cmd_topk)
 
     update = sub.add_parser("update", help="apply graph updates to a graph file")
@@ -269,26 +272,45 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 
 def _cmd_topk(args: argparse.Namespace) -> int:
+    """Top-K through the engine, like `query`/`batch` — never a private path.
+
+    Routing through :class:`QueryEngine` gives `topk` everything the other
+    subcommands already had: plan-based route selection, the attribute
+    index, the query and ranked-result caches, and `--workers` fan-out for
+    both evaluation and per-match scoring.
+    """
+    from repro.engine.engine import QueryEngine
+
+    workers = _check_workers(args.workers)
     graph, pattern = _load_inputs(args)
     pattern.validate(require_output=True)
-    result = _evaluate(graph, pattern)
-    if not result.is_match:
-        print("no match")
-        return 1
-    result_graph = result.result_graph()
-    if args.metric == "social-impact":
-        ranked = rank_matches(result_graph)
-        print(views.render_ranking(ranked, k=args.k))
-        top = ranked[0].node if ranked else None
-    else:
-        scored = get_metric(args.metric).rank_all(result_graph)[: args.k]
-        print(views.render_table(("#", "expert", args.metric),
-                                 [(i + 1, n, f"{s:.4f}") for i, (n, s) in enumerate(scored)]))
-        top = scored[0][0] if scored else None
-    if args.dot is not None and top is not None:
-        Path(args.dot).write_text(result_to_dot(result_graph, highlight=top))
-        print(f"wrote {args.dot}")
-    return 0
+    engine = QueryEngine()
+    engine.register_graph("cli", graph)
+    try:
+        ranked = engine.top_k(
+            "cli", pattern, args.k, metric=args.metric, workers=workers
+        )
+        # M(Q,G) is total-or-empty: no ranked experts means no match at all.
+        if not ranked:
+            print("no match")
+            return 1
+        if args.metric == "social-impact":
+            print(views.render_ranking(ranked))
+            top = ranked[0].node
+        else:
+            print(views.render_table(("#", "expert", args.metric),
+                                     [(i + 1, n, f"{s:.4f}")
+                                      for i, (n, s) in enumerate(ranked)]))
+            top = ranked[0][0]
+        if args.dot is not None:
+            # The evaluation is already cached (and the ranking context
+            # snapshotted), so deriving the result graph here is cheap.
+            result_graph = engine.evaluate("cli", pattern).result_graph()
+            Path(args.dot).write_text(result_to_dot(result_graph, highlight=top))
+            print(f"wrote {args.dot}")
+        return 0
+    finally:
+        engine.close()
 
 
 def _parse_edge(spec: str) -> tuple[str, str]:

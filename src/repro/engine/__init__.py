@@ -1,6 +1,6 @@
 """Query engine: planner, cache, file storage, orchestration."""
 
-from repro.engine.cache import CacheEntry, QueryCache, cache_key
+from repro.engine.cache import CacheEntry, QueryCache, RankCache, RankEntry, cache_key
 from repro.engine.engine import QueryEngine, RegisteredGraph
 from repro.engine.planner import (
     ALGORITHM_BOUNDED,
@@ -17,6 +17,8 @@ from repro.engine.storage import GraphStore
 __all__ = [
     "CacheEntry",
     "QueryCache",
+    "RankCache",
+    "RankEntry",
     "cache_key",
     "QueryEngine",
     "RegisteredGraph",

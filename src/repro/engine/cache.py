@@ -157,3 +157,98 @@ class QueryCache:
             "invalidations": self._invalidations,
             "pinned": sum(1 for e in self._entries.values() if e.pinned),
         }
+
+
+@dataclass
+class RankEntry:
+    """One cached ranking context, valid for exactly one graph version."""
+
+    context: Any  # repro.ranking.topk.RankingContext
+    graph_version: int
+    hits: int = 0
+
+
+class RankCache:
+    """LRU cache of bulk-ranking contexts, keyed alongside the query cache.
+
+    A ranked result is heavier than a match relation — the context holds a
+    result-graph snapshot plus memoized Dijkstra runs — so it gets its own
+    (smaller) LRU rather than riding in :class:`QueryCache`.  Keys are the
+    same ``(graph name, canonical pattern)`` tuples; validity is checked
+    against ``Graph.version`` on every read, so *any* mutation of the
+    underlying graph (through the engine or out-of-band) invalidates the
+    entry — except entries the engine refreshes in place through its
+    pinned-query re-ranking path, which advances ``graph_version``.
+
+    >>> cache = RankCache(capacity=2)
+    >>> cache.stats()["size"]
+    0
+    """
+
+    def __init__(self, capacity: int = 16) -> None:
+        if capacity < 1:
+            raise CacheError(f"capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[CacheKey, RankEntry]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._stale_drops = 0
+        self._invalidations = 0
+
+    def get(self, key: CacheKey, graph_version: int) -> RankEntry | None:
+        """The entry for ``key`` iff it matches ``graph_version``."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self._misses += 1
+            return None
+        if entry.graph_version != graph_version:
+            del self._entries[key]
+            self._stale_drops += 1
+            self._misses += 1
+            return None
+        self._entries.move_to_end(key)
+        entry.hits += 1
+        self._hits += 1
+        return entry
+
+    def peek(self, key: CacheKey) -> RankEntry | None:
+        """Raw access without version checks or stats (maintenance paths)."""
+        return self._entries.get(key)
+
+    def put(self, key: CacheKey, context: Any, graph_version: int) -> RankEntry:
+        entry = RankEntry(context=context, graph_version=graph_version)
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return entry
+
+    def invalidate_graph(
+        self, graph_name: str, keep: "set[CacheKey] | None" = None
+    ) -> int:
+        """Drop a graph's entries, except those in ``keep`` (refreshed ones)."""
+        doomed = [
+            key
+            for key in self._entries
+            if key[0] == graph_name and (keep is None or key not in keep)
+        ]
+        for key in doomed:
+            del self._entries[key]
+        self._invalidations += len(doomed)
+        return len(doomed)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self._hits,
+            "misses": self._misses,
+            "stale_drops": self._stale_drops,
+            "invalidations": self._invalidations,
+        }

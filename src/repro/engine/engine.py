@@ -19,7 +19,7 @@ from repro.graph.index import AttributeIndex, batch_candidates, predicate_key
 from repro.compression.compress import CompressedGraph, compress
 from repro.compression.decompress import decompress_result
 from repro.compression.maintain import MaintainedCompression
-from repro.engine.cache import CacheEntry, QueryCache, cache_key
+from repro.engine.cache import CacheEntry, QueryCache, RankCache, cache_key
 from repro.engine.planner import (
     ALGORITHM_SIMULATION,
     ROUTE_CACHE,
@@ -35,11 +35,17 @@ from repro.incremental.inc_simulation import IncrementalSimulation
 from repro.incremental.updates import Update, decompose
 from repro.matching.base import MatchRelation, MatchResult, Stopwatch
 from repro.matching.bounded import match_bounded
+from repro.matching.result_graph import build_result_graph
 from repro.matching.simulation import match_simulation
 from repro.pattern.pattern import Pattern
 from repro.ranking.metrics import RankingMetric, get_metric
 from repro.ranking.social_impact import RankedMatch
-from repro.ranking.social_impact import top_k as social_top_k
+from repro.ranking.topk import (
+    RankingContext,
+    bulk_top_k_detail,
+    bulk_top_k_scores,
+    validate_k,
+)
 
 
 class RegisteredGraph:
@@ -75,10 +81,19 @@ class QueryEngine:
     ['Bob', 'Walt']
     """
 
-    def __init__(self, store: GraphStore | None = None, cache_capacity: int = 64) -> None:
+    def __init__(
+        self,
+        store: GraphStore | None = None,
+        cache_capacity: int = 64,
+        rank_cache_capacity: int = 16,
+    ) -> None:
         self.store = store
         self._registered: dict[str, RegisteredGraph] = {}
         self._cache = QueryCache(capacity=cache_capacity)
+        # Ranked results are cached separately: a RankingContext (snapshot
+        # + memoized Dijkstra runs) is much heavier than a relation, and
+        # its validity is tied to Graph.version rather than LRU pressure.
+        self._rank_cache = RankCache(capacity=rank_cache_capacity)
         # One executor per worker count, alive across calls (released by
         # close()).  Pool reuse only helps the ball-subgraph sharded path;
         # the shared-graph and batch-farming paths fork a fresh pool per
@@ -106,6 +121,7 @@ class QueryEngine:
             raise EvaluationError(f"graph {name!r} already registered")
         self._registered[name] = RegisteredGraph(name, graph)
         self._cache.invalidate_graph(name, keep_pinned=False)
+        self._rank_cache.invalidate_graph(name)
 
     def load_graph(self, name: str) -> Graph:
         """Register a graph from the file store (if not already loaded)."""
@@ -563,6 +579,8 @@ class QueryEngine:
         pattern: Pattern,
         k: int,
         metric: str | RankingMetric = "social-impact",
+        workers: int | None = None,
+        use_rank_cache: bool = True,
         **evaluate_kwargs: Any,
     ) -> list[RankedMatch] | list[tuple[NodeId, float]]:
         """The K best experts for the pattern's output node.
@@ -570,14 +588,53 @@ class QueryEngine:
         With the default paper metric the result is a list of rich
         :class:`RankedMatch` objects; other metrics return ``(node, score)``
         pairs (scores normalized lower-is-better).
+
+        Evaluation follows the usual route order, then ranking runs
+        through a bulk :class:`~repro.ranking.topk.RankingContext`: one
+        result-graph snapshot, memoized distance work shared across
+        metrics and calls, lazy full scoring behind cheap admissible
+        bounds, and — with ``workers`` > 1 — per-match scoring fanned out
+        through the engine's :class:`ParallelExecutor` (output identical
+        to sequential).  Contexts are cached per ``(graph, pattern)`` and
+        invalidated by ``Graph.version``; for *pinned* queries
+        :meth:`update_graph` re-ranks only the matches an update touched.
+        ``k`` must be a positive integer for every metric.
         """
+        validate_k(k)
         pattern.validate(require_output=True)
-        result = self.evaluate(name, pattern, **evaluate_kwargs)
-        result_graph = result.result_graph()
-        if isinstance(metric, str) and metric == "social-impact":
-            return social_top_k(result_graph, k)
         chosen = get_metric(metric) if isinstance(metric, str) else metric
-        return chosen.rank_all(result_graph)[:k]
+        workers = validate_workers(workers)
+        context = self._ranking_context(
+            name, pattern, workers=workers, use_rank_cache=use_rank_cache,
+            **evaluate_kwargs,
+        )
+        score_many = (
+            self._executor(workers).rank_many if workers > 1 else None
+        )
+        if isinstance(metric, str) and metric == "social-impact":
+            return bulk_top_k_detail(context, k, score_many=score_many)
+        return bulk_top_k_scores(context, k, chosen, score_many=score_many)
+
+    def _ranking_context(
+        self,
+        name: str,
+        pattern: Pattern,
+        workers: int = 1,
+        use_rank_cache: bool = True,
+        **evaluate_kwargs: Any,
+    ) -> RankingContext:
+        """The (possibly cached) bulk-ranking context for one query."""
+        entry = self._entry(name)
+        key = cache_key(name, pattern)
+        if use_rank_cache:
+            cached = self._rank_cache.get(key, entry.graph.version)
+            if cached is not None:
+                return cached.context
+        result = self.evaluate(name, pattern, workers=workers, **evaluate_kwargs)
+        context = RankingContext(result.result_graph())
+        if use_rank_cache:
+            self._rank_cache.put(key, context, entry.graph.version)
+        return context
 
     # ------------------------------------------------------------------
     # updates + pinned queries
@@ -640,6 +697,11 @@ class QueryEngine:
             added, removed = before[key].diff(fresh)
             cache_entry.relation = fresh
             deltas[key[1]] = {"added": added, "removed": removed}
+        rank_maintenance, refreshed_keys = self._refresh_pinned_rankings(entry, pinned)
+        # Contexts of non-pinned queries are stale now; drop them eagerly
+        # (version checks would catch them lazily, but the snapshots are
+        # the heaviest thing the engine caches).
+        self._rank_cache.invalidate_graph(name, keep=refreshed_keys)
         invalidated = self._cache.invalidate_graph(name, keep_pinned=True)
         entry.version += 1
         return {
@@ -647,7 +709,59 @@ class QueryEngine:
             "graph_version": entry.version,
             "invalidated_cache_entries": invalidated,
             "pinned_deltas": deltas,
+            "rank_maintenance": rank_maintenance,
         }
+
+    def _refresh_pinned_rankings(
+        self,
+        entry: RegisteredGraph,
+        pinned: Sequence[tuple[tuple, CacheEntry]],
+    ) -> tuple[dict[tuple, dict[str, int]], set[tuple]]:
+        """Re-rank only the matches an update batch actually touched.
+
+        For every pinned query whose ranking context is cached, the result
+        graph is rebuilt from the maintained relation (reusing the bounded
+        maintainer's refinement state for witness edges), the old and new
+        snapshots are diffed, and every memoized detail whose impact set is
+        disjoint from the changed nodes is carried over untouched — same
+        object, no Dijkstra.  Touched matches that were ranked before are
+        eagerly re-scored so the refreshed entry is as warm as the old one.
+        Returns per-query ``{reused, rescored, changed_nodes}`` counters and
+        the set of refreshed cache keys.
+        """
+        summary: dict[tuple, dict[str, int]] = {}
+        refreshed: set[tuple] = set()
+        for key, cache_entry in pinned:
+            rank_entry = self._rank_cache.peek(key)
+            if rank_entry is None:
+                continue
+            maintainer = cache_entry.maintainer
+            state = getattr(maintainer, "state", None)
+            result_graph = build_result_graph(
+                entry.graph, maintainer.pattern, cache_entry.relation, state=state
+            )
+            old = rank_entry.context
+            fresh_context = RankingContext(result_graph)
+            changed = fresh_context.diff_nodes(old)
+            reused = fresh_context.carry_over_from(old, changed)
+            rescored = 0
+            for node in old._details:
+                if node in fresh_context.matched_by and node not in fresh_context._details:
+                    fresh_context.detail(node)
+                    rescored += 1
+            rank_entry.context = fresh_context
+            rank_entry.graph_version = entry.graph.version
+            refreshed.add(key)
+            summary[key[1]] = {
+                "reused": reused,
+                "rescored": rescored,
+                "changed_nodes": len(changed),
+            }
+        return summary, refreshed
+
+    def rank_cache_stats(self) -> dict[str, int]:
+        """Counters of the ranked-result cache (see :meth:`cache_stats`)."""
+        return self._rank_cache.stats()
 
     # ------------------------------------------------------------------
     # bookkeeping

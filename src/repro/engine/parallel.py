@@ -51,6 +51,7 @@ from repro.matching.base import MatchRelation, MatchResult, Stopwatch
 from repro.matching.bounded import BoundedState, PatternEdge, match_bounded
 from repro.matching.simulation import match_simulation
 from repro.pattern.pattern import Pattern
+from repro.ranking.topk import RankingContext
 
 #: Per-shard worker payload: (ball subgraph or None, pattern, pivots,
 #: candidates, depths).  ``None`` means "use the shared graph".
@@ -69,6 +70,12 @@ _batch_table: dict[tuple, set[NodeId]] | None = None
 # inherit it for free (copy-on-write); under spawn the pool initializer
 # ships it once per worker.
 _shared_graph: Graph | None = None
+
+# Bulk-ranking fan-out state: the snapshot context (and optionally the
+# metric) ship once per worker — fork inheritance or pool initializer —
+# so a ranking task carries only a chunk of node ids.
+_rank_context: RankingContext | None = None
+_rank_metric = None
 
 
 def _set_shared_graph(graph: Graph | None) -> None:
@@ -126,6 +133,28 @@ def _init_batch_worker(
     global _batch_graph, _batch_table
     _batch_graph = graph
     _batch_table = table
+
+
+def _init_rank_worker(context: RankingContext | None, metric) -> None:
+    global _rank_context, _rank_metric
+    _rank_context = context
+    _rank_metric = metric
+
+
+def _rank_chunk(nodes: Sequence[NodeId]) -> list:
+    """Score one chunk of matches against the worker's snapshot context.
+
+    With no metric installed this is the rich social-impact path and
+    returns :class:`~repro.ranking.social_impact.RankedMatch` objects;
+    otherwise it returns the metric's ``score_bulk`` floats.  Either way
+    the values are pure functions of the immutable snapshot, so they are
+    identical to what the parent would compute inline.
+    """
+    context = _rank_context
+    assert context is not None, "ranking context was not installed"
+    if _rank_metric is None:
+        return [context.detail(node) for node in nodes]
+    return [_rank_metric.score_bulk(context, node) for node in nodes]
 
 
 def _batch_query(
@@ -317,6 +346,71 @@ class ParallelExecutor:
                 return pool.map(_shard_rows, payloads)
         finally:
             _set_shared_graph(None)
+
+    # ------------------------------------------------------------------
+    # bulk-ranking parallelism
+    # ------------------------------------------------------------------
+    #: Below this many matches the fork/IPC cost of a pool dwarfs the
+    #: Dijkstra work; rank inline instead (still through the same code).
+    RANK_FANOUT_THRESHOLD = 64
+
+    def rank_many(
+        self,
+        context: RankingContext,
+        metric,
+        nodes: Sequence[NodeId],
+    ) -> list:
+        """Fan per-match scoring out across the pool, in input order.
+
+        ``metric=None`` selects the rich social-impact path (returns
+        :class:`RankedMatch` objects); otherwise each node is scored with
+        ``metric.score_bulk``.  The snapshot context ships once per worker
+        (fork inheritance on POSIX, pool initializer elsewhere); tasks
+        carry only node-id chunks.  Scores are deterministic functions of
+        the snapshot, so the output is byte-identical to inline scoring —
+        the differential tests assert it.  Results are absorbed back into
+        ``context``'s memos so subsequent calls (and the engine's rank
+        cache) reuse them.
+        """
+        nodes = list(nodes)
+        if (
+            self.workers == 1
+            or len(nodes) < self.RANK_FANOUT_THRESHOLD
+        ):
+            _init_rank_worker(context, metric)
+            try:
+                results = _rank_chunk(nodes)
+            finally:
+                _init_rank_worker(None, None)
+        else:
+            # ~4 chunks per worker smooths out uneven per-match cost
+            # (component sizes vary wildly) without inflating IPC.
+            chunk_size = max(1, -(-len(nodes) // (self.workers * 4)))
+            chunks = [
+                nodes[i : i + chunk_size] for i in range(0, len(nodes), chunk_size)
+            ]
+            _init_rank_worker(context, metric)
+            try:
+                if self._ctx.get_start_method() == "fork":
+                    pool = self._ctx.Pool(self.workers)
+                else:  # pragma: no cover - non-fork platforms
+                    pool = self._ctx.Pool(
+                        self.workers,
+                        initializer=_init_rank_worker,
+                        initargs=(context, metric),
+                    )
+                with pool:
+                    results = [
+                        item for chunk in pool.map(_rank_chunk, chunks) for item in chunk
+                    ]
+            finally:
+                _init_rank_worker(None, None)
+        if metric is None:
+            # Detail memos are keyed by node alone, so absorbing is always
+            # safe; metric scores are memoized by the caller, which knows
+            # whether this metric instance may share the context's memo.
+            context.absorb_details(results)
+        return results
 
     # ------------------------------------------------------------------
     # per-batch parallelism

@@ -115,9 +115,20 @@ class ExpFinder:
         pattern: Pattern,
         k: int = 5,
         metric: str | RankingMetric = "social-impact",
+        workers: int | None = None,
+        **evaluate_kwargs: Any,
     ) -> list[RankedMatch] | list[tuple[NodeId, float]]:
-        """Top-K matches of the output node, best first."""
-        return self.engine.top_k(graph_name, pattern, k, metric=metric)
+        """Top-K matches of the output node, best first.
+
+        ``workers`` > 1 parallelises both evaluation and per-match scoring;
+        any other keyword (``use_cache``, ``use_compression``, ...) is
+        forwarded to :meth:`QueryEngine.evaluate`, exactly as
+        :meth:`QueryEngine.top_k` accepts them.
+        """
+        return self.engine.top_k(
+            graph_name, pattern, k, metric=metric, workers=workers,
+            **evaluate_kwargs,
+        )
 
     def explain(self, graph_name: str, pattern: Pattern) -> Plan:
         """How the engine would evaluate this query right now."""

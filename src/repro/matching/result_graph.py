@@ -89,6 +89,15 @@ class ResultGraph:
         """Edge weight, or None if there is no such result edge."""
         return self._adj.get(source, {}).get(target)
 
+    def match_map(self) -> Mapping[NodeId, set[str]]:
+        """``data node -> matched pattern nodes`` (live view; read-only).
+
+        The per-call :meth:`matched_pattern_nodes` copies into a frozenset;
+        bulk consumers (the ranking context snapshots one entry per match)
+        read this view instead.
+        """
+        return self._matched_by
+
     def out_adjacency(self) -> Mapping[NodeId, Mapping[NodeId, int]]:
         """Forward weighted adjacency (live view; treat as read-only)."""
         return self._adj

@@ -16,8 +16,18 @@ from repro.ranking.social_impact import (
     social_impact_rank,
     top_k,
 )
+from repro.ranking.topk import (
+    RankingContext,
+    bulk_top_k_detail,
+    bulk_top_k_scores,
+    validate_k,
+)
 
 __all__ = [
+    "RankingContext",
+    "bulk_top_k_detail",
+    "bulk_top_k_scores",
+    "validate_k",
     "METRICS",
     "ClosenessMetric",
     "DegreeMetric",

@@ -12,12 +12,16 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
 
 from repro.errors import RankingError
 from repro.graph.digraph import NodeId
 from repro.graph.distance import weighted_distances
 from repro.matching.result_graph import ResultGraph
 from repro.ranking.social_impact import rank_detail
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.ranking.topk import RankingContext
 
 
 class RankingMetric(ABC):
@@ -28,6 +32,26 @@ class RankingMetric(ABC):
     @abstractmethod
     def score(self, result_graph: ResultGraph, node: NodeId) -> float:
         """The (lower-is-better) score of ``node`` in ``result_graph``."""
+
+    def score_bulk(self, context: "RankingContext", node: NodeId) -> float:
+        """Score against a bulk :class:`~repro.ranking.topk.RankingContext`.
+
+        Must return exactly what :meth:`score` would for the result graph
+        the context snapshotted.  The default delegates to :meth:`score`;
+        the built-in metrics override it to draw from the context's
+        memoized Dijkstra runs so bulk top-K shares distance work across
+        metrics and calls.
+        """
+        return self.score(context.result_graph, node)
+
+    def bound(self, context: "RankingContext", node: NodeId) -> float:
+        """Cheap admissible bound: never above :meth:`score_bulk`.
+
+        Bulk top-K fully scores candidates lazily in bound order and skips
+        every candidate whose bound exceeds the k-th best confirmed score.
+        The default (``-inf``) disables pruning, which is always sound.
+        """
+        return -math.inf
 
     def rank_all(
         self, result_graph: ResultGraph, pattern_node: str | None = None
@@ -53,6 +77,12 @@ class SocialImpactMetric(RankingMetric):
     def score(self, result_graph: ResultGraph, node: NodeId) -> float:
         return rank_detail(result_graph, node).rank
 
+    def score_bulk(self, context: "RankingContext", node: NodeId) -> float:
+        return context.detail(node).rank
+
+    def bound(self, context: "RankingContext", node: NodeId) -> float:
+        return context.impact_bound(node)
+
 
 class ClosenessMetric(RankingMetric):
     """Classic closeness centrality over the result graph (out-direction).
@@ -67,6 +97,22 @@ class ClosenessMetric(RankingMetric):
         if node not in result_graph:
             raise RankingError(f"{node!r} is not a node of the result graph")
         distances = weighted_distances(result_graph.out_adjacency(), node)
+        return self._from_distances(distances)
+
+    def score_bulk(self, context: "RankingContext", node: NodeId) -> float:
+        return self._from_distances(context.distances_from(node))
+
+    def bound(self, context: "RankingContext", node: NodeId) -> float:
+        # Every reachable node is at least the minimum outgoing weight
+        # away, so closeness <= 1/w_min, i.e. the score >= -1/w_min; a
+        # node with no out-edges reaches nothing, making +inf exact.
+        out_row = context.out_adj.get(node)
+        if not out_row:
+            return math.inf
+        return -1.0 / min(out_row.values())
+
+    @staticmethod
+    def _from_distances(distances: dict[NodeId, float]) -> float:
         total = sum(distances.values())
         if total == 0:
             return math.inf
@@ -83,6 +129,20 @@ class HarmonicMetric(RankingMetric):
             raise RankingError(f"{node!r} is not a node of the result graph")
         out = weighted_distances(result_graph.out_adjacency(), node)
         back = weighted_distances(result_graph.in_adjacency(), node)
+        return self._from_distances(out, back)
+
+    def score_bulk(self, context: "RankingContext", node: NodeId) -> float:
+        return self._from_distances(
+            context.distances_from(node), context.distances_to(node)
+        )
+
+    # No useful cheap bound exists without knowing how many nodes are
+    # reachable, so harmonic keeps the default (no pruning, still exact).
+
+    @staticmethod
+    def _from_distances(
+        out: dict[NodeId, float], back: dict[NodeId, float]
+    ) -> float:
         total = sum(1.0 / d for d in out.values()) + sum(1.0 / d for d in back.values())
         return -total
 
@@ -98,6 +158,16 @@ class DegreeMetric(RankingMetric):
         out_deg = len(result_graph.out_adjacency().get(node, {}))
         in_deg = len(result_graph.in_adjacency().get(node, {}))
         return -(out_deg + in_deg)
+
+    def score_bulk(self, context: "RankingContext", node: NodeId) -> float:
+        return -(
+            len(context.out_adj.get(node, {})) + len(context.in_adj.get(node, {}))
+        )
+
+    def bound(self, context: "RankingContext", node: NodeId) -> float:
+        # The score itself is O(1) on the snapshot — the bound is exact,
+        # so top-K selection never "fully scores" anything extra.
+        return self.score_bulk(context, node)
 
 
 #: Registry used by the CLI's ``--metric`` option and the engine.

@@ -54,12 +54,19 @@ def social_impact_rank(result_graph: ResultGraph, node: NodeId) -> float:
     return detail.rank
 
 
-def rank_detail(result_graph: ResultGraph, node: NodeId) -> RankedMatch:
-    """Rank one node, returning distances to/from its impact set."""
-    if node not in result_graph:
-        raise RankingError(f"{node!r} is not a node of the result graph")
-    descendants = weighted_distances(result_graph.out_adjacency(), node)
-    ancestors = weighted_distances(result_graph.in_adjacency(), node)
+def ranked_match_from_distances(
+    node: NodeId,
+    ancestors: dict[NodeId, float],
+    descendants: dict[NodeId, float],
+    attrs: dict[str, Any],
+) -> RankedMatch:
+    """Apply §II's formula to precomputed distance sets.
+
+    The single implementation of ``f(uo, v)`` — both the per-match
+    :func:`rank_detail` path and the bulk context
+    (:class:`repro.ranking.topk.RankingContext`) build their
+    :class:`RankedMatch` through here, so the two paths cannot drift.
+    """
     impact_set = set(ancestors) | set(descendants)
     if not impact_set:
         rank = math.inf
@@ -71,7 +78,18 @@ def rank_detail(result_graph: ResultGraph, node: NodeId) -> RankedMatch:
         rank=rank,
         ancestors=ancestors,
         descendants=descendants,
-        attrs=dict(result_graph.node_attrs(node)),
+        attrs=attrs,
+    )
+
+
+def rank_detail(result_graph: ResultGraph, node: NodeId) -> RankedMatch:
+    """Rank one node, returning distances to/from its impact set."""
+    if node not in result_graph:
+        raise RankingError(f"{node!r} is not a node of the result graph")
+    descendants = weighted_distances(result_graph.out_adjacency(), node)
+    ancestors = weighted_distances(result_graph.in_adjacency(), node)
+    return ranked_match_from_distances(
+        node, ancestors, descendants, dict(result_graph.node_attrs(node))
     )
 
 

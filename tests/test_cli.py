@@ -93,6 +93,38 @@ class TestTopK:
               "--dot", str(dot)])
         assert "color=red" in dot.read_text()
 
+    def test_topk_with_workers_matches_sequential(self, graph_file, pattern_file,
+                                                  capsys):
+        assert main(["topk", "--graph", graph_file, "--pattern", pattern_file,
+                     "-k", "2"]) == 0
+        sequential = capsys.readouterr().out
+        assert main(["topk", "--graph", graph_file, "--pattern", pattern_file,
+                     "-k", "2", "--workers", "2"]) == 0
+        assert capsys.readouterr().out == sequential
+
+    @pytest.mark.parametrize("metric", ["social-impact", "degree", "closeness",
+                                        "harmonic"])
+    def test_topk_rejects_nonpositive_k_for_every_metric(self, graph_file,
+                                                         pattern_file, capsys,
+                                                         metric):
+        code = main(["topk", "--graph", graph_file, "--pattern", pattern_file,
+                     "-k", "0", "--metric", metric])
+        assert code == 2
+        assert "k must be a positive integer" in capsys.readouterr().err
+
+    def test_topk_rejects_bad_workers(self, graph_file, pattern_file, capsys):
+        code = main(["topk", "--graph", graph_file, "--pattern", pattern_file,
+                     "--workers", "0"])
+        assert code == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_topk_no_match_exits_1(self, tmp_path, graph_file, capsys):
+        q = tmp_path / "none.pattern"
+        q.write_text('node Z* : field == "ZZ"\n')
+        code = main(["topk", "--graph", graph_file, "--pattern", str(q)])
+        assert code == 1
+        assert "no match" in capsys.readouterr().out
+
 
 class TestUpdate:
     def test_update_applies_and_reports_delta(self, graph_file, pattern_file, capsys):

@@ -78,3 +78,24 @@ def test_ranks_are_nonnegative(data):
     result_graph, _relation = data
     for match in rank_matches(result_graph):
         assert match.rank >= 0  # weights are >= 1 and sets are nonnegative
+
+
+@given(matched_result_graph(), st.integers(min_value=1, max_value=5))
+@settings(max_examples=80, deadline=None)
+def test_bulk_top_k_equals_naive_for_every_metric(data, k):
+    """The lazy, bound-pruned bulk path is exactly the naive slice."""
+    from repro.ranking.metrics import METRICS
+    from repro.ranking.topk import (
+        RankingContext,
+        bulk_top_k_detail,
+        bulk_top_k_scores,
+    )
+
+    result_graph, _relation = data
+    naive = rank_matches(result_graph)
+    assert bulk_top_k_detail(RankingContext(result_graph), k) == naive[:k]
+    for metric in METRICS.values():
+        context = RankingContext(result_graph)
+        assert bulk_top_k_scores(context, k, metric) == metric.rank_all(
+            result_graph
+        )[:k]
