@@ -268,6 +268,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         f"{batch_stats.get('distinct_predicates', 0)} distinct predicates, "
         f"{batch_stats.get('seconds_total', 0.0):.4f}s total{workers_note}"
     )
+    snapshots = engine.snapshot_stats()
+    print(
+        f"frozen snapshots: {snapshots['builds']} built, "
+        f"{snapshots['hits']} reused"
+    )
     return 0 if all_matched else 1
 
 

@@ -160,6 +160,96 @@ class QueryCache:
 
 
 @dataclass
+class SnapshotEntry:
+    """One cached frozen snapshot, valid for exactly one graph version."""
+
+    frozen: Any  # repro.graph.frozen.FrozenGraph
+    graph_version: int
+    hits: int = 0
+
+
+class SnapshotCache:
+    """LRU cache of :class:`~repro.graph.frozen.FrozenGraph` snapshots.
+
+    Keyed by graph *name* (one snapshot serves every query against that
+    graph, unlike the per-pattern query/rank caches) and validated against
+    ``Graph.version`` on every read, exactly like :class:`RankCache`: any
+    mutation — engine-routed or out-of-band through the counting write
+    APIs — makes the entry stale, and the next read drops it so the engine
+    re-freezes the current graph.
+
+    >>> cache = SnapshotCache(capacity=2)
+    >>> cache.stats()["size"]
+    0
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise CacheError(f"capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, SnapshotEntry]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._stale_drops = 0
+        self._invalidations = 0
+        self._builds = 0
+
+    def get(self, name: str, graph_version: int) -> Any | None:
+        """The snapshot for ``name`` iff it matches ``graph_version``."""
+        entry = self._entries.get(name)
+        if entry is None:
+            self._misses += 1
+            return None
+        if entry.graph_version != graph_version:
+            del self._entries[name]
+            self._stale_drops += 1
+            self._misses += 1
+            return None
+        self._entries.move_to_end(name)
+        entry.hits += 1
+        self._hits += 1
+        return entry.frozen
+
+    def peek(self, name: str) -> SnapshotEntry | None:
+        """Raw access without version checks or stats (``explain`` uses it)."""
+        return self._entries.get(name)
+
+    def put(self, name: str, frozen: Any, graph_version: int) -> SnapshotEntry:
+        entry = SnapshotEntry(frozen=frozen, graph_version=graph_version)
+        self._entries[name] = entry
+        self._entries.move_to_end(name)
+        self._builds += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return entry
+
+    def invalidate_graph(self, name: str) -> int:
+        """Drop the snapshot of one graph (re-registration, bulk updates)."""
+        if name in self._entries:
+            del self._entries[name]
+            self._invalidations += 1
+            return 1
+        return 0
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self._hits,
+            "misses": self._misses,
+            "stale_drops": self._stale_drops,
+            "invalidations": self._invalidations,
+            "builds": self._builds,
+        }
+
+
+@dataclass
 class RankEntry:
     """One cached ranking context, valid for exactly one graph version."""
 

@@ -15,11 +15,18 @@ from typing import Any, Sequence
 
 from repro.errors import CompressionError, EvaluationError
 from repro.graph.digraph import Graph, NodeId
+from repro.graph.frozen import FrozenGraph
 from repro.graph.index import AttributeIndex, batch_candidates, predicate_key
 from repro.compression.compress import CompressedGraph, compress
 from repro.compression.decompress import decompress_result
 from repro.compression.maintain import MaintainedCompression
-from repro.engine.cache import CacheEntry, QueryCache, RankCache, cache_key
+from repro.engine.cache import (
+    CacheEntry,
+    QueryCache,
+    RankCache,
+    SnapshotCache,
+    cache_key,
+)
 from repro.engine.planner import (
     ALGORITHM_SIMULATION,
     ROUTE_CACHE,
@@ -86,6 +93,7 @@ class QueryEngine:
         store: GraphStore | None = None,
         cache_capacity: int = 64,
         rank_cache_capacity: int = 16,
+        snapshot_cache_capacity: int = 8,
     ) -> None:
         self.store = store
         self._registered: dict[str, RegisteredGraph] = {}
@@ -94,6 +102,10 @@ class QueryEngine:
         # + memoized Dijkstra runs) is much heavier than a relation, and
         # its validity is tied to Graph.version rather than LRU pressure.
         self._rank_cache = RankCache(capacity=rank_cache_capacity)
+        # Frozen CSR snapshots, one per graph, built on the first direct
+        # evaluation and reused by every traversal kernel (matchers, ball
+        # decomposition, shard shipping) until the graph's version moves.
+        self._snapshots = SnapshotCache(capacity=snapshot_cache_capacity)
         # One executor per worker count, alive across calls (released by
         # close()).  Pool reuse only helps the ball-subgraph sharded path;
         # the shared-graph and batch-farming paths fork a fresh pool per
@@ -122,6 +134,7 @@ class QueryEngine:
         self._registered[name] = RegisteredGraph(name, graph)
         self._cache.invalidate_graph(name, keep_pinned=False)
         self._rank_cache.invalidate_graph(name)
+        self._snapshots.invalidate_graph(name)
 
     def load_graph(self, name: str) -> Graph:
         """Register a graph from the file store (if not already loaded)."""
@@ -224,12 +237,61 @@ class QueryEngine:
     # evaluation
     # ------------------------------------------------------------------
     def explain(self, name: str, pattern: Pattern) -> Plan:
-        """The plan :meth:`evaluate` would follow right now (no execution)."""
+        """The plan :meth:`evaluate` would follow right now (no execution).
+
+        Direct-route plans also report the frozen-snapshot state: whether a
+        warm CSR snapshot of the graph exists for its current version or
+        one will be built on the first direct evaluation.
+        """
         entry = self._entry(name)
         key = cache_key(name, pattern)
-        return self._plan_query(
+        plan = self._plan_query(
             pattern, cached=key in self._cache, available=entry.compressed()
         )
+        if plan.route == ROUTE_DIRECT:
+            if not self._snapshot_serves(entry, plan):
+                # The reach index serves the sequential bounded matcher's
+                # BFS runs, so no snapshot is involved there.  (Sharded
+                # evaluation with workers > 1 still snapshots — workers
+                # have no reach index.)
+                note = (
+                    "frozen snapshot: bypassed sequentially (reach index "
+                    "serves bounded BFS; workers > 1 still snapshot)"
+                )
+            else:
+                snapshot = self._snapshots.peek(name)
+                if (
+                    snapshot is not None
+                    and snapshot.graph_version == entry.graph.version
+                ):
+                    note = (
+                        "frozen snapshot: warm "
+                        f"(graph version {snapshot.graph_version})"
+                    )
+                else:
+                    note = "frozen snapshot: cold (built on first direct evaluation)"
+            plan = Plan(plan.route, plan.algorithm, plan.reasons + (note,))
+        return plan
+
+    @staticmethod
+    def _snapshot_serves(entry: RegisteredGraph, plan: Plan) -> bool:
+        """Whether the sequential direct route would use a frozen snapshot.
+
+        The one predicate :meth:`explain` and :meth:`_dispatch_route`
+        share: with a reach index attached, the bounded matcher serves its
+        BFS runs from that cache and ignores a snapshot, so freezing one
+        would be pure waste.  (Sharded ``workers > 1`` evaluation always
+        snapshots — worker processes have no reach index.)
+        """
+        return entry.reach_index is None or plan.algorithm == ALGORITHM_SIMULATION
+
+    def _frozen_snapshot(self, entry: RegisteredGraph) -> FrozenGraph:
+        """The cached CSR snapshot for a graph's current version (or build it)."""
+        frozen = self._snapshots.get(entry.name, entry.graph.version)
+        if frozen is None:
+            frozen = FrozenGraph.freeze(entry.graph)
+            self._snapshots.put(entry.name, frozen, entry.graph.version)
+        return frozen
 
     @staticmethod
     def _plan_query(
@@ -314,7 +376,10 @@ class QueryEngine:
 
         if workers > 1 and plan.route == ROUTE_DIRECT:
             result = self._executor(workers).match(
-                entry.graph, pattern, index=entry.attr_index
+                entry.graph,
+                pattern,
+                index=entry.attr_index,
+                frozen=self._frozen_snapshot(entry),
             )
         else:
             result = self._dispatch_route(
@@ -463,7 +528,12 @@ class QueryEngine:
                             },
                         )
                     )
-            outcomes = self._executor(workers).match_many(entry.graph, tasks, shared)
+            outcomes = self._executor(workers).match_many(
+                entry.graph,
+                tasks,
+                shared,
+                frozen=self._frozen_snapshot(entry) if tasks else None,
+            )
             farmed = dict(zip(task_keys, outcomes))
 
         results: list[MatchResult] = []
@@ -543,6 +613,8 @@ class QueryEngine:
             assert cached_relation is not None
             return MatchResult(entry.graph, pattern, cached_relation)
         if plan.route == ROUTE_COMPRESSED:
+            # Quotient graphs are small by construction; freezing them
+            # would cost more bookkeeping than the matcher saves.
             assert compressed is not None
             quotient_result = self._run_matcher(compressed.quotient, pattern, plan)
             return decompress_result(quotient_result, compressed)
@@ -553,6 +625,11 @@ class QueryEngine:
             reach_index=entry.reach_index,
             index=None if candidates is not None else entry.attr_index,
             candidates=candidates,
+            frozen=(
+                self._frozen_snapshot(entry)
+                if self._snapshot_serves(entry, plan)
+                else None
+            ),
         )
 
     @staticmethod
@@ -563,11 +640,19 @@ class QueryEngine:
         reach_index=None,
         index: AttributeIndex | None = None,
         candidates: dict[str, set[NodeId]] | None = None,
+        frozen: FrozenGraph | None = None,
     ) -> MatchResult:
         if plan.algorithm == ALGORITHM_SIMULATION:
-            return match_simulation(graph, pattern, index=index, candidates=candidates)
+            return match_simulation(
+                graph, pattern, index=index, candidates=candidates, frozen=frozen
+            )
         return match_bounded(
-            graph, pattern, reach_index=reach_index, index=index, candidates=candidates
+            graph,
+            pattern,
+            reach_index=reach_index,
+            index=index,
+            candidates=candidates,
+            frozen=frozen,
         )
 
     # ------------------------------------------------------------------
@@ -700,8 +785,11 @@ class QueryEngine:
         rank_maintenance, refreshed_keys = self._refresh_pinned_rankings(entry, pinned)
         # Contexts of non-pinned queries are stale now; drop them eagerly
         # (version checks would catch them lazily, but the snapshots are
-        # the heaviest thing the engine caches).
+        # the heaviest thing the engine caches).  The frozen CSR snapshot
+        # is version-stale too — drop it so the memory is released before
+        # the next direct evaluation re-freezes.
         self._rank_cache.invalidate_graph(name, keep=refreshed_keys)
+        self._snapshots.invalidate_graph(name)
         invalidated = self._cache.invalidate_graph(name, keep_pinned=True)
         entry.version += 1
         return {
@@ -763,11 +851,18 @@ class QueryEngine:
         """Counters of the ranked-result cache (see :meth:`cache_stats`)."""
         return self._rank_cache.stats()
 
+    def snapshot_stats(self) -> dict[str, int]:
+        """Counters of the frozen-snapshot cache (builds, hits, stale drops)."""
+        return self._snapshots.stats()
+
     # ------------------------------------------------------------------
     # bookkeeping
     # ------------------------------------------------------------------
-    def cache_stats(self) -> dict[str, int]:
-        return self._cache.stats()
+    def cache_stats(self) -> dict[str, Any]:
+        """Query-cache counters, plus the snapshot cache's under ``"snapshots"``."""
+        stats: dict[str, Any] = self._cache.stats()
+        stats["snapshots"] = self._snapshots.stats()
+        return stats
 
     def persist_graph(self, name: str) -> None:
         """Write a registered graph to the file store."""

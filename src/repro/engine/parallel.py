@@ -2,13 +2,18 @@
 
 Bounded simulation splits into two phases with very different shapes:
 
-1. **successor-row construction** — one truncated BFS per candidate of
-   every pattern node with out-edges.  This dominates evaluation cost and
-   is embarrassingly parallel once the graph is decomposed into
-   distance-bounded balls (:mod:`repro.graph.partition`): a worker holding
-   the ball around its pivots computes exactly the rows the sequential
-   matcher would, because each pivot's full radius-``depth`` ball is inside
-   the shard.
+1. **successor-row construction** — one truncated reachability search per
+   candidate of every pattern node with out-edges.  This dominates
+   evaluation cost and is embarrassingly parallel once the graph is
+   decomposed into distance-bounded balls (:mod:`repro.graph.partition`):
+   a worker holding the ball around its pivots computes exactly the rows
+   the sequential matcher would, because each pivot's full
+   radius-``depth`` ball is inside the shard.  Workers traverse
+   :class:`~repro.graph.frozen.FrozenGraph` snapshots — shards ship as
+   flat CSR buffers (or share the one full snapshot), never as pickled
+   dict graphs — through the very same
+   :func:`~repro.matching.bounded.frozen_successor_rows` kernel the
+   sequential matcher uses.
 2. **removal fixpoint** — a worklist cascade over the merged rows.  Pattern
    cycles and ``*`` bounds make refutations propagate arbitrarily far, so
    this phase is *not* ball-local; running it once over the merged state
@@ -40,36 +45,51 @@ measures both situations honestly.
 from __future__ import annotations
 
 import multiprocessing
+from array import array
 from typing import Any, Sequence
 
 from repro.errors import EvaluationError
 from repro.graph.digraph import Graph, NodeId
-from repro.graph.distance import bounded_descendants
+from repro.graph.frozen import FrozenGraph
 from repro.graph.index import AttributeIndex, candidates_from_index
 from repro.graph.partition import Shard, decompose
 from repro.matching.base import MatchRelation, MatchResult, Stopwatch
-from repro.matching.bounded import BoundedState, PatternEdge, match_bounded
+from repro.matching.bounded import (
+    BoundedState,
+    PatternEdge,
+    frozen_successor_rows,
+    match_bounded,
+)
 from repro.matching.simulation import match_simulation
 from repro.pattern.pattern import Pattern
 from repro.ranking.topk import RankingContext
 
-#: Per-shard worker payload: (ball subgraph or None, pattern, pivots,
-#: candidates, depths).  ``None`` means "use the shared graph".
-ShardPayload = tuple[Graph | None, Pattern, dict, dict, dict]
+#: Per-shard worker payload, all flat int buffers over a frozen snapshot:
+#: (frozen ball sub-snapshot or None for "use the shared snapshot",
+#: out-edge spec per pivot pattern node, pivot ids per pattern node,
+#: child-candidate id arrays per pattern node).
+ShardPayload = tuple[
+    "FrozenGraph | None",
+    dict[str, tuple],
+    dict[str, tuple[int, ...]],
+    dict[str, array],
+]
 
 # Set once per batch worker (fork inheritance or pool initializer), so
-# per-task payloads stay tiny: the graph and the shared candidate table —
-# {predicate key: node set}, computed once for the whole batch — never
-# travel per query; a task carries only its pattern and the table keys its
-# pattern nodes resolve to.
+# per-task payloads stay tiny: the graph, its frozen snapshot and the
+# shared candidate table — {predicate key: node set}, computed once for the
+# whole batch — never travel per query; a task carries only its pattern and
+# the table keys its pattern nodes resolve to.
 _batch_graph: Graph | None = None
 _batch_table: dict[tuple, set[NodeId]] | None = None
+_batch_frozen: FrozenGraph | None = None
 
-# The shared data graph for broad-cover sharded queries.  Under the fork
-# start method the parent sets it *before* creating the pool and children
-# inherit it for free (copy-on-write); under spawn the pool initializer
-# ships it once per worker.
-_shared_graph: Graph | None = None
+# The shared frozen snapshot for broad-cover sharded queries.  Under the
+# fork start method the parent sets it *before* creating the pool and
+# children inherit it for free (copy-on-write); under spawn the pool
+# initializer ships it once per worker — and a snapshot pickles as a
+# handful of flat buffers, far cheaper than a dict graph.
+_shared_frozen: FrozenGraph | None = None
 
 # Bulk-ranking fan-out state: the snapshot context (and optionally the
 # metric) ship once per worker — fork inheritance or pool initializer —
@@ -78,9 +98,9 @@ _rank_context: RankingContext | None = None
 _rank_metric = None
 
 
-def _set_shared_graph(graph: Graph | None) -> None:
-    global _shared_graph
-    _shared_graph = graph
+def _set_shared_frozen(frozen: FrozenGraph | None) -> None:
+    global _shared_frozen
+    _shared_frozen = frozen
 
 
 def validate_workers(workers: int | None) -> int:
@@ -102,37 +122,41 @@ def _shard_rows(
 ) -> dict[PatternEdge, dict[NodeId, dict[NodeId, int]]]:
     """Successor rows for one shard (runs inside a worker process).
 
-    For every owned pivot: one truncated BFS over the ball subgraph (equal
-    to a full-graph BFS because the cover is sound), filtered per out-edge
-    against the child candidates present in the ball.
+    The payload is int-indexed against a frozen snapshot — either the ball
+    sub-snapshot it carries or the process-shared full one.  Rows are
+    computed by the same :func:`frozen_successor_rows` kernel the
+    sequential matcher uses (sound because each pivot's full ball is inside
+    the shard), then converted back to labels for the merge.
     """
-    subgraph, pattern, pivots, candidates, depths = payload
-    if subgraph is None:
-        subgraph = _shared_graph
-        assert subgraph is not None, "shared graph was not installed"
-    rows: dict[PatternEdge, dict[NodeId, dict[NodeId, int]]] = {}
-    for u, pivot_list in pivots.items():
-        out_edges = list(pattern.out_edges(u))
-        for target, _bound in out_edges:
-            rows.setdefault((u, target), {})
-        for pivot in pivot_list:
-            reach = bounded_descendants(subgraph, pivot, depths[u])
-            for target, bound in out_edges:
-                child_cand = candidates[target]
-                rows[(u, target)][pivot] = {
-                    reached: dist
-                    for reached, dist in reach.items()
-                    if reached in child_cand and (bound is None or dist <= bound)
-                }
-    return rows
+    frozen, edges_spec, pivots, candidate_arrays = payload
+    if frozen is None:
+        frozen = _shared_frozen
+        assert frozen is not None, "shared snapshot was not installed"
+    candidate_ids = {u: frozenset(ids) for u, ids in candidate_arrays.items()}
+    rows_ids = frozen_successor_rows(
+        frozen, edges_spec, candidate_ids, sources_by_node=pivots
+    )
+    labels = frozen.labels
+    return {
+        edge: {
+            labels[source_id]: {
+                labels[reached_id]: dist for reached_id, dist in entries.items()
+            }
+            for source_id, entries in edge_rows.items()
+        }
+        for edge, edge_rows in rows_ids.items()
+    }
 
 
 def _init_batch_worker(
-    graph: Graph | None, table: dict[tuple, set[NodeId]] | None
+    graph: Graph | None,
+    table: dict[tuple, set[NodeId]] | None,
+    frozen: FrozenGraph | None = None,
 ) -> None:
-    global _batch_graph, _batch_table
+    global _batch_graph, _batch_table, _batch_frozen
     _batch_graph = graph
     _batch_table = table
+    _batch_frozen = frozen
 
 
 def _init_rank_worker(context: RankingContext | None, metric) -> None:
@@ -166,9 +190,13 @@ def _batch_query(
     assert _batch_table is not None, "batch candidate table was not installed"
     candidates = {u: _batch_table[key] for u, key in key_by_node.items()}
     if pattern.is_simulation_pattern:
-        result = match_simulation(_batch_graph, pattern, candidates=candidates)
+        result = match_simulation(
+            _batch_graph, pattern, candidates=candidates, frozen=_batch_frozen
+        )
     else:
-        result = match_bounded(_batch_graph, pattern, candidates=candidates)
+        result = match_bounded(
+            _batch_graph, pattern, candidates=candidates, frozen=_batch_frozen
+        )
     return result.relation, result.stats
 
 
@@ -236,6 +264,7 @@ class ParallelExecutor:
         pattern: Pattern,
         index: AttributeIndex | None = None,
         num_shards: int | None = None,
+        frozen: FrozenGraph | None = None,
     ) -> MatchResult:
         """``M(Q,G)`` via sharded evaluation: partition, fan out, merge.
 
@@ -245,36 +274,61 @@ class ParallelExecutor:
         successor rows the pool computes; the merged state then runs the
         standard removal fixpoint.  The result carries full refinement
         state, exactly like :func:`~repro.matching.bounded.match_bounded`.
+
+        All shard work runs over a :class:`FrozenGraph` snapshot — the
+        caller's ``frozen`` (the engine passes its cached one; it must
+        match the graph's current version) or one frozen here.  Shards
+        ship as flat CSR buffers, not pickled dict graphs.
         """
         pattern.validate()
         watch = Stopwatch()
+        if frozen is not None and not frozen.matches(graph):
+            raise EvaluationError(
+                f"stale frozen snapshot: {frozen!r} does not match "
+                f"graph version {graph.version}"
+            )
         candidates = candidates_from_index(graph, pattern, index)
-        shards = decompose(graph, pattern, candidates, num_shards or self.workers)
+        if frozen is None:
+            frozen = FrozenGraph.freeze(graph)
+        shards = decompose(
+            graph, pattern, candidates, num_shards or self.workers, frozen=frozen
+        )
         # Balls pay off when they are selective; for broad queries they
-        # overlap so much that materializing and shipping one induced
-        # subgraph per shard costs more than sharing the one full graph
-        # (fork inheritance makes sharing free on POSIX).  Ownership and
-        # soundness are identical either way: a BFS from a pivot sees the
-        # same nodes in its ball subgraph as in any supergraph of it.
+        # overlap so much that slicing and shipping one induced
+        # sub-snapshot per shard costs more than sharing the one full
+        # snapshot (fork inheritance makes sharing free on POSIX).
+        # Ownership and soundness are identical either way: a BFS from a
+        # pivot sees the same nodes in its ball sub-snapshot as in any
+        # super-snapshot of it.
         inline = self.workers == 1 or len(shards) <= 1
         ball_total = sum(len(shard.nodes) for shard in shards)
-        # Inline runs read the caller's graph directly — materializing a
-        # ball subgraph would copy it for nothing.
+        # Inline runs read the full snapshot directly — slicing a ball
+        # sub-snapshot would copy it for nothing.
         materialize = not inline and ball_total <= graph.num_nodes
+        # Without per-ball restriction the candidate id arrays are
+        # identical across shards; build them once and let every payload
+        # reference the same objects.
+        shared_arrays = (
+            None
+            if materialize
+            else self._candidate_arrays(frozen.ids(), candidates, pattern, shards)
+        )
         payloads = [
-            self._shard_payload(graph, pattern, shard, candidates, materialize)
+            self._shard_payload(
+                frozen, pattern, shard, candidates, materialize, shared_arrays
+            )
             for shard in shards
         ]
         if inline:
-            _set_shared_graph(graph)
+            _set_shared_frozen(frozen)
             try:
                 rows_list = [_shard_rows(payload) for payload in payloads]
             finally:
-                _set_shared_graph(None)
+                _set_shared_frozen(None)
         elif materialize:
             rows_list = self._query_pool().map(_shard_rows, payloads)
         else:
-            rows_list = self._shared_graph_map(graph, payloads)
+            rows_list = self._shared_frozen_map(frozen, payloads)
         merged: dict[PatternEdge, dict[NodeId, dict[NodeId, int]]] = {}
         for rows in rows_list:
             for edge, row in rows.items():
@@ -302,50 +356,95 @@ class ParallelExecutor:
         return MatchResult(graph, pattern, relation, stats=stats, state=state)
 
     @staticmethod
+    def _candidate_arrays(
+        ids: dict[NodeId, int],
+        candidates: dict[str, set[NodeId]],
+        pattern: Pattern,
+        shards: Sequence[Shard],
+    ) -> dict[str, array]:
+        """Dense candidate id arrays for every pattern node any shard filters
+        against (the union of the shards' out-edge targets)."""
+        targets_needed = {
+            edge_target
+            for shard in shards
+            for u in shard.pivots
+            for edge_target, _bound in pattern.out_edges(u)
+        }
+        return {
+            u: array("q", sorted(ids[v] for v in candidates[u]))
+            for u in targets_needed
+        }
+
+    @staticmethod
     def _shard_payload(
-        graph: Graph,
+        frozen: FrozenGraph,
         pattern: Pattern,
         shard: Shard,
         candidates: dict[str, set[NodeId]],
         materialize: bool,
+        shared_arrays: dict[str, array] | None,
     ) -> ShardPayload:
-        """What one worker needs: the ball (sub)graph and local candidates.
+        """What one worker needs, as flat buffers over a frozen snapshot.
 
-        Candidates are restricted to the ball — entries beyond it are
-        unreachable within the shard's depths anyway, and smaller sets mean
-        smaller pickles.  ``materialize=False`` sends no graph at all; the
-        worker reads the shared one.
+        ``materialize=True`` slices the ball sub-snapshot out of the full
+        one (CSR filtering, no dict graph in between) and indexes pivots
+        and candidates against *its* dense ids, restricted to the ball
+        (entries beyond it are unreachable within the depths);
+        ``materialize=False`` sends no snapshot at all — ids refer to the
+        process-shared full one and the candidate arrays are the
+        ``shared_arrays`` built once for the whole decomposition.
         """
-        local_candidates = {u: vs & shard.nodes for u, vs in candidates.items()}
-        return (
-            shard.subgraph(graph) if materialize else None,
-            pattern,
-            dict(shard.pivots),
-            local_candidates,
-            dict(shard.depths),
-        )
+        edges_spec = {u: tuple(pattern.out_edges(u)) for u in shard.pivots}
+        targets_needed = {
+            edge_target
+            for out_edges in edges_spec.values()
+            for edge_target, _bound in out_edges
+        }
+        if materialize:
+            ball = frozen.induced(
+                shard.nodes,
+                name=f"{frozen.name}#shard{shard.index}",
+                include_attrs=False,
+            )
+            ids = ball.ids()
+            candidate_arrays = {
+                u: array("q", sorted(ids[v] for v in candidates[u] & shard.nodes))
+                for u in targets_needed
+            }
+        else:
+            assert shared_arrays is not None
+            ball = None
+            ids = frozen.ids()
+            candidate_arrays = {u: shared_arrays[u] for u in targets_needed}
+        pivot_ids = {
+            u: tuple(ids[v] for v in pivots) for u, pivots in shard.pivots.items()
+        }
+        return (ball, edges_spec, pivot_ids, candidate_arrays)
 
-    def _shared_graph_map(self, graph: Graph, payloads: list[ShardPayload]):
-        """Fan shard work out over a pool that shares the full graph.
+    def _shared_frozen_map(self, frozen: FrozenGraph, payloads: list[ShardPayload]):
+        """Fan shard work out over a pool that shares the full snapshot.
 
         A dedicated pool is created per call: under the fork start method
-        the children inherit the graph from the parent's module global at
-        zero cost; under spawn the initializer ships it once per worker.
-        That beats pickling a near-full induced subgraph into every task,
-        which is what broad-cover queries would otherwise pay.
+        the children inherit the snapshot from the parent's module global
+        at zero cost; under spawn the initializer ships its flat buffers
+        once per worker.  Either way beats pickling a near-full ball into
+        every task, which is what broad-cover queries would otherwise pay.
         """
-        _set_shared_graph(graph)
+        _set_shared_frozen(frozen)
         try:
             if self._ctx.get_start_method() == "fork":
                 pool = self._ctx.Pool(self.workers)
             else:  # pragma: no cover - non-fork platforms
+                # Workers only traverse: ship the adjacency-only twin.
                 pool = self._ctx.Pool(
-                    self.workers, initializer=_set_shared_graph, initargs=(graph,)
+                    self.workers,
+                    initializer=_set_shared_frozen,
+                    initargs=(frozen.without_attrs(),),
                 )
             with pool:
                 return pool.map(_shard_rows, payloads)
         finally:
-            _set_shared_graph(None)
+            _set_shared_frozen(None)
 
     # ------------------------------------------------------------------
     # bulk-ranking parallelism
@@ -420,38 +519,52 @@ class ParallelExecutor:
         graph: Graph,
         tasks: Sequence[tuple[Pattern, dict[str, tuple]]],
         table: dict[tuple, set[NodeId]],
+        frozen: FrozenGraph | None = None,
     ) -> list[tuple[MatchRelation, dict[str, Any]]]:
         """Evaluate whole queries across the pool.
 
         Each task is ``(pattern, {pattern node: candidate-table key})``;
         ``table`` maps those keys (canonical predicate keys) to candidate
-        sets computed once for the whole batch.  The graph and the table
-        ship once per worker — fork inheritance on POSIX, pool initializer
-        elsewhere — so a task pickles only its pattern and a few keys.
-        Returns ``(relation, worker stats)`` per task, in order.  With one
-        worker (or one task) everything runs inline.
+        sets computed once for the whole batch.  The graph, its frozen
+        snapshot (when given — worker matchers then run the CSR kernels)
+        and the table ship once per worker — fork inheritance on POSIX,
+        pool initializer elsewhere — so a task pickles only its pattern
+        and a few keys.  Returns ``(relation, worker stats)`` per task, in
+        order.  With one worker (or one task) everything runs inline.
         """
         if not tasks:
             return []
+        if frozen is not None and not frozen.matches(graph):
+            raise EvaluationError(
+                f"stale frozen snapshot: {frozen!r} does not match "
+                f"graph version {graph.version}"
+            )
         if self.workers == 1 or len(tasks) == 1:
-            _init_batch_worker(graph, table)
+            _init_batch_worker(graph, table, frozen)
             try:
                 return [_batch_query(task) for task in tasks]
             finally:
-                _init_batch_worker(None, None)
+                _init_batch_worker(None, None, None)
         try:
             if self._ctx.get_start_method() == "fork":
-                # Children inherit graph and table from the parent's module
-                # globals for free (copy-on-write); nothing to pickle.
-                _init_batch_worker(graph, table)
+                # Children inherit graph, snapshot and table from the
+                # parent's module globals for free (copy-on-write);
+                # nothing to pickle.
+                _init_batch_worker(graph, table, frozen)
                 pool = self._ctx.Pool(self.workers)
             else:  # pragma: no cover - non-fork platforms
+                # Matchers in workers get candidates from the table, so
+                # the snapshot ships without its attribute columns.
                 pool = self._ctx.Pool(
                     self.workers,
                     initializer=_init_batch_worker,
-                    initargs=(graph, table),
+                    initargs=(
+                        graph,
+                        table,
+                        None if frozen is None else frozen.without_attrs(),
+                    ),
                 )
             with pool:
                 return pool.map(_batch_query, list(tasks))
         finally:
-            _init_batch_worker(None, None)
+            _init_batch_worker(None, None, None)

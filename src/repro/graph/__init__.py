@@ -7,9 +7,11 @@ from repro.graph.distance import (
     bounded_descendants,
     distance,
     eccentricity_within,
+    multi_source_descendants,
     weighted_distances,
     within_bound,
 )
+from repro.graph.frozen import FrozenGraph
 from repro.graph.generators import (
     FIELDS,
     CollaborationConfig,
@@ -53,8 +55,10 @@ __all__ = [
     "bounded_descendants",
     "distance",
     "eccentricity_within",
+    "multi_source_descendants",
     "weighted_distances",
     "within_bound",
+    "FrozenGraph",
     "FIELDS",
     "CollaborationConfig",
     "collaboration_graph",

@@ -57,8 +57,13 @@ class Graph:
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
-    def add_node(self, node: NodeId, **attrs: Any) -> None:
-        """Add ``node`` with attributes; re-adding merges the attributes."""
+    def add_node(self, node: NodeId, /, **attrs: Any) -> None:
+        """Add ``node`` with attributes; re-adding merges the attributes.
+
+        The node parameter is positional-only so attributes named ``node``
+        (or ``self``) are ordinary keywords — graphs loaded from storage
+        pass arbitrary attribute names through here.
+        """
         if node not in self._attrs:
             self._attrs[node] = {}
             self._succ[node] = {}
@@ -170,10 +175,15 @@ class Graph:
         """Mutation counter, bumped by every structural or attribute change.
 
         Engine-owned caches (:class:`~repro.graph.index.AttributeIndex`,
-        :class:`~repro.graph.reach_index.BoundedReachIndex`) compare this
-        against the version they last synchronized with to detect
-        out-of-band mutations.  Writing through :meth:`attrs`' live dict
-        bypasses the counter — use :meth:`set` or the update objects.
+        :class:`~repro.graph.reach_index.BoundedReachIndex`, the engine's
+        ``SnapshotCache`` of :class:`~repro.graph.frozen.FrozenGraph`
+        snapshots) compare this against the version they last synchronized
+        with to detect out-of-band mutations.  Every attribute write has a
+        counting API — :meth:`set` for one attribute, :meth:`update_attrs`
+        for several in one bump, or the engine's update objects — so there
+        is no reason to assign into :meth:`attrs`' live dict; doing so
+        still bypasses the counter and silently poisons every version-keyed
+        cache.
 
         >>> g = Graph()
         >>> g.add_node("a"); g.add_node("b"); g.version
@@ -221,6 +231,26 @@ class Graph:
     def set(self, node: NodeId, attr: str, value: Any) -> None:
         """Set a single attribute of ``node``."""
         self.attrs(node)[attr] = value
+        self._version += 1
+
+    def update_attrs(self, node: NodeId, /, **attrs: Any) -> None:
+        """Set several attributes of ``node``, bumping :attr:`version` once.
+
+        This is the blessed bulk write: engine and incremental attribute
+        updates route through it (or :meth:`set`) instead of mutating the
+        live :meth:`attrs` dict, so version-keyed caches always observe the
+        change.  A no-attribute call is a no-op (no version bump).  The
+        node parameter is positional-only, so attributes named ``node``
+        (or ``self``) pass through like any other keyword.
+
+        >>> g = Graph(); g.add_node("a"); g.version
+        1
+        >>> g.update_attrs("a", field="SA", experience=7); g.version
+        2
+        """
+        if not attrs:
+            return
+        self.attrs(node).update(attrs)
         self._version += 1
 
     def successors(self, node: NodeId) -> Iterator[NodeId]:

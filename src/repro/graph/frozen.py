@@ -1,0 +1,450 @@
+"""Frozen CSR graph snapshots — the immutable substrate for hot kernels.
+
+The query flow of the paper (§II) evaluates many pattern queries against a
+social network that does not change between evaluations, yet every traversal
+in the mutable :class:`~repro.graph.digraph.Graph` walks dict-of-dicts
+adjacency: one method call and two hash probes per node, one hash probe per
+edge, and a dictionary allocation per neighbourhood.  A
+:class:`FrozenGraph` is a compact, immutable snapshot of a ``Graph`` built
+for exactly that read-mostly workload:
+
+* node labels are **interned to dense ints** ``0..n-1`` in the graph's
+  deterministic insertion order (``labels[i]`` maps back);
+* adjacency is **CSR** (compressed sparse row) in both directions: flat
+  ``array('q')`` offset/target buffers, so a neighbourhood is a slice, the
+  whole structure pickles as a handful of raw byte buffers, and shipping a
+  shard to a worker process costs a fraction of pickling the equivalent
+  dict ``Graph``;
+* node attributes are stored as **columns** (``attr -> {node id: value
+  id}``) over one interned value pool, so a 50k-node graph with three
+  distinct ``field`` values stores three field strings, not 50k;
+* the snapshot records the ``source_version`` (the graph's mutation
+  counter) it was built from, so caches can validate it, and
+  :meth:`to_graph` reconstructs an equal ``Graph`` — the round-trip is
+  exact (asserted property-based in ``tests/test_frozen.py``).
+
+Traversal kernels (:mod:`repro.graph.distance`,
+:func:`repro.matching.bounded.frozen_successor_rows`) work over
+:meth:`successor_sets` / :meth:`predecessor_sets` — per-node ``frozenset``
+views of the CSR rows, derived lazily and never pickled — because Python's
+C-speed set algebra (unions for frontier expansion, intersections for
+candidate filtering) is what actually beats the per-edge interpreted loop
+of the dict-backed path.
+
+The layout is deliberately the stepping stone the ROADMAP asks for: the
+flat buffers are mmap- and NumPy-ready, and every kernel that consumes them
+is one function swap away from a vectorized backend.
+
+>>> from repro.graph.digraph import Graph
+>>> g = Graph.from_edges([("a", "b"), ("b", "c")], nodes={"a": {"f": "X"}})
+>>> frozen = FrozenGraph.freeze(g)
+>>> frozen.num_nodes, frozen.num_edges
+(3, 2)
+>>> list(frozen.successors("a"))
+['b']
+>>> frozen.to_graph() == g
+True
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Any, Iterable, Iterator
+
+from repro.errors import GraphError
+from repro.graph.digraph import Edge, Graph, NodeId
+
+
+class FrozenGraph:
+    """An immutable CSR snapshot of a :class:`~repro.graph.digraph.Graph`.
+
+    Build one with :meth:`freeze`; derive shard-sized ones with
+    :meth:`induced`.  The snapshot never observes later graph mutations
+    made through the graph's API — owners (the engine's ``SnapshotCache``)
+    compare :attr:`source_version` against ``Graph.version`` to decide
+    when to rebuild.  Attribute *values* are held by reference, exactly
+    like ``Graph.copy``'s "deep-enough" convention: mutating a stored
+    value in place (``graph.attrs(v)["tags"].append(...)``) bypasses the
+    version counter everywhere in this codebase, snapshot included.
+    """
+
+    __slots__ = (
+        "name",
+        "source_version",
+        "labels",
+        "out_offsets",
+        "out_targets",
+        "in_offsets",
+        "in_targets",
+        "_columns",
+        "_values",
+        "_ids",
+        "_succ_sets",
+        "_pred_sets",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        source_version: int,
+        labels: tuple[NodeId, ...],
+        out_offsets: array,
+        out_targets: array,
+        in_offsets: array,
+        in_targets: array,
+        columns: dict[str, dict[int, int]],
+        values: list[Any],
+    ) -> None:
+        self.name = name
+        self.source_version = source_version
+        self.labels = labels
+        self.out_offsets = out_offsets
+        self.out_targets = out_targets
+        self.in_offsets = in_offsets
+        self.in_targets = in_targets
+        self._columns = columns
+        self._values = values
+        # Derived structures; rebuilt lazily, excluded from pickles.
+        self._ids: dict[NodeId, int] | None = None
+        self._succ_sets: tuple[frozenset[int], ...] | None = None
+        self._pred_sets: tuple[frozenset[int], ...] | None = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def freeze(cls, graph: Graph) -> "FrozenGraph":
+        """Snapshot ``graph`` as it is right now.
+
+        Node order, per-node successor order and per-node predecessor order
+        all follow the graph's deterministic insertion order, so kernels
+        over the snapshot make the same tie decisions as kernels over the
+        dict graph.
+        """
+        labels = tuple(graph.nodes())
+        ids = {label: index for index, label in enumerate(labels)}
+        out_offsets = array("q", [0])
+        out_targets = array("q")
+        for label in labels:
+            for target in graph.successors(label):
+                out_targets.append(ids[target])
+            out_offsets.append(len(out_targets))
+        in_offsets = array("q", [0])
+        in_targets = array("q")
+        for label in labels:
+            for source in graph.predecessors(label):
+                in_targets.append(ids[source])
+            in_offsets.append(len(in_targets))
+
+        columns: dict[str, dict[int, int]] = {}
+        values: list[Any] = []
+        # Interning key is (type, value): 1, 1.0 and True are equal but must
+        # not collapse to one pool slot or the round-trip changes types.
+        interned: dict[tuple[type, Any], int] = {}
+        for index, label in enumerate(labels):
+            for attr, value in graph.attrs(label).items():
+                try:
+                    value_id = interned[(value.__class__, value)]
+                except KeyError:
+                    value_id = interned[(value.__class__, value)] = len(values)
+                    values.append(value)
+                except TypeError:  # unhashable values are stored un-deduped
+                    value_id = len(values)
+                    values.append(value)
+                columns.setdefault(attr, {})[index] = value_id
+        frozen = cls(
+            graph.name,
+            graph.version,
+            labels,
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_targets,
+            columns,
+            values,
+        )
+        frozen._ids = ids
+        return frozen
+
+    def induced(
+        self,
+        nodes: Iterable[NodeId],
+        name: str = "",
+        include_attrs: bool = True,
+    ) -> "FrozenGraph":
+        """The induced sub-snapshot on ``nodes`` (unknown labels raise).
+
+        Node order is inherited from this snapshot.  ``include_attrs=False``
+        drops the attribute columns — what shard shipping wants, since
+        workers only traverse — leaving a snapshot whose :meth:`to_graph`
+        yields attribute-less nodes.
+        """
+        ids = self.ids()
+        keep = sorted({ids[label] for label in self._checked(nodes, ids)})
+        remap = {old: new for new, old in enumerate(keep)}
+        mask = bytearray(len(self.labels))
+        for old in keep:
+            mask[old] = 1
+        labels = tuple(self.labels[old] for old in keep)
+
+        def restrict(offsets: array, targets: array) -> tuple[array, array]:
+            sub_offsets = array("q", [0])
+            sub_targets = array("q")
+            for old in keep:
+                for position in range(offsets[old], offsets[old + 1]):
+                    target = targets[position]
+                    if mask[target]:
+                        sub_targets.append(remap[target])
+                sub_offsets.append(len(sub_targets))
+            return sub_offsets, sub_targets
+
+        out_offsets, out_targets = restrict(self.out_offsets, self.out_targets)
+        in_offsets, in_targets = restrict(self.in_offsets, self.in_targets)
+        columns: dict[str, dict[int, int]] = {}
+        values: list[Any] = []
+        if include_attrs:
+            # Re-pool values so a pickled sub-snapshot carries only what
+            # its own nodes reference, not the parent's whole pool.
+            value_remap: dict[int, int] = {}
+            for attr, column in self._columns.items():
+                sub_column: dict[int, int] = {}
+                for old, value_id in column.items():
+                    if mask[old]:
+                        new_value_id = value_remap.get(value_id)
+                        if new_value_id is None:
+                            new_value_id = value_remap[value_id] = len(values)
+                            values.append(self._values[value_id])
+                        sub_column[remap[old]] = new_value_id
+                if sub_column:
+                    columns[attr] = sub_column
+        return FrozenGraph(
+            name or self.name,
+            self.source_version,
+            labels,
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_targets,
+            columns,
+            values,
+        )
+
+    def _checked(
+        self, nodes: Iterable[NodeId], ids: dict[NodeId, int]
+    ) -> Iterator[NodeId]:
+        for label in nodes:
+            if label not in ids:
+                raise GraphError(f"unknown node: {label!r}")
+            yield label
+
+    def without_attrs(self) -> "FrozenGraph":
+        """An adjacency-only twin sharing this snapshot's buffers (O(1)).
+
+        This is what ships to worker processes: the traversal kernels
+        never read attributes, so pickling the columns and value pool
+        would be dead weight on spawn-start platforms.
+        """
+        if not self._columns and not self._values:
+            return self
+        return FrozenGraph(
+            self.name,
+            self.source_version,
+            self.labels,
+            self.out_offsets,
+            self.out_targets,
+            self.in_offsets,
+            self.in_targets,
+            {},
+            [],
+        )
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.labels)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.out_targets)
+
+    @property
+    def size(self) -> int:
+        """``|G|`` in the paper's sense: nodes plus edges."""
+        return self.num_nodes + self.num_edges
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def __contains__(self, node: object) -> bool:
+        return node in self.ids()
+
+    def has_node(self, node: NodeId) -> bool:
+        return node in self.ids()
+
+    def ids(self) -> dict[NodeId, int]:
+        """``label -> dense int`` (lazy; rebuilt after unpickling)."""
+        if self._ids is None:
+            self._ids = {label: index for index, label in enumerate(self.labels)}
+        return self._ids
+
+    def id_of(self, node: NodeId) -> int:
+        try:
+            return self.ids()[node]
+        except KeyError:
+            raise GraphError(f"unknown node: {node!r}") from None
+
+    def nodes(self) -> Iterator[NodeId]:
+        return iter(self.labels)
+
+    def edges(self) -> Iterator[Edge]:
+        labels = self.labels
+        offsets, targets = self.out_offsets, self.out_targets
+        for index, label in enumerate(labels):
+            for position in range(offsets[index], offsets[index + 1]):
+                yield (label, labels[targets[position]])
+
+    def successors(self, node: NodeId) -> Iterator[NodeId]:
+        index = self.id_of(node)
+        labels, offsets, targets = self.labels, self.out_offsets, self.out_targets
+        return (
+            labels[targets[position]]
+            for position in range(offsets[index], offsets[index + 1])
+        )
+
+    def predecessors(self, node: NodeId) -> Iterator[NodeId]:
+        index = self.id_of(node)
+        labels, offsets, targets = self.labels, self.in_offsets, self.in_targets
+        return (
+            labels[targets[position]]
+            for position in range(offsets[index], offsets[index + 1])
+        )
+
+    def out_degree(self, node: NodeId) -> int:
+        index = self.id_of(node)
+        return self.out_offsets[index + 1] - self.out_offsets[index]
+
+    def in_degree(self, node: NodeId) -> int:
+        index = self.id_of(node)
+        return self.in_offsets[index + 1] - self.in_offsets[index]
+
+    def has_edge(self, source: NodeId, target: NodeId) -> bool:
+        source_id = self.id_of(source)
+        return self.id_of(target) in self.successor_sets()[source_id]
+
+    def node_attrs(self, node: NodeId) -> dict[str, Any]:
+        """A fresh attribute dict for ``node`` (column order, not original)."""
+        index = self.id_of(node)
+        values = self._values
+        return {
+            attr: values[column[index]]
+            for attr, column in self._columns.items()
+            if index in column
+        }
+
+    def matches(self, graph: Graph) -> bool:
+        """Best-effort check that this snapshot was taken of ``graph`` as is.
+
+        Compares the recorded ``source_version`` against ``graph.version``
+        plus node/edge counts and O(1) label spot checks (first/last label
+        membership and the first label's out-degree).  This reliably
+        catches stale snapshots of the *same* graph — the failure mode the
+        engine's caches care about — and most accidental cross-graph
+        mix-ups; it is not a cryptographic identity proof.
+        """
+        if (
+            self.source_version != graph.version
+            or len(self.labels) != graph.num_nodes
+            or self.num_edges != graph.num_edges
+        ):
+            return False
+        if not self.labels:
+            return True
+        first, last = self.labels[0], self.labels[-1]
+        return (
+            graph.has_node(first)
+            and graph.has_node(last)
+            and graph.out_degree(first)
+            == self.out_offsets[1] - self.out_offsets[0]
+        )
+
+    # ------------------------------------------------------------------
+    # kernel views
+    # ------------------------------------------------------------------
+    def successor_sets(self) -> tuple[frozenset[int], ...]:
+        """Per-node successor id sets (lazy; the BFS kernels' substrate)."""
+        if self._succ_sets is None:
+            self._succ_sets = self._row_sets(self.out_offsets, self.out_targets)
+        return self._succ_sets
+
+    def predecessor_sets(self) -> tuple[frozenset[int], ...]:
+        """Per-node predecessor id sets (lazy)."""
+        if self._pred_sets is None:
+            self._pred_sets = self._row_sets(self.in_offsets, self.in_targets)
+        return self._pred_sets
+
+    def _row_sets(self, offsets: array, targets: array) -> tuple[frozenset[int], ...]:
+        flat = targets.tolist()
+        return tuple(
+            frozenset(flat[offsets[index] : offsets[index + 1]])
+            for index in range(len(self.labels))
+        )
+
+    # ------------------------------------------------------------------
+    # round trip
+    # ------------------------------------------------------------------
+    def to_graph(self, name: str | None = None) -> Graph:
+        """Reconstruct an equal :class:`Graph` (labels, edges, attributes)."""
+        values = self._values
+        attr_rows: list[dict[str, Any]] = [{} for _ in self.labels]
+        for attr, column in self._columns.items():
+            for index, value_id in column.items():
+                attr_rows[index][attr] = values[value_id]
+        graph = Graph(name=self.name if name is None else name)
+        for label, attrs in zip(self.labels, attr_rows):
+            graph.add_node(label, **attrs)
+        labels, offsets, targets = self.labels, self.out_offsets, self.out_targets
+        for index, label in enumerate(labels):
+            for position in range(offsets[index], offsets[index + 1]):
+                graph.add_edge(label, labels[targets[position]])
+        return graph
+
+    # ------------------------------------------------------------------
+    # pickling (derived views never travel)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> tuple:
+        return (
+            self.name,
+            self.source_version,
+            self.labels,
+            self.out_offsets,
+            self.out_targets,
+            self.in_offsets,
+            self.in_targets,
+            self._columns,
+            self._values,
+        )
+
+    def __setstate__(self, state: tuple) -> None:
+        (
+            self.name,
+            self.source_version,
+            self.labels,
+            self.out_offsets,
+            self.out_targets,
+            self.in_offsets,
+            self.in_targets,
+            self._columns,
+            self._values,
+        ) = state
+        self._ids = None
+        self._succ_sets = None
+        self._pred_sets = None
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<FrozenGraph{label}: {self.num_nodes} nodes, "
+            f"{self.num_edges} edges, v{self.source_version}>"
+        )

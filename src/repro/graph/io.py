@@ -25,7 +25,10 @@ FORMAT_VERSION = 1
 def graph_to_dict(graph: Graph) -> dict[str, Any]:
     """A JSON-ready dictionary representation of ``graph``."""
     for node in graph.nodes():
-        if not isinstance(node, (str, int)):
+        # bool is an int subclass, but True/False serialize as JSON
+        # true/false and would load back as 1/0 — silently colliding with
+        # any real 1/0 node.  Reject rather than corrupt.
+        if isinstance(node, bool) or not isinstance(node, (str, int)):
             raise StorageError(
                 f"node id {node!r} is not JSON-serializable (use str or int)"
             )

@@ -41,6 +41,7 @@ from typing import TYPE_CHECKING, Mapping
 from repro.errors import GraphError
 from repro.graph.digraph import Graph, NodeId
 from repro.graph.distance import multi_source_descendants
+from repro.graph.frozen import FrozenGraph
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.pattern.pattern import Bound, Pattern
@@ -124,6 +125,7 @@ def decompose(
     pattern: "Pattern",
     candidates: Mapping[str, set[NodeId]],
     num_shards: int,
+    frozen: FrozenGraph | None = None,
 ) -> list[Shard]:
     """Split successor-row construction into at most ``num_shards`` shards.
 
@@ -135,6 +137,10 @@ def decompose(
     their ball covers may overlap.  Empty shards are dropped, so fewer than
     ``num_shards`` may come back; the result is deterministic for a given
     graph (node insertion order decides ties).
+
+    ``frozen`` (a current :class:`~repro.graph.frozen.FrozenGraph` of
+    ``graph``) runs the multi-source ball searches over CSR adjacency sets
+    instead of the dict graph — identical shards, C-speed frontier algebra.
 
     >>> from repro.datasets.paper_example import paper_graph, paper_pattern
     >>> from repro.matching.simulation import simulation_candidates
@@ -148,6 +154,11 @@ def decompose(
     if num_shards < 1:
         raise GraphError(f"num_shards must be >= 1 (got {num_shards})")
     pattern.validate()
+    if frozen is not None and not frozen.matches(graph):
+        raise GraphError(
+            f"stale frozen snapshot: {frozen!r} does not match "
+            f"graph version {graph.version}"
+        )
     sources = [u for u in pattern.nodes() if source_depth(pattern, u) != 0]
     missing = [u for u in sources if u not in candidates]
     if missing:
@@ -155,8 +166,14 @@ def decompose(
 
     # Rank nodes by insertion order once so pivot assignment is
     # deterministic regardless of hashing, without paying a full-graph
-    # scan per pattern source node.
-    order = {v: rank for rank, v in enumerate(graph.nodes())}
+    # scan per pattern source node.  A snapshot's label order *is* the
+    # graph's insertion order, so both substrates rank identically.
+    if frozen is not None:
+        order = frozen.ids()
+        degree_of = frozen.out_degree
+    else:
+        order = {v: rank for rank, v in enumerate(graph.nodes())}
+        degree_of = graph.out_degree
     loads = [0] * num_shards
     assigned: list[dict[str, list[NodeId]]] = [{} for _ in range(num_shards)]
     for u in sources:
@@ -164,7 +181,7 @@ def decompose(
         for v in sorted(cand_u, key=order.__getitem__):
             lightest = min(range(num_shards), key=loads.__getitem__)
             assigned[lightest].setdefault(u, []).append(v)
-            loads[lightest] += 1 + graph.out_degree(v)
+            loads[lightest] += 1 + degree_of(v)
 
     shards: list[Shard] = []
     for pivots_by_node in assigned:
@@ -172,9 +189,11 @@ def decompose(
             continue
         ball: set[NodeId] = set()
         depths: dict[str, "Bound"] = {}
+        # multi_source_descendants dispatches to the frozen kernel itself.
+        substrate = frozen if frozen is not None else graph
         for u, pivots in pivots_by_node.items():
             depths[u] = source_depth(pattern, u)
-            ball.update(multi_source_descendants(graph, pivots, depths[u]))
+            ball.update(multi_source_descendants(substrate, pivots, depths[u]))
         shards.append(
             Shard(
                 index=len(shards),

@@ -63,7 +63,7 @@ class NodeInsertion:
     attrs_items: tuple = ()
 
     @classmethod
-    def with_attrs(cls, node: NodeId, **attrs: object) -> "NodeInsertion":
+    def with_attrs(cls, node: NodeId, /, **attrs: object) -> "NodeInsertion":
         return cls(node, tuple(sorted(attrs.items())))
 
     @property
@@ -113,7 +113,9 @@ class AttributeUpdate:
     def apply(self, graph: Graph) -> None:
         if not graph.has_node(self.node):
             raise UpdateError(f"node not present: {self.node!r}")
-        graph.set(self.node, self.attr, self.value)
+        # Route through the counting write API so every version-keyed cache
+        # (attribute index, reach index, frozen snapshots) sees the change.
+        graph.update_attrs(self.node, **{self.attr: self.value})
 
     def inverted(self) -> "AttributeUpdate":
         raise UpdateError(

@@ -26,16 +26,144 @@ never invalidate it — only graph distance changes do.
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import EvaluationError
 from repro.graph.digraph import Graph, NodeId
-from repro.graph.distance import bounded_descendants
+from repro.graph.distance import bounded_descendants, frozen_reach_levels
+from repro.graph.frozen import FrozenGraph
 from repro.matching.base import MatchRelation, MatchResult, Stopwatch
 from repro.matching.simulation import simulation_candidates
 from repro.pattern.pattern import Bound, Pattern
 
 PatternEdge = tuple[str, str]
+
+#: At this BFS depth (or ``*``), per-source balls overlap so much that the
+#: bitset-parallel traversal (all sources advance together, each node's
+#: visitor set packed into one big int) wins; below it, per-source level
+#: BFS over the frozen adjacency sets is cheaper than paying big-int ops.
+FROZEN_BULK_DEPTH = 5
+
+#: Sources per bitset traversal.  Bounds transient memory (one n-slot list
+#: of masks of this many bits) and keeps big-int ops cache-friendly.
+FROZEN_CHUNK_BITS = 4096
+
+#: byte value -> indices of its set bits; decodes visitor masks without
+#: allocating big ints per extracted bit.
+_BYTE_BITS = tuple(
+    tuple(i for i in range(8) if (byte >> i) & 1) for byte in range(256)
+)
+
+
+def frozen_successor_rows(
+    frozen: FrozenGraph,
+    out_edges_by_node: Mapping[str, Sequence[tuple[str, Bound]]],
+    candidate_ids: Mapping[str, frozenset[int]],
+    sources_by_node: Mapping[str, Sequence[int]] | None = None,
+) -> dict[PatternEdge, dict[int, dict[int, int]]]:
+    """Bounded successor rows for every source candidate, int-indexed.
+
+    For each pattern node ``u`` with out-edges and each source id ``v``
+    (``sources_by_node[u]`` when given — the sharded evaluator's pivots —
+    else every candidate of ``u``), computes per out-edge ``(u, u')`` the
+    row ``{w: dist}`` of ``u'``-candidates within the edge bound.  This is
+    exactly what :meth:`BoundedState._build_successor_sets` materializes,
+    with two kernel strategies instead of one truncated BFS per candidate:
+
+    * **shallow bounds** — per-source level BFS over the snapshot's
+      adjacency sets; candidate filtering is one C-speed intersection per
+      level per edge instead of a per-reached-node interpreted check;
+    * **deep or ``*`` bounds** — one *bitset-parallel* traversal per chunk
+      of sources: each frontier node carries the set of sources that just
+      reached it, packed into a big int, so overlapping balls are walked
+      once instead of once per source.  Entries are decoded per level from
+      the first-arrival masks of surviving child candidates.
+
+    Both strategies produce identical rows (the seeded differential suite
+    asserts it); the split is purely a cost model.
+    """
+    rows: dict[PatternEdge, dict[int, dict[int, int]]] = {}
+    adjacency = frozen.successor_sets()
+    for source_pattern, out_edges in out_edges_by_node.items():
+        out_edges = list(out_edges)
+        if not out_edges:
+            continue
+        depth = BoundedState._bfs_depth(bound for _, bound in out_edges)
+        if sources_by_node is not None:
+            sources = list(sources_by_node.get(source_pattern, ()))
+        else:
+            sources = sorted(candidate_ids[source_pattern])
+        edge_data = []
+        for edge_target, bound in out_edges:
+            edge = (source_pattern, edge_target)
+            rows[edge] = {source: {} for source in sources}
+            edge_data.append((edge, bound, candidate_ids[edge_target]))
+        if not sources:
+            continue
+        if depth is not None and (depth < FROZEN_BULK_DEPTH or len(sources) == 1):
+            _per_source_rows(adjacency, sources, depth, edge_data, rows)
+        else:
+            _bitset_rows(adjacency, sources, depth, edge_data, rows)
+    return rows
+
+
+def _per_source_rows(adjacency, sources, depth, edge_data, rows) -> None:
+    """One level BFS per source; per-level set intersections filter rows."""
+    for source in sources:
+        levels = frozen_reach_levels(adjacency, source, depth)
+        for edge, bound, child_candidates in edge_data:
+            entries = rows[edge][source]
+            for dist, level in enumerate(levels[:bound], start=1):
+                for reached in level & child_candidates:
+                    entries[reached] = dist
+
+
+def _bitset_rows(adjacency, sources, depth, edge_data, rows) -> None:
+    """Bitset-parallel traversal: all sources of one chunk advance together.
+
+    ``frontier[node]`` is a big-int mask of the chunk sources that first
+    reached ``node`` at the current distance; propagation ORs masks along
+    edges (C-speed regardless of how many sources share the step), and a
+    per-node ``reach`` mask keeps arrivals first-only.  Survivor masks are
+    decoded bytewise via the :data:`_BYTE_BITS` table.
+    """
+    num_nodes = len(adjacency)
+    byte_bits = _BYTE_BITS
+    for chunk_start in range(0, len(sources), FROZEN_CHUNK_BITS):
+        chunk = sources[chunk_start : chunk_start + FROZEN_CHUNK_BITS]
+        mask_bytes = (len(chunk) + 7) // 8
+        reach = [0] * num_nodes
+        frontier: dict[int, int] = {}
+        for bit, source in enumerate(chunk):
+            frontier[source] = frontier.get(source, 0) | (1 << bit)
+        dist = 0
+        while frontier and (depth is None or dist < depth):
+            dist += 1
+            grown: dict[int, int] = {}
+            get = grown.get
+            for node, mask in frontier.items():
+                for target in adjacency[node]:
+                    seen = get(target)
+                    grown[target] = mask if seen is None else seen | mask
+            frontier = {}
+            for node, mask in grown.items():
+                seen = reach[node]
+                arrived = mask & ~seen if seen else mask
+                if arrived:
+                    reach[node] = seen | arrived
+                    frontier[node] = arrived
+            for edge, bound, child_candidates in edge_data:
+                if bound is not None and dist > bound:
+                    continue
+                edge_rows = rows[edge]
+                for reached in child_candidates.intersection(frontier):
+                    mask_view = frontier[reached].to_bytes(mask_bytes, "little")
+                    for byte_index, byte in enumerate(mask_view):
+                        if byte:
+                            base = byte_index * 8
+                            for offset in byte_bits[byte]:
+                                edge_rows[chunk[base + offset]][reached] = dist
+
 
 
 class BoundedState:
@@ -62,13 +190,22 @@ class BoundedState:
         reach_index=None,
         index=None,
         candidates: dict[str, set[NodeId]] | None = None,
+        frozen: FrozenGraph | None = None,
     ) -> None:
         pattern.validate()
+        if frozen is not None and not frozen.matches(graph):
+            raise EvaluationError(
+                f"stale frozen snapshot: {frozen!r} does not match "
+                f"graph version {graph.version}"
+            )
         self._reach_index = reach_index
         if candidates is None:
             candidates = simulation_candidates(graph, pattern, index=index)
         self._init_containers(graph, pattern, candidates)
-        self._build_successor_sets()
+        # The snapshot only accelerates construction; it is deliberately
+        # *not* stored on the state, because incremental maintenance
+        # mutates the graph afterwards and must fall back to live reads.
+        self._build_successor_sets(frozen=frozen)
         self._initial_refinement()
 
     def _init_containers(
@@ -146,7 +283,12 @@ class BoundedState:
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
-    def _build_successor_sets(self) -> None:
+    def _build_successor_sets(self, frozen: FrozenGraph | None = None) -> None:
+        if frozen is not None and self._reach_index is None:
+            # A reach index outranks the snapshot: its reaches are already
+            # materialized dicts, so the frozen kernels have nothing to add.
+            self._build_successor_sets_frozen(frozen)
+            return
         for source_pattern in self.pattern.nodes():
             out_edges = list(self.pattern.out_edges(source_pattern))
             if not out_edges:
@@ -155,6 +297,35 @@ class BoundedState:
             for data_node in self.cand[source_pattern]:
                 reach = self._reach(data_node, depth)
                 self._fill_entries(source_pattern, data_node, reach)
+
+    def _build_successor_sets_frozen(self, frozen: FrozenGraph) -> None:
+        """S/R/cnt from the int-indexed kernels, converted back to labels."""
+        ids = frozen.ids()
+        labels = frozen.labels
+        candidate_ids = {
+            u: frozenset(ids[v] for v in vs) for u, vs in self.cand.items()
+        }
+        out_edges_by_node = {
+            u: tuple(self.pattern.out_edges(u)) for u in self.pattern.nodes()
+        }
+        rows = frozen_successor_rows(frozen, out_edges_by_node, candidate_ids)
+        for edge, edge_rows in rows.items():
+            entries_of = self.S[edge]
+            reverse = self.R[edge]
+            counts = self.cnt[edge]
+            child_sim = self.sim[edge[1]]
+            for source_id, row in edge_rows.items():
+                source_label = labels[source_id]
+                entries: dict[NodeId, int] = {}
+                live = 0
+                for reached_id, dist in row.items():
+                    reached = labels[reached_id]
+                    entries[reached] = dist
+                    reverse.setdefault(reached, set()).add(source_label)
+                    if reached in child_sim:
+                        live += 1
+                entries_of[source_label] = entries
+                counts[source_label] = live
 
     def _reach(self, data_node: NodeId, depth: Bound) -> dict[NodeId, int]:
         if self._reach_index is not None and self._reach_index.covers(depth):
@@ -348,6 +519,7 @@ def match_bounded(
     reach_index=None,
     index=None,
     candidates: dict[str, set[NodeId]] | None = None,
+    frozen: FrozenGraph | None = None,
 ) -> MatchResult:
     """Compute ``M(Q,G)`` under bounded simulation.
 
@@ -358,7 +530,11 @@ def match_bounded(
     its owner) serves the truncated BFS runs from cache; an optional
     :class:`~repro.graph.index.AttributeIndex` (``index``) serves candidate
     generation, and ``candidates`` supplies precomputed candidate sets
-    outright (the batch evaluator's shared-work path).
+    outright (the batch evaluator's shared-work path).  A ``frozen``
+    snapshot of ``graph`` (usually the engine's cached one; it must match
+    the graph's current ``version``) routes successor-set construction
+    through the int-indexed CSR kernels — same relation, same state, less
+    time.
 
     >>> from repro.graph.digraph import Graph
     >>> from repro.pattern.pattern import Pattern
@@ -373,7 +549,12 @@ def match_bounded(
     """
     watch = Stopwatch()
     state = BoundedState(
-        graph, pattern, reach_index=reach_index, index=index, candidates=candidates
+        graph,
+        pattern,
+        reach_index=reach_index,
+        index=index,
+        candidates=candidates,
+        frozen=frozen,
     )
     relation = state.relation()
     if candidates is not None:

@@ -19,7 +19,9 @@ from __future__ import annotations
 from collections import deque
 from typing import Iterable
 
+from repro.errors import EvaluationError
 from repro.graph.digraph import Graph, NodeId
+from repro.graph.frozen import FrozenGraph
 from repro.graph.index import AttributeIndex, candidates_from_index
 from repro.matching.base import MatchRelation, MatchResult, Stopwatch
 from repro.pattern.pattern import Pattern
@@ -46,11 +48,25 @@ def refine_simulation(
     graph: Graph,
     pattern: Pattern,
     candidates: dict[str, set[NodeId]],
+    frozen: FrozenGraph | None = None,
 ) -> dict[str, set[NodeId]]:
     """Greatest fixpoint of the simulation refinement, starting from
     ``candidates``.  Returns refined sets (mutates a private copy).
+
+    With a ``frozen`` snapshot of ``graph`` the whole refinement runs
+    int-indexed over the snapshot's CSR adjacency sets: successor counts
+    are C-speed set intersections and the cascade probes int dicts.  The
+    greatest fixpoint is unique, so the result is identical either way;
+    a snapshot that no longer matches ``graph`` is rejected, never used.
     """
     pattern.validate()
+    if frozen is not None:
+        if not frozen.matches(graph):
+            raise EvaluationError(
+                f"stale frozen snapshot: {frozen!r} does not match "
+                f"graph version {graph.version}"
+            )
+        return _refine_simulation_frozen(frozen, pattern, candidates)
     sim: dict[str, set[NodeId]] = {u: set(vs) for u, vs in candidates.items()}
     edges: list[PatternEdge] = [(u, t) for u, t, _ in pattern.edges()]
     counters: dict[PatternEdge, dict[NodeId, int]] = {}
@@ -94,17 +110,74 @@ def refine_simulation(
     return sim
 
 
+def _refine_simulation_frozen(
+    frozen: FrozenGraph,
+    pattern: Pattern,
+    candidates: dict[str, set[NodeId]],
+) -> dict[str, set[NodeId]]:
+    """The counter-based refinement, int-indexed over the frozen snapshot."""
+    ids = frozen.ids()
+    labels = frozen.labels
+    successor_sets = frozen.successor_sets()
+    predecessor_sets = frozen.predecessor_sets()
+    sim: dict[str, set[int]] = {
+        u: {ids[v] for v in vs} for u, vs in candidates.items()
+    }
+    edges: list[PatternEdge] = [(u, t) for u, t, _ in pattern.edges()]
+    counters: dict[PatternEdge, dict[int, int]] = {}
+    removal_queue: deque[tuple[str, int]] = deque()
+    queued: set[tuple[str, int]] = set()
+
+    def schedule(pattern_node: str, node_id: int) -> None:
+        key = (pattern_node, node_id)
+        if key not in queued:
+            queued.add(key)
+            removal_queue.append(key)
+
+    for edge in edges:
+        source_pattern, target_pattern = edge
+        child_set = sim[target_pattern]
+        edge_counts: dict[int, int] = {}
+        for node_id in sim[source_pattern]:
+            count = len(successor_sets[node_id] & child_set)
+            edge_counts[node_id] = count
+            if count == 0:
+                schedule(source_pattern, node_id)
+        counters[edge] = edge_counts
+
+    in_edges_of: dict[str, list[PatternEdge]] = {u: [] for u in pattern.nodes()}
+    for edge in edges:
+        in_edges_of[edge[1]].append(edge)
+
+    while removal_queue:
+        pattern_node, node_id = removal_queue.popleft()
+        if node_id not in sim[pattern_node]:
+            continue
+        sim[pattern_node].remove(node_id)
+        for edge in in_edges_of[pattern_node]:
+            parent_pattern = edge[0]
+            edge_counts = counters[edge]
+            for upstream in predecessor_sets[node_id] & edge_counts.keys():
+                edge_counts[upstream] -= 1
+                if edge_counts[upstream] == 0 and upstream in sim[parent_pattern]:
+                    schedule(parent_pattern, upstream)
+    return {u: {labels[node_id] for node_id in vs} for u, vs in sim.items()}
+
+
 def match_simulation(
     graph: Graph,
     pattern: Pattern,
     index: AttributeIndex | None = None,
     candidates: dict[str, set[NodeId]] | None = None,
+    frozen: FrozenGraph | None = None,
 ) -> MatchResult:
     """Compute ``M(Q,G)`` under plain graph simulation.
 
     ``index`` routes candidate generation through an attribute index;
     ``candidates`` skips it entirely (the batch evaluator precomputes
-    shared candidate sets and hands each query its own copy).
+    shared candidate sets and hands each query its own copy); ``frozen``
+    (a current snapshot of ``graph``) runs the refinement over CSR
+    adjacency — identical fixpoint, set-algebra speed.
 
     >>> from repro.graph.digraph import Graph
     >>> from repro.pattern.pattern import Pattern
@@ -115,12 +188,19 @@ def match_simulation(
     [('X', 'a'), ('Y', 'b')]
     """
     watch = Stopwatch()
+    if frozen is not None and not frozen.matches(graph):
+        # refine_simulation re-checks, but failing here is cheaper: no
+        # candidate generation happens for a snapshot we will reject.
+        raise EvaluationError(
+            f"stale frozen snapshot: {frozen!r} does not match "
+            f"graph version {graph.version}"
+        )
     if candidates is None:
         candidates = simulation_candidates(graph, pattern, index=index)
         candidate_source = "scan" if index is None else "index"
     else:
         candidate_source = "precomputed"
-    refined = refine_simulation(graph, pattern, candidates)
+    refined = refine_simulation(graph, pattern, candidates, frozen=frozen)
     relation = MatchRelation.from_sets(pattern, refined)
     stats = {
         "algorithm": "simulation",

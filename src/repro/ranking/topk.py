@@ -40,11 +40,16 @@ graphs; ``benchmarks/bench_topk.py`` asserts it at scale).
 from __future__ import annotations
 
 import math
+from array import array
 from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 from repro.errors import RankingError
 from repro.graph.digraph import NodeId
-from repro.graph.distance import weighted_distances
+from repro.graph.distance import (
+    node_order_key,
+    weighted_distances,
+    weighted_distances_ids,
+)
 from repro.matching.result_graph import ResultGraph
 from repro.ranking.social_impact import RankedMatch, ranked_match_from_distances
 
@@ -98,6 +103,11 @@ class RankingContext:
         "_dist_out",
         "_dist_in",
         "_scores",
+        "_csr_out",
+        "_csr_in",
+        "_csr_order",
+        "_csr_threshold",
+        "_reached_total",
         "stats",
     )
 
@@ -126,6 +136,20 @@ class RankingContext:
         self._dist_in: dict[NodeId, dict[NodeId, float]] = {}
         # Per-metric memoized scores: {metric name: {node: score}}.
         self._scores: dict[str, dict[NodeId, float]] = {}
+        # Frozen weighted CSR per direction: (ids, labels, offsets,
+        # targets, weights).  Ids are assigned in the label path's
+        # tie-break order, so the int kernel makes identical pop decisions
+        # (see distances_from).  Building a CSR costs O(nodes log nodes +
+        # edges) once; a bound-pruned top-K may run only a handful of
+        # Dijkstras, so the build waits until enough runs have accumulated
+        # to amortize it (the first runs use the label path — the results
+        # are byte-identical either way).
+        self._csr_out: tuple | None = None
+        self._csr_in: tuple | None = None
+        # (ids, labels) — direction-independent, computed once, shared.
+        self._csr_order: tuple | None = None
+        self._csr_threshold = max(16, len(self.matched_by) // 64)
+        self._reached_total = 0
         self.stats: dict[str, int] = {
             "dijkstra_runs": 0,
             "details_scored": 0,
@@ -158,10 +182,21 @@ class RankingContext:
     # memoized distances and details
     # ------------------------------------------------------------------
     def distances_from(self, node: NodeId) -> dict[NodeId, float]:
-        """Weighted shortest distances out of ``node`` (memoized)."""
+        """Weighted shortest distances out of ``node`` (memoized).
+
+        Once enough runs have accumulated to amortize the one-time CSR
+        build, Dijkstra runs int-indexed over a frozen weighted CSR of the
+        snapshot (:func:`~repro.graph.distance.weighted_distances_ids`);
+        a bound-pruned top-K that only ever scores a handful of matches
+        stays on the label path and never pays the build.  Snapshot ids
+        are assigned in the exact tie-break order the label-keyed Dijkstra
+        uses, so the result — values *and* insertion order — is
+        byte-identical to ``weighted_distances(self.out_adj, node)``
+        either way.
+        """
         cached = self._dist_out.get(node)
         if cached is None:
-            cached = self._dist_out[node] = weighted_distances(self.out_adj, node)
+            cached = self._dist_out[node] = self._dijkstra(node, forward=True)
             self.stats["dijkstra_runs"] += 1
         return cached
 
@@ -169,9 +204,60 @@ class RankingContext:
         """Weighted shortest distances into ``node`` (memoized)."""
         cached = self._dist_in.get(node)
         if cached is None:
-            cached = self._dist_in[node] = weighted_distances(self.in_adj, node)
+            cached = self._dist_in[node] = self._dijkstra(node, forward=False)
             self.stats["dijkstra_runs"] += 1
         return cached
+
+    #: Mean nodes-reached-per-run below which a Dijkstra is so small that
+    #: the int kernel's id mapping costs more than its cheaper heap saves.
+    CSR_MIN_AVG_REACH = 64
+
+    def _dijkstra(self, node: NodeId, forward: bool) -> dict[NodeId, float]:
+        if self._csr_out is None and self._csr_in is None:
+            runs = self.stats["dijkstra_runs"]
+            if runs < self._csr_threshold or self._reached_total < (
+                runs * self.CSR_MIN_AVG_REACH
+            ):
+                # Not enough (or only trivially small) runs yet: the
+                # label path costs less than freezing a weighted CSR.
+                adjacency = self.out_adj if forward else self.in_adj
+                result = weighted_distances(adjacency, node)
+                self._reached_total += len(result)
+                return result
+        ids, labels, offsets, targets, weights = self._weighted_csr(forward)
+        source_id = ids.get(node)
+        if source_id is None:
+            return {}
+        reached = weighted_distances_ids(offsets, targets, weights, source_id)
+        return {labels[node_id]: d for node_id, d in reached.items()}
+
+    def _weighted_csr(self, forward: bool) -> tuple:
+        csr = self._csr_out if forward else self._csr_in
+        if csr is None:
+            adjacency = self.out_adj if forward else self.in_adj
+            if self._csr_order is None:
+                # Dense ids assigned in the label Dijkstra's tie-break
+                # order make (dist, id) heap tuples order exactly like
+                # (dist, _order_key) ones.  The ordering is direction-
+                # independent, so both CSRs share it.
+                labels = sorted(self.matched_by, key=node_order_key)
+                ids = {label: index for index, label in enumerate(labels)}
+                self._csr_order = (ids, labels)
+            ids, labels = self._csr_order
+            offsets = array("q", [0])
+            targets = array("q")
+            weights = array("d")
+            for label in labels:
+                for target, weight in adjacency.get(label, {}).items():
+                    targets.append(ids[target])
+                    weights.append(float(weight))
+                offsets.append(len(targets))
+            csr = (ids, labels, offsets, targets, weights)
+            if forward:
+                self._csr_out = csr
+            else:
+                self._csr_in = csr
+        return csr
 
     def node_attrs(self, node: NodeId) -> dict[str, Any]:
         """Attribute snapshot of one node (copied on first use, memoized)."""

@@ -47,6 +47,36 @@ class TestJsonRoundTrip:
         with pytest.raises(StorageError, match="JSON-serializable"):
             graph_to_dict(g)
 
+    @pytest.mark.parametrize("node", [True, False])
+    def test_bool_node_id_rejected(self, node):
+        """bool is an int subclass but round-trips as 1/0 — refuse it.
+
+        A graph with nodes ``True`` and ``1`` would otherwise serialize to
+        JSON ``true`` and ``1`` and silently collide (or shadow each other)
+        on load.
+        """
+        g = Graph()
+        g.add_node(node)
+        with pytest.raises(StorageError, match="JSON-serializable"):
+            graph_to_dict(g)
+
+    def test_int_node_ids_still_serialize(self, tmp_path):
+        g = Graph.from_edges([(0, 1)])
+        path = save_graph(g, tmp_path / "ints.json")
+        assert load_graph(path) == g
+
+    def test_attribute_named_node_round_trips(self, tmp_path):
+        """An attribute literally named "node" must survive the round trip.
+
+        ``graph_from_dict`` rebuilds via ``add_node(id, **attrs)``; with a
+        non-positional-only node parameter the load crashed with a kwarg
+        collision after the save had succeeded.
+        """
+        g = Graph()
+        g.add_node("a", node="hub", self="yes")
+        path = save_graph(g, tmp_path / "node_attr.json")
+        assert load_graph(path) == g
+
     def test_load_missing_file_raises(self, tmp_path):
         with pytest.raises(StorageError, match="not found"):
             load_graph(tmp_path / "missing.json")
