@@ -1,0 +1,290 @@
+"""E15 — landmark distance oracle vs frozen BFS enumeration.
+
+Heavy, diverse query workloads repeat deep bounded-reachability tests over
+a graph that rarely changes; the oracle amortises them into per-pair label
+merges.  Four claims on a seeded 50k-node ``twitter_like_graph`` (the
+hub-structured workload the paper's Twitter fraction stands in for — and
+the regime hub labeling exists for):
+
+* **selective deep-bound workload** (small candidate sets, ``'*'`` and
+  depth >= 5 bounds): warm-oracle engine evaluation runs >= 2x the PR-4
+  frozen BFS path, with byte-identical match results.  Asserted on any
+  host: the win is algorithmic (candidate x candidate label merges versus
+  materialising each source's reach ball), not core-count-dependent.
+* **kernel level**: oracle-routed ``frozen_successor_rows`` >= 2x the
+  enumeration kernels on the same workload, identical rows.
+* **broad-candidate fallback**: with low-selectivity predicates the cost
+  model routes every edge back to the enumeration kernels (asserted from
+  the recorded kernel log) and oracle-enabled evaluation regresses < 10%
+  against the plain frozen path (best-of-three wall clocks).
+* **label build cost** is reported (one-off, amortised across the query
+  workload) together with label-size statistics, and every number lands
+  in ``BENCH_E15.json`` for the perf trajectory.
+
+The cost model's inputs are *measured* label sizes, so on hub-poor graphs
+(e.g. the sparse ``collaboration_graph``) the oracle correctly loses the
+cost race and evaluation stays on the enumeration kernels — that fallback
+is exactly what the broad-workload claim exercises.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import cached_twitter, summary_recorder
+from repro.engine.engine import QueryEngine
+from repro.engine.planner import KERNEL_ORACLE
+from repro.graph.frozen import FrozenGraph
+from repro.graph.oracle import DistanceOracle
+from repro.matching.bounded import frozen_successor_rows
+from repro.matching.simulation import simulation_candidates
+from repro.pattern.builder import PatternBuilder
+
+SIZE = 50_000
+
+summary = summary_recorder("E15")
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return cached_twitter(SIZE)
+
+
+@pytest.fixture(scope="module")
+def frozen(graph):
+    return FrozenGraph.freeze(graph)
+
+
+@pytest.fixture(scope="module")
+def oracle(graph, frozen, summary):
+    """The warm oracle, with its one-off build cost on the record."""
+    start = time.perf_counter()
+    built = DistanceOracle.build(frozen)
+    seconds = time.perf_counter() - start
+    stats = built.stats()
+    print(
+        f"\n[E15/build] labels for {SIZE} nodes / {graph.num_edges} edges: "
+        f"{seconds:.2f}s ({stats['label_entries_out']} fwd + "
+        f"{stats['label_entries_in']} rev entries, avg "
+        f"{stats['avg_out_label']:.1f}/{stats['avg_in_label']:.1f} per node)"
+    )
+    summary.record(
+        "build",
+        seconds=seconds,
+        label_entries_out=stats["label_entries_out"],
+        label_entries_in=stats["label_entries_in"],
+        avg_out_label=stats["avg_out_label"],
+        avg_in_label=stats["avg_in_label"],
+        reach_entries=stats["reach_entries"],
+    )
+    return built
+
+
+def selective_pattern():
+    """Senior architects reaching (``'*'``) and mentoring (<= 6 hops)
+    seasoned specialists: small candidate sets, deep bounds — the regime
+    the ISSUE's acceptance criterion names."""
+    return (
+        PatternBuilder("deep-selective")
+        .node("SA", "experience >= 15", field="SA", output=True)
+        .node("ST", "experience >= 13", field="ST")
+        .node("SD", "experience >= 14", field="SD")
+        .edge("SA", "ST", None)
+        .edge("SA", "SD", 6)
+        .build(require_output=True)
+    )
+
+
+def broad_pattern():
+    """The same shape with low-selectivity predicates: thousands of
+    candidates per node, where enumeration wins the cost race.  Bounds 3
+    and 2 keep the *timed* fallback runs in seconds (a broad deep-bound
+    evaluation materialises tens of millions of row entries on either
+    path — identical cost both sides, minutes of wall clock; its routing
+    is asserted separately without timing it)."""
+    return (
+        PatternBuilder("shallow-broad")
+        .node("SA", "experience >= 1", field="SA", output=True)
+        .node("ST", "experience >= 2", field="ST")
+        .node("SD", "experience >= 2", field="SD")
+        .edge("SA", "ST", 3)
+        .edge("SA", "SD", 2)
+        .build(require_output=True)
+    )
+
+
+def best_of(runs, fn):
+    best = None
+    result = None
+    for _ in range(runs):
+        start = time.perf_counter()
+        value = fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best, result = elapsed, value
+    return best, result
+
+
+def test_kernel_speedup(graph, frozen, oracle, summary):
+    """Successor rows: oracle-pairwise >= 2x enumeration, identical rows."""
+    pattern = selective_pattern()
+    candidates = simulation_candidates(graph, pattern)
+    ids = frozen.ids()
+    candidate_ids = {
+        u: frozenset(ids[v] for v in vs) for u, vs in candidates.items()
+    }
+    spec = {"SA": tuple(pattern.out_edges("SA"))}
+
+    t_enum, enum_rows = best_of(
+        2, lambda: frozen_successor_rows(frozen, spec, candidate_ids)
+    )
+    log: dict = {}
+    t_oracle, oracle_rows = best_of(
+        2,
+        lambda: frozen_successor_rows(
+            frozen, spec, candidate_ids, oracle=oracle, kernel_log=log
+        ),
+    )
+    assert oracle_rows == enum_rows  # identity, always
+    assert all(route.kernel == KERNEL_ORACLE for route in log.values()), (
+        "cost model must route every selective deep edge to the oracle: "
+        f"{ {e: r.kernel for e, r in log.items()} }"
+    )
+    speedup = t_enum / t_oracle
+    print(
+        f"\n[E15/kernel] {len(candidate_ids['SA'])} sources x "
+        f"({len(candidate_ids['ST'])} + {len(candidate_ids['SD'])}) children "
+        f"on {SIZE} nodes: enumeration {t_enum:.3f}s, oracle {t_oracle:.3f}s "
+        f"-> {speedup:.1f}x"
+    )
+    summary.record(
+        "kernel",
+        seconds_enumeration=t_enum,
+        seconds_oracle=t_oracle,
+        speedup=speedup,
+        sources=len(candidate_ids["SA"]),
+    )
+    assert speedup >= 2.0, (
+        f"oracle-pairwise rows must be >= 2x the enumeration kernels, "
+        f"got {speedup:.2f}x"
+    )
+
+
+def test_selective_evaluation_speedup(graph, summary):
+    """End-to-end engine evaluation: warm oracle >= 2x frozen BFS path."""
+    pattern = selective_pattern()
+
+    plain = QueryEngine()
+    plain.register_graph("g", graph)
+    accelerated = QueryEngine()
+    accelerated.register_graph("g", graph)
+    accelerated.enable_oracle("g")
+    # Warm both engines: snapshots (and labels) build once, outside the
+    # timed region — the amortised regime the oracle exists for.
+    kwargs = dict(use_cache=False, cache_result=False)
+    baseline = plain.evaluate("g", pattern, **kwargs)
+    warmup = accelerated.evaluate("g", pattern, **kwargs)
+    assert warmup.relation == baseline.relation
+    assert warmup.relation.to_dict() == baseline.relation.to_dict()
+    assert KERNEL_ORACLE in warmup.stats["kernels"].values(), warmup.stats
+
+    t_plain, plain_result = best_of(3, lambda: plain.evaluate("g", pattern, **kwargs))
+    t_oracle, oracle_result = best_of(
+        3, lambda: accelerated.evaluate("g", pattern, **kwargs)
+    )
+    assert oracle_result.relation == plain_result.relation  # identity, always
+    speedup = t_plain / t_oracle
+    print(
+        f"\n[E15/evaluation] selective deep query on {SIZE} nodes "
+        f"({plain_result.relation.num_pairs} pairs): frozen BFS {t_plain:.3f}s, "
+        f"oracle-routed {t_oracle:.3f}s -> {speedup:.1f}x "
+        f"(label build, paid once: "
+        f"{accelerated.oracle_stats('g')['build_seconds']:.2f}s)"
+    )
+    summary.record(
+        "selective_evaluation",
+        seconds_frozen_bfs=t_plain,
+        seconds_oracle=t_oracle,
+        speedup=speedup,
+        pairs=plain_result.relation.num_pairs,
+    )
+    assert speedup >= 2.0, (
+        f"oracle-routed evaluation must be >= 2x the frozen BFS path on the "
+        f"selective deep-bound workload, got {speedup:.2f}x"
+    )
+
+
+def test_broad_workload_falls_back(graph, summary):
+    """Broad candidates: every edge routes to enumeration, regression < 10%."""
+    pattern = broad_pattern()
+
+    plain = QueryEngine()
+    plain.register_graph("g", graph)
+    accelerated = QueryEngine()
+    accelerated.register_graph("g", graph)
+    accelerated.enable_oracle("g")
+    kwargs = dict(use_cache=False, cache_result=False)
+    baseline = plain.evaluate("g", pattern, **kwargs)
+    warmup = accelerated.evaluate("g", pattern, **kwargs)
+    assert warmup.relation == baseline.relation
+    assert warmup.relation.to_dict() == baseline.relation.to_dict()
+    kernels = warmup.stats["kernels"]
+    assert kernels and all(k != KERNEL_ORACLE for k in kernels.values()), (
+        f"broad-candidate edges must fall back to enumeration kernels: {kernels}"
+    )
+
+    t_plain, plain_result = best_of(3, lambda: plain.evaluate("g", pattern, **kwargs))
+    t_oracle, oracle_result = best_of(
+        3, lambda: accelerated.evaluate("g", pattern, **kwargs)
+    )
+    assert oracle_result.relation == plain_result.relation
+    ratio = t_oracle / t_plain
+    print(
+        f"\n[E15/broad] broad query on {SIZE} nodes "
+        f"({plain_result.relation.num_pairs} pairs): frozen BFS {t_plain:.2f}s, "
+        f"oracle-enabled {t_oracle:.2f}s -> {ratio:.2f}x (kernels: "
+        f"{sorted(set(kernels.values()))})"
+    )
+    summary.record(
+        "broad_fallback",
+        seconds_frozen_bfs=t_plain,
+        seconds_oracle_enabled=t_oracle,
+        ratio=ratio,
+        kernels=sorted(set(kernels.values())),
+    )
+    assert ratio <= 1.10, (
+        f"oracle-enabled evaluation must not regress > 10% on broad "
+        f"workloads (cost-model fallback), got {ratio:.2f}x"
+    )
+
+
+def test_deep_broad_routing_stays_on_bitset(graph, frozen, oracle):
+    """Deep bounds over broad candidates route to the bitset kernel.
+
+    Routing only — the evaluation itself materialises ~10^7 row entries
+    on *either* kernel (identical work, minutes of wall clock), so timing
+    it would measure row decoding, not the decision this suite guards.
+    """
+    pattern = (
+        PatternBuilder("deep-broad")
+        .node("SA", "experience >= 1", field="SA", output=True)
+        .node("ST", "experience >= 2", field="ST")
+        .edge("SA", "ST", None)
+        .build(require_output=True)
+    )
+    candidates = simulation_candidates(graph, pattern)
+    from repro.engine.planner import route_edge
+    from repro.matching.bounded import FROZEN_BULK_DEPTH
+
+    route = route_edge(
+        ("SA", "ST"),
+        None,
+        len(candidates["SA"]),
+        len(candidates["ST"]),
+        graph.num_nodes,
+        graph.num_edges,
+        oracle.profile(),
+        bulk_depth=FROZEN_BULK_DEPTH,
+    )
+    print(f"\n[E15/routing] {route.describe()}")
+    assert route.kernel == "bitset", route.describe()

@@ -36,7 +36,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import cached_collab
+from benchmarks.conftest import cached_collab, summary_recorder
 from repro.graph.distance import bounded_descendants
 from repro.graph.frozen import FrozenGraph
 from repro.graph.index import AttributeIndex
@@ -46,6 +46,8 @@ from repro.matching.simulation import simulation_candidates
 from repro.pattern.builder import PatternBuilder
 
 SIZE = 50_000
+
+summary = summary_recorder("E14")
 
 
 @pytest.fixture(scope="module")
@@ -87,7 +89,7 @@ def test_snapshot_build_cost(graph):
     )
 
 
-def test_bfs_kernel_speedup(graph, frozen):
+def test_bfs_kernel_speedup(graph, frozen, summary):
     """Successor-row construction: frozen kernels >= 2x the dict path."""
     pattern = reach_pattern()
     candidates = simulation_candidates(graph, pattern)
@@ -125,13 +127,20 @@ def test_bfs_kernel_speedup(graph, frozen):
         f"on {SIZE} nodes: dict {t_dict:.2f}s, frozen {t_frozen:.2f}s "
         f"-> {speedup:.1f}x"
     )
+    summary.record(
+        "bfs_kernel",
+        seconds_dict=t_dict,
+        seconds_frozen=t_frozen,
+        speedup=speedup,
+        sources=len(dict_rows),
+    )
     assert speedup >= 2.0, (
         f"frozen successor-row kernel must be >= 2x the dict path, "
         f"got {speedup:.2f}x"
     )
 
 
-def test_evaluation_kernel_speedup(graph, frozen):
+def test_evaluation_kernel_speedup(graph, frozen, summary):
     """End-to-end bounded matching: frozen snapshot >= 2x, same relation."""
     pattern = reach_pattern()
     index = AttributeIndex(graph)
@@ -153,6 +162,13 @@ def test_evaluation_kernel_speedup(graph, frozen):
         f"\n[E14/evaluation] deep-reach query on {SIZE} nodes "
         f"({plain.relation.num_pairs} pairs): dict {t_dict:.2f}s, "
         f"frozen {t_frozen:.2f}s -> {speedup:.1f}x"
+    )
+    summary.record(
+        "evaluation",
+        seconds_dict=t_dict,
+        seconds_frozen=t_frozen,
+        speedup=speedup,
+        pairs=plain.relation.num_pairs,
     )
     assert speedup >= 2.0, (
         f"frozen evaluation must be >= 2x the dict-backed matcher, "

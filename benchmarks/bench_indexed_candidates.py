@@ -27,7 +27,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import cached_collab, team_pattern
+from benchmarks.conftest import cached_collab, summary_recorder, team_pattern
 from repro.engine.engine import QueryEngine
 from repro.graph.index import AttributeIndex, candidates_from_index
 from repro.matching.bounded import match_bounded
@@ -35,6 +35,8 @@ from repro.matching.simulation import simulation_candidates
 from repro.pattern.builder import PatternBuilder
 
 SIZE = 10_000
+
+summary = summary_recorder("E11")
 
 
 def _warm_index(graph) -> AttributeIndex:
@@ -92,7 +94,7 @@ def test_indexed_candidates(benchmark):
 
 
 @pytest.mark.benchmark(group="E11-candidates")
-def test_shape_index_beats_scan_at_10k(benchmark):
+def test_shape_index_beats_scan_at_10k(benchmark, summary):
     """Acceptance criterion: indexed candidate generation beats the
     full-node scan on a 10k-node generator graph."""
     graph = cached_collab(SIZE)
@@ -117,6 +119,12 @@ def test_shape_index_beats_scan_at_10k(benchmark):
     benchmark.extra_info["scan_seconds"] = round(scan_seconds, 5)
     benchmark.extra_info["index_seconds"] = round(index_seconds, 5)
     benchmark.extra_info["speedup"] = round(scan_seconds / index_seconds, 1)
+    summary.record(
+        "indexed_candidates",
+        seconds_scan=scan_seconds,
+        seconds_index=index_seconds,
+        speedup=scan_seconds / index_seconds,
+    )
     assert index_seconds < scan_seconds
 
 

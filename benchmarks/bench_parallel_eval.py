@@ -29,7 +29,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import cached_collab, team_pattern
+from benchmarks.conftest import cached_collab, summary_recorder, team_pattern
 from repro.engine.engine import QueryEngine
 from repro.engine.parallel import ParallelExecutor
 from repro.graph.index import AttributeIndex
@@ -38,6 +38,8 @@ from repro.matching.bounded import match_bounded
 SIZE = 50_000
 WORKERS = 4
 CORES = os.cpu_count() or 1
+
+summary = summary_recorder("E12")
 
 
 @pytest.fixture(scope="module")
@@ -60,7 +62,7 @@ def _require_cores(speedup: float, label: str) -> None:
         )
 
 
-def test_batch_parallel_beats_sequential(graph):
+def test_batch_parallel_beats_sequential(graph, summary):
     """12 distinct bounded queries, sequential engine vs. 4-worker batch."""
     patterns = [
         team_pattern(bound=bound, senior=senior)
@@ -95,6 +97,14 @@ def test_batch_parallel_beats_sequential(graph):
         f"sequential {t_seq:.2f}s, {WORKERS}-worker batch {t_par:.2f}s "
         f"-> {speedup:.2f}x ({CORES} cores)"
     )
+    summary.record(
+        "batch",
+        seconds_sequential=t_seq,
+        seconds_parallel=t_par,
+        speedup=speedup,
+        workers=WORKERS,
+        cores=CORES,
+    )
     _require_cores(speedup, "batch")
     assert speedup >= 1.5, (
         f"expected >= 1.5x from {WORKERS}-worker batching on {CORES} cores, "
@@ -102,7 +112,7 @@ def test_batch_parallel_beats_sequential(graph):
     )
 
 
-def test_sharded_query_parallelism(graph):
+def test_sharded_query_parallelism(graph, summary):
     """One heavy query, sequential matcher vs. ball-sharded 4-worker pool."""
     pattern = team_pattern(bound=3)
     index = _warm_index(graph)
@@ -126,6 +136,14 @@ def test_sharded_query_parallelism(graph):
         f"sequential {t_seq:.2f}s, {info['shards']} shards / {WORKERS} workers "
         f"{t_par:.2f}s -> {speedup:.2f}x "
         f"(shipping={info['shipping']}, {info['pivots']} pivots, {CORES} cores)"
+    )
+    summary.record(
+        "sharded",
+        seconds_sequential=t_seq,
+        seconds_parallel=t_par,
+        speedup=speedup,
+        shipping=info["shipping"],
+        cores=CORES,
     )
     _require_cores(speedup, "sharded")
     assert speedup >= 0.5, (

@@ -51,11 +51,15 @@ from repro.ranking.social_impact import rank_matches
 from repro.ranking.social_impact import top_k as naive_top_k
 from repro.ranking.topk import RankingContext, bulk_top_k_detail, bulk_top_k_scores
 
+from benchmarks.conftest import summary_recorder
+
 REGULAR = 5000
 ELITE = 24
 K = 10
 WORKERS = 4
 CORES = os.cpu_count() or 1
+
+summary = summary_recorder("E13")
 
 
 def clustered_graph(direct: bool) -> Graph:
@@ -114,7 +118,7 @@ def workload(request):
     return request.param, graph, pattern, result_graph
 
 
-def test_bulk_ranking_vs_naive(workload):
+def test_bulk_ranking_vs_naive(workload, summary):
     """Wall-clock and identity: naive vs. bulk vs. workers=N, ranking only.
 
     All three paths rank the *same pre-built result graph* (k experts out
@@ -154,6 +158,15 @@ def test_bulk_ranking_vs_naive(workload):
         f"({scored} scored, {pruned} pruned) -> {speedup:.1f}x; "
         f"{WORKERS}-worker {t_parallel * 1e3:.0f}ms -> {par_speedup:.1f}x "
         f"({CORES} cores)"
+    )
+    summary.record(
+        f"ranking_{name}",
+        seconds_naive=t_naive,
+        seconds_bulk=t_bulk,
+        seconds_parallel=t_parallel,
+        speedup=speedup,
+        scored=scored,
+        pruned=pruned,
     )
 
     if name == "prunable":

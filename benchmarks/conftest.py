@@ -8,12 +8,53 @@ against the paper.
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+
 import pytest
 
 from repro.graph.digraph import Graph
 from repro.graph.generators import collaboration_graph, twitter_like_graph
 from repro.pattern.builder import PatternBuilder
 from repro.pattern.pattern import Pattern
+
+
+class SummaryRecorder:
+    """Accumulates one experiment's measurements into ``BENCH_<id>.json``.
+
+    Benchmarks print human-readable lines *and* record the same numbers
+    here so the perf trajectory is machine-readable: CI uploads the JSON
+    files as artifacts and ``benchmarks/report.py`` renders them.  The
+    output directory comes from ``$REPRO_BENCH_DIR`` (default: the
+    current working directory); the file is rewritten after every
+    :meth:`record`, so a partially-failed run still leaves the
+    measurements that did complete.
+    """
+
+    def __init__(self, experiment: str) -> None:
+        self.experiment = experiment
+        self.path = (
+            Path(os.environ.get("REPRO_BENCH_DIR", "."))
+            / f"BENCH_{experiment}.json"
+        )
+        self.metrics: dict[str, object] = {}
+
+    def record(self, name: str, **values: object) -> None:
+        """Store one measurement group and flush the summary file."""
+        self.metrics[name] = values
+        payload = {"experiment": self.experiment, "metrics": self.metrics}
+        self.path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def summary_recorder(experiment: str) -> pytest.fixture:
+    """A module-scoped fixture factory: one recorder per benchmark module."""
+
+    @pytest.fixture(scope="module", name="summary")
+    def fixture() -> SummaryRecorder:
+        return SummaryRecorder(experiment)
+
+    return fixture
 
 
 def team_pattern(bound: int = 2, senior: int = 5) -> Pattern:

@@ -1,15 +1,23 @@
-"""Render the experiment series from pytest-benchmark JSON.
+"""Render the experiment series from benchmark output.
 
 Usage::
 
     pytest benchmarks/ --benchmark-only --benchmark-json=bench.json
     python benchmarks/report.py bench.json
 
+    # assertion-style benchmarks write BENCH_<experiment>.json summaries:
+    pytest benchmarks/bench_distance_oracle.py -s
+    python benchmarks/report.py BENCH_E15.json            # one summary
+    python benchmarks/report.py .                         # every BENCH_*.json
+
 Prints, per experiment id (E4-E10 and the ablations), the series the
 paper's evaluation section describes — runtime scaling, incremental-vs-
 batch comparisons with crossovers, compression ratios and speed-ups — as
-tables and ASCII charts.  This completes deliverable (d): the harness that
-regenerates the paper's reported rows from a benchmark run.
+tables and ASCII charts, and renders the machine-readable
+``BENCH_<experiment>.json`` summaries the assertion-style benchmarks emit
+(the perf trajectory CI uploads as artifacts).  This completes deliverable
+(d): the harness that regenerates the paper's reported rows from a
+benchmark run.
 """
 
 from __future__ import annotations
@@ -180,9 +188,67 @@ def report_ablations(groups: dict, out) -> None:
         print(file=out)
 
 
+def load_summaries(path: str | Path) -> list[dict]:
+    """``BENCH_<experiment>.json`` payloads from a file or directory."""
+    path = Path(path)
+    files = sorted(path.glob("BENCH_*.json")) if path.is_dir() else [path]
+    summaries = []
+    for file in files:
+        payload = json.loads(file.read_text())
+        if isinstance(payload, dict) and "experiment" in payload:
+            summaries.append(payload)
+    return summaries
+
+
+def _summary_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if isinstance(value, list):
+        return ", ".join(str(item) for item in value)
+    return str(value)
+
+
+def report_summaries(summaries: list[dict], out) -> None:
+    """Render the perf trajectory the assertion-style benchmarks record.
+
+    Each experiment section lists its measurement groups; speedup/ratio
+    entries additionally feed a small comparison chart so the trajectory
+    is scannable without reading raw numbers.
+    """
+    for payload in summaries:
+        print(f"== {payload['experiment']}: recorded summary ==", file=out)
+        speedups = []
+        for group, values in sorted(payload.get("metrics", {}).items()):
+            rendered = ", ".join(
+                f"{key}={_summary_value(value)}"
+                for key, value in sorted(values.items())
+            )
+            print(f"{group}: {rendered}", file=out)
+            for key in ("speedup", "ratio"):
+                if isinstance(values.get(key), (int, float)):
+                    speedups.append((f"{group}/{key}", float(values[key])))
+        if speedups:
+            print(file=out)
+            print(ascii_bar_chart(speedups, unit="x"), file=out)
+        print(file=out)
+
+
 def render_report(path: str | Path, out=None) -> None:
-    """Render every experiment section found in the JSON file."""
+    """Render every experiment section found at ``path``.
+
+    A pytest-benchmark JSON renders the classic experiment series; a
+    ``BENCH_*.json`` summary (or a directory of them) renders the
+    recorded perf trajectory.
+    """
     out = out or sys.stdout
+    path = Path(path)
+    summaries = load_summaries(path)
+    if summaries:
+        report_summaries(summaries, out)
+    if path.is_dir():
+        return
+    if summaries:
+        return
     groups = load_benchmarks(path)
     report_scaling(groups, out)
     report_incremental(groups, out)
@@ -194,7 +260,11 @@ def render_report(path: str | Path, out=None) -> None:
 def main(argv: list[str] | None = None) -> int:
     args = argv if argv is not None else sys.argv[1:]
     if len(args) != 1:
-        print("usage: python benchmarks/report.py <benchmark.json>", file=sys.stderr)
+        print(
+            "usage: python benchmarks/report.py "
+            "<benchmark.json | BENCH_*.json | directory>",
+            file=sys.stderr,
+        )
         return 2
     if not Path(args[0]).exists():
         print(f"no such file: {args[0]}", file=sys.stderr)

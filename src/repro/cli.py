@@ -82,6 +82,13 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--workers", type=int, default=1,
                        help="evaluate with N worker processes "
                             "(ball-sharded; default 1 = sequential)")
+    query.add_argument("--oracle", action="store_true",
+                       help="build a landmark distance oracle first and let "
+                            "the planner route selective pattern edges to "
+                            "pairwise label merges")
+    query.add_argument("--oracle-cap", type=int, default=None, metavar="DEPTH",
+                       help="bound the oracle's exact-distance depth "
+                            "(default: uncapped, covers '*' too)")
     query.set_defaults(handler=_cmd_query)
 
     batch = sub.add_parser(
@@ -99,7 +106,31 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--workers", type=int, default=1,
                        help="farm queries out to N worker processes "
                             "(default 1 = sequential)")
+    batch.add_argument("--oracle", action="store_true",
+                       help="enable the landmark distance oracle for the "
+                            "whole batch (built once, shared by every query)")
+    batch.add_argument("--oracle-cap", type=int, default=None, metavar="DEPTH",
+                       help="bound the oracle's exact-distance depth "
+                            "(default: uncapped)")
     batch.set_defaults(handler=_cmd_batch)
+
+    oracle = sub.add_parser(
+        "oracle",
+        help="build the landmark distance oracle for a graph and report "
+             "label statistics (optionally: the kernel routing of a pattern)",
+    )
+    oracle.add_argument("--graph", required=True)
+    oracle.add_argument("--cap", type=int, default=None, metavar="DEPTH",
+                        help="exact-distance depth cap (default: uncapped, "
+                             "covers '*' bounds too)")
+    oracle.add_argument("--top", type=int, default=None, metavar="N",
+                        help="sequential landmark prefix (default 512)")
+    oracle.add_argument("--pattern", default=None,
+                        help="also print the per-edge kernel routing this "
+                             "oracle would produce for a pattern")
+    oracle.add_argument("--workers", type=int, default=1,
+                        help="build phase-two labels with N worker processes")
+    oracle.set_defaults(handler=_cmd_oracle)
 
     topk = sub.add_parser("topk", help="rank the output node's matches")
     topk.add_argument("--graph", required=True)
@@ -229,10 +260,33 @@ def _evaluate(graph: Graph, pattern: Pattern, workers: int = 1):
 def _cmd_query(args: argparse.Namespace) -> int:
     workers = _check_workers(args.workers)
     graph, pattern = _load_inputs(args)
-    if args.explain:
-        print(make_plan(pattern).explain())
-        print()
-    result = _evaluate(graph, pattern, workers=workers)
+    if args.oracle:
+        # Oracle-routed evaluation goes through the engine: it owns the
+        # snapshot, the oracle cache and the planner's kernel routing.
+        from repro.engine.engine import QueryEngine
+
+        engine = QueryEngine()
+        engine.register_graph("cli", graph)
+        engine.enable_oracle("cli", cap=args.oracle_cap)
+        try:
+            if args.explain:
+                print(engine.explain("cli", pattern).explain())
+                print()
+            result = engine.evaluate("cli", pattern, workers=workers)
+            if args.explain and "kernels" in result.stats:
+                kernels = ", ".join(
+                    f"{edge}: {kernel}"
+                    for edge, kernel in sorted(result.stats["kernels"].items())
+                )
+                print(f"kernels used: {kernels}")
+                print()
+        finally:
+            engine.close()
+    else:
+        if args.explain:
+            print(make_plan(pattern).explain())
+            print()
+        result = _evaluate(graph, pattern, workers=workers)
     print(views.relation_summary(result.relation))
     if args.result_graph and result.is_match:
         print()
@@ -248,6 +302,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     patterns = [_resolve_pattern(spec) for spec in args.pattern]
     engine = QueryEngine()
     engine.register_graph("cli", graph)
+    if args.oracle:
+        engine.enable_oracle("cli", cap=args.oracle_cap)
     results = engine.evaluate_many("cli", patterns, workers=workers)
     all_matched = True
     for spec, result in zip(args.pattern, results):
@@ -273,7 +329,65 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         f"frozen snapshots: {snapshots['builds']} built, "
         f"{snapshots['hits']} reused"
     )
+    if args.oracle:
+        stats = engine.oracle_stats("cli") or {}
+        if stats.get("state") == "warm":
+            # Engagement is read from each result's kernel log (it travels
+            # back from pool workers too); the oracle instance's own
+            # counters only move in whichever process filled the rows.
+            routed = sum(
+                1
+                for result in results
+                if "oracle-pairwise" in result.stats.get("kernels", {}).values()
+            )
+            print(
+                f"distance oracle: {stats['label_entries_out'] + stats['label_entries_in']}"
+                f" label entries built in {stats['build_seconds']:.3f}s, "
+                f"{routed}/{len(results)} queries oracle-routed"
+            )
+        else:
+            print("distance oracle: enabled (no bounded query needed it)")
     return 0 if all_matched else 1
+
+
+def _cmd_oracle(args: argparse.Namespace) -> int:
+    """Build a graph's distance oracle and report its label statistics.
+
+    The CLI is file-based (one engine per invocation), so "enable" means:
+    build now, print what the engine would cache, and — with --pattern —
+    show the kernel routing the planner derives from it.  Long-running
+    deployments call ``QueryEngine.enable_oracle`` once and keep the
+    labels warm across queries; this subcommand is the offline view of
+    the same machinery.
+    """
+    from repro.engine.engine import QueryEngine
+
+    workers = _check_workers(args.workers)
+    graph = load_graph(args.graph)
+    engine = QueryEngine()
+    engine.register_graph("cli", graph)
+    engine.enable_oracle("cli", cap=args.cap, top=args.top)
+    try:
+        stats = engine.warm_oracle("cli", workers=workers)
+        cap = "unbounded ('*' covered)" if stats["cap"] is None else stats["cap"]
+        print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges")
+        print(f"exact-distance cap: {cap}")
+        print(f"build: {stats['build_seconds']:.3f}s "
+              f"(sequential landmark prefix: {stats['top']})")
+        print(
+            f"labels: {stats['label_entries_out']} forward + "
+            f"{stats['label_entries_in']} reverse entries "
+            f"(avg {stats['avg_out_label']:.1f} / {stats['avg_in_label']:.1f} "
+            "per node)"
+        )
+        print(f"reachability closure: {stats['reach_entries']} hub entries")
+        if args.pattern is not None:
+            pattern = _resolve_pattern(args.pattern)
+            print()
+            print(engine.explain("cli", pattern).explain())
+        return 0
+    finally:
+        engine.close()
 
 
 def _cmd_topk(args: argparse.Namespace) -> int:

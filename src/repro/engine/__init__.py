@@ -1,21 +1,37 @@
 """Query engine: planner, cache, file storage, orchestration."""
 
-from repro.engine.cache import CacheEntry, QueryCache, RankCache, RankEntry, cache_key
+from repro.engine.cache import (
+    CacheEntry,
+    OracleCache,
+    OracleEntry,
+    QueryCache,
+    RankCache,
+    RankEntry,
+    cache_key,
+)
 from repro.engine.engine import QueryEngine, RegisteredGraph
 from repro.engine.planner import (
     ALGORITHM_BOUNDED,
     ALGORITHM_SIMULATION,
+    KERNEL_BITSET,
+    KERNEL_ORACLE,
+    KERNEL_PER_SOURCE,
     ROUTE_CACHE,
     ROUTE_COMPRESSED,
     ROUTE_DIRECT,
+    EdgeRoute,
     Plan,
     choose_algorithm,
+    kernel_costs,
     make_plan,
+    route_edge,
 )
 from repro.engine.storage import GraphStore
 
 __all__ = [
     "CacheEntry",
+    "OracleCache",
+    "OracleEntry",
     "QueryCache",
     "RankCache",
     "RankEntry",
@@ -24,11 +40,17 @@ __all__ = [
     "RegisteredGraph",
     "ALGORITHM_BOUNDED",
     "ALGORITHM_SIMULATION",
+    "KERNEL_BITSET",
+    "KERNEL_ORACLE",
+    "KERNEL_PER_SOURCE",
     "ROUTE_CACHE",
     "ROUTE_COMPRESSED",
     "ROUTE_DIRECT",
+    "EdgeRoute",
     "Plan",
     "choose_algorithm",
+    "kernel_costs",
     "make_plan",
+    "route_edge",
     "GraphStore",
 ]

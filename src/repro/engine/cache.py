@@ -250,6 +250,108 @@ class SnapshotCache:
 
 
 @dataclass
+class OracleEntry:
+    """One cached distance oracle, valid for a recorded graph version."""
+
+    oracle: Any  # repro.graph.oracle.DistanceOracle
+    graph_version: int
+    hits: int = 0
+
+
+class OracleCache:
+    """LRU cache of :class:`~repro.graph.oracle.DistanceOracle` instances.
+
+    Keyed by graph *name* and validated against ``Graph.version`` on every
+    read, exactly like :class:`SnapshotCache` — with one refinement: label
+    entries are shortest-path distances, so updates that cannot move a
+    distance (attribute writes, bare node insertions) need not cost the
+    labels.  The engine calls :meth:`refresh_version` after such update
+    batches, advancing the recorded version in place; structural batches
+    invalidate as usual and the next evaluation rebuilds.
+
+    >>> cache = OracleCache(capacity=2)
+    >>> cache.stats()["size"]
+    0
+    """
+
+    def __init__(self, capacity: int = 4) -> None:
+        if capacity < 1:
+            raise CacheError(f"capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, OracleEntry]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._stale_drops = 0
+        self._invalidations = 0
+        self._builds = 0
+        self._refreshes = 0
+
+    def get(self, name: str, graph_version: int) -> Any | None:
+        """The oracle for ``name`` iff its recorded version matches."""
+        entry = self._entries.get(name)
+        if entry is None:
+            self._misses += 1
+            return None
+        if entry.graph_version != graph_version:
+            del self._entries[name]
+            self._stale_drops += 1
+            self._misses += 1
+            return None
+        self._entries.move_to_end(name)
+        entry.hits += 1
+        self._hits += 1
+        return entry.oracle
+
+    def peek(self, name: str) -> OracleEntry | None:
+        """Raw access without version checks or stats (``explain`` uses it)."""
+        return self._entries.get(name)
+
+    def put(self, name: str, oracle: Any, graph_version: int) -> OracleEntry:
+        entry = OracleEntry(oracle=oracle, graph_version=graph_version)
+        self._entries[name] = entry
+        self._entries.move_to_end(name)
+        self._builds += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return entry
+
+    def refresh_version(self, name: str, graph_version: int) -> bool:
+        """Advance an entry's validity after a distance-preserving update."""
+        entry = self._entries.get(name)
+        if entry is None:
+            return False
+        entry.graph_version = graph_version
+        self._refreshes += 1
+        return True
+
+    def invalidate_graph(self, name: str) -> int:
+        """Drop the oracle of one graph (structural update, re-registration)."""
+        if name in self._entries:
+            del self._entries[name]
+            self._invalidations += 1
+            return 1
+        return 0
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self._hits,
+            "misses": self._misses,
+            "stale_drops": self._stale_drops,
+            "invalidations": self._invalidations,
+            "builds": self._builds,
+            "refreshes": self._refreshes,
+        }
+
+
+@dataclass
 class RankEntry:
     """One cached ranking context, valid for exactly one graph version."""
 

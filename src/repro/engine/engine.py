@@ -22,19 +22,23 @@ from repro.compression.decompress import decompress_result
 from repro.compression.maintain import MaintainedCompression
 from repro.engine.cache import (
     CacheEntry,
+    OracleCache,
     QueryCache,
     RankCache,
     SnapshotCache,
     cache_key,
 )
 from repro.engine.planner import (
+    ALGORITHM_BOUNDED,
     ALGORITHM_SIMULATION,
     ROUTE_CACHE,
     ROUTE_COMPRESSED,
     ROUTE_DIRECT,
     Plan,
     make_plan,
+    route_edge,
 )
+from repro.graph.oracle import DistanceOracle
 from repro.engine.parallel import ParallelExecutor, validate_workers
 from repro.engine.storage import GraphStore
 from repro.incremental.inc_bounded import IncrementalBoundedSimulation
@@ -58,7 +62,10 @@ from repro.ranking.topk import (
 class RegisteredGraph:
     """A named data graph plus its per-graph engine artefacts."""
 
-    __slots__ = ("name", "graph", "version", "compression", "reach_index", "attr_index")
+    __slots__ = (
+        "name", "graph", "version", "compression", "reach_index", "attr_index",
+        "oracle_config",
+    )
 
     def __init__(self, name: str, graph: Graph) -> None:
         self.name = name
@@ -69,6 +76,9 @@ class RegisteredGraph:
         # Attribute postings build lazily on first use, so registration is
         # free; the engine keeps them consistent through update_graph().
         self.attr_index: AttributeIndex | None = AttributeIndex(graph)
+        # Distance-oracle build parameters ({"cap": ..., "top": ...}), or
+        # None while disabled; instances live in the engine's OracleCache.
+        self.oracle_config: dict[str, Any] | None = None
 
     def compressed(self) -> CompressedGraph | None:
         """The current compressed form, if any."""
@@ -94,6 +104,7 @@ class QueryEngine:
         cache_capacity: int = 64,
         rank_cache_capacity: int = 16,
         snapshot_cache_capacity: int = 8,
+        oracle_cache_capacity: int = 4,
     ) -> None:
         self.store = store
         self._registered: dict[str, RegisteredGraph] = {}
@@ -106,6 +117,10 @@ class QueryEngine:
         # evaluation and reused by every traversal kernel (matchers, ball
         # decomposition, shard shipping) until the graph's version moves.
         self._snapshots = SnapshotCache(capacity=snapshot_cache_capacity)
+        # Distance oracles (landmark labels over the snapshots), for graphs
+        # with the oracle enabled; they survive distance-preserving update
+        # batches and are rebuilt lazily after structural ones.
+        self._oracles = OracleCache(capacity=oracle_cache_capacity)
         # One executor per worker count, alive across calls (released by
         # close()).  Pool reuse only helps the ball-subgraph sharded path;
         # the shared-graph and batch-farming paths fork a fresh pool per
@@ -135,6 +150,7 @@ class QueryEngine:
         self._cache.invalidate_graph(name, keep_pinned=False)
         self._rank_cache.invalidate_graph(name)
         self._snapshots.invalidate_graph(name)
+        self._oracles.invalidate_graph(name)
 
     def load_graph(self, name: str) -> Graph:
         """Register a graph from the file store (if not already loaded)."""
@@ -217,6 +233,98 @@ class QueryEngine:
         return entry.reach_index.stats() if entry.reach_index is not None else None
 
     # ------------------------------------------------------------------
+    # distance-oracle management
+    # ------------------------------------------------------------------
+    def enable_oracle(
+        self, name: str, cap: int | None = None, top: int | None = None
+    ) -> None:
+        """Serve bounded reachability by landmark label merges.
+
+        The oracle (:class:`~repro.graph.oracle.DistanceOracle`) is built
+        lazily from the graph's frozen snapshot on the first bounded
+        evaluation and cached until a structural update invalidates it;
+        the planner's cost model then routes selective pattern edges to
+        pairwise label merges instead of ball enumeration.  ``cap`` bounds
+        the exact-distance depth (None — the default — covers every bound
+        including ``'*'``); ``top`` tunes the sequential landmark prefix.
+        Once enabled, the oracle supersedes a
+        :class:`~repro.graph.reach_index.BoundedReachIndex` as the graph's
+        reach accelerator: the matcher runs the frozen kernels (with
+        oracle routing) and the reach index is not consulted.
+        """
+        entry = self._entry(name)
+        config = {"cap": cap, "top": top}
+        if entry.oracle_config != config:
+            entry.oracle_config = config
+            # A cached instance may have been built with other parameters.
+            self._oracles.invalidate_graph(name)
+
+    def disable_oracle(self, name: str) -> None:
+        """Drop the oracle config and any cached labels for ``name``."""
+        self._entry(name).oracle_config = None
+        self._oracles.invalidate_graph(name)
+
+    def warm_oracle(self, name: str, workers: int | None = None) -> dict[str, Any]:
+        """Build the enabled oracle now (instead of on first evaluation).
+
+        Long-running deployments call this right after
+        :meth:`enable_oracle` so the first query never pays the build;
+        ``workers`` > 1 fans the phase-two label construction across the
+        engine's worker pool.  Returns :meth:`oracle_stats` for the warm
+        labels.  Raises :class:`EvaluationError` when the oracle is not
+        enabled for ``name``.
+        """
+        entry = self._entry(name)
+        if entry.oracle_config is None:
+            raise EvaluationError(
+                f"oracle not enabled for graph {name!r}; call enable_oracle() first"
+            )
+        self._oracle_for(entry, workers=validate_workers(workers))
+        stats = self.oracle_stats(name)
+        assert stats is not None
+        return stats
+
+    def oracle_stats(self, name: str) -> dict[str, Any] | None:
+        """Build/label/query counters of the cached oracle, or None.
+
+        ``None`` means the oracle is disabled; an enabled-but-cold oracle
+        reports ``{"state": "cold"}`` plus its configured parameters.
+        """
+        entry = self._entry(name)
+        if entry.oracle_config is None:
+            return None
+        cached = self._oracles.peek(name)
+        if cached is None or cached.graph_version != entry.graph.version:
+            return {"state": "cold", **entry.oracle_config}
+        stats = cached.oracle.stats()
+        stats["state"] = "warm"
+        return stats
+
+    def _oracle_for(
+        self, entry: RegisteredGraph, workers: int = 1
+    ) -> DistanceOracle | None:
+        """The cached oracle for a graph's current version (or build it)."""
+        if entry.oracle_config is None:
+            return None
+        oracle = self._oracles.get(entry.name, entry.graph.version)
+        if oracle is None:
+            frozen = self._frozen_snapshot(entry)
+            if workers > 1:
+                oracle = self._executor(workers).build_oracle(
+                    frozen,
+                    cap=entry.oracle_config["cap"],
+                    top=entry.oracle_config["top"],
+                )
+            else:
+                oracle = DistanceOracle.build(
+                    frozen,
+                    cap=entry.oracle_config["cap"],
+                    top=entry.oracle_config["top"],
+                )
+            self._oracles.put(entry.name, oracle, entry.graph.version)
+        return oracle
+
+    # ------------------------------------------------------------------
     # attribute-index management
     # ------------------------------------------------------------------
     def enable_attr_index(self, name: str) -> None:
@@ -237,11 +345,17 @@ class QueryEngine:
     # evaluation
     # ------------------------------------------------------------------
     def explain(self, name: str, pattern: Pattern) -> Plan:
-        """The plan :meth:`evaluate` would follow right now (no execution).
+        """The plan :meth:`evaluate` would follow right now (no matching).
 
-        Direct-route plans also report the frozen-snapshot state: whether a
-        warm CSR snapshot of the graph exists for its current version or
-        one will be built on the first direct evaluation.
+        Direct-route plans also report the frozen-snapshot and
+        distance-oracle state, and — for bounded patterns on graphs with
+        the oracle *enabled* — the per-edge kernel routing: which pattern
+        edges the cost model sends to oracle-pairwise label merges,
+        per-source BFS enumeration, or the bitset traversal, with the
+        losing estimates alongside.  Kernel routing needs candidate
+        cardinalities, so that one case runs the same (indexed) candidate
+        generation evaluation would; with the oracle disabled, explain
+        stays pure metadata and no graph work happens.
         """
         entry = self._entry(name)
         key = cache_key(name, pattern)
@@ -270,8 +384,70 @@ class QueryEngine:
                     )
                 else:
                     note = "frozen snapshot: cold (built on first direct evaluation)"
-            plan = Plan(plan.route, plan.algorithm, plan.reasons + (note,))
+            notes = [note]
+            edge_routes: tuple = ()
+            if plan.algorithm == ALGORITHM_BOUNDED and pattern.num_edges:
+                oracle_note, edge_routes = self._explain_kernels(entry, pattern)
+                if oracle_note:
+                    notes.append(oracle_note)
+            plan = Plan(
+                plan.route,
+                plan.algorithm,
+                plan.reasons + tuple(notes),
+                edge_routes,
+            )
         return plan
+
+    def _explain_kernels(
+        self, entry: RegisteredGraph, pattern: Pattern
+    ) -> tuple[str, tuple]:
+        """Oracle-state note plus per-edge kernel routes for ``explain``.
+
+        Routing uses the cached oracle's measured label profile when one
+        is warm; a cold oracle routes every edge to the enumeration
+        kernels, and the note says why.  With the oracle *disabled* no
+        routes are computed at all — routing needs candidate
+        cardinalities, and explain must not pay candidate generation for
+        graphs that never opted into the oracle.
+        """
+        from repro.matching.bounded import FROZEN_BULK_DEPTH
+        from repro.matching.simulation import simulation_candidates
+
+        if entry.oracle_config is None:
+            note = "distance oracle: disabled (enable_oracle() routes selective edges)"
+            return note, ()
+        cached = self._oracles.peek(entry.name)
+        if cached is not None and cached.graph_version == entry.graph.version:
+            note = "distance oracle: warm"
+            profile = cached.oracle.profile()
+        else:
+            note = (
+                "distance oracle: cold (labels build on the first bounded "
+                "evaluation; edges route to enumeration until then)"
+            )
+            profile = None
+        candidates = simulation_candidates(
+            entry.graph, pattern, index=entry.attr_index
+        )
+        num_nodes = entry.graph.num_nodes
+        num_edges = entry.graph.num_edges
+        routes = []
+        for source, target, bound in pattern.edges():
+            routes.append(
+                route_edge(
+                    (source, target),
+                    bound,
+                    len(candidates[source]),
+                    len(candidates[target]),
+                    num_nodes,
+                    num_edges,
+                    # kernel_costs owns the cap-coverage gate: an uncovered
+                    # bound simply gets no oracle estimate.
+                    profile,
+                    bulk_depth=FROZEN_BULK_DEPTH,
+                )
+            )
+        return note, tuple(routes)
 
     @staticmethod
     def _snapshot_serves(entry: RegisteredGraph, plan: Plan) -> bool:
@@ -280,10 +456,17 @@ class QueryEngine:
         The one predicate :meth:`explain` and :meth:`_dispatch_route`
         share: with a reach index attached, the bounded matcher serves its
         BFS runs from that cache and ignores a snapshot, so freezing one
-        would be pure waste.  (Sharded ``workers > 1`` evaluation always
-        snapshots — worker processes have no reach index.)
+        would be pure waste.  An enabled distance oracle outranks the
+        reach index — its labels live on the snapshot's ids, so the frozen
+        kernels (with oracle routing) run instead.  (Sharded ``workers >
+        1`` evaluation always snapshots — worker processes have no reach
+        index.)
         """
-        return entry.reach_index is None or plan.algorithm == ALGORITHM_SIMULATION
+        return (
+            entry.reach_index is None
+            or entry.oracle_config is not None
+            or plan.algorithm == ALGORITHM_SIMULATION
+        )
 
     def _frozen_snapshot(self, entry: RegisteredGraph) -> FrozenGraph:
         """The cached CSR snapshot for a graph's current version (or build it)."""
@@ -380,6 +563,11 @@ class QueryEngine:
                 pattern,
                 index=entry.attr_index,
                 frozen=self._frozen_snapshot(entry),
+                oracle=(
+                    self._oracle_for(entry, workers=workers)
+                    if plan.algorithm != ALGORITHM_SIMULATION
+                    else None
+                ),
             )
         else:
             result = self._dispatch_route(
@@ -528,11 +716,19 @@ class QueryEngine:
                             },
                         )
                     )
+            bounded_tasks = any(
+                not task_pattern.is_simulation_pattern for task_pattern, _keys in tasks
+            )
             outcomes = self._executor(workers).match_many(
                 entry.graph,
                 tasks,
                 shared,
                 frozen=self._frozen_snapshot(entry) if tasks else None,
+                oracle=(
+                    self._oracle_for(entry, workers=workers)
+                    if tasks and bounded_tasks
+                    else None
+                ),
             )
             farmed = dict(zip(task_keys, outcomes))
 
@@ -618,11 +814,15 @@ class QueryEngine:
             assert compressed is not None
             quotient_result = self._run_matcher(compressed.quotient, pattern, plan)
             return decompress_result(quotient_result, compressed)
+        bounded = plan.algorithm != ALGORITHM_SIMULATION
+        oracle = self._oracle_for(entry) if bounded else None
         return self._run_matcher(
             entry.graph,
             pattern,
             plan,
-            reach_index=entry.reach_index,
+            # An enabled oracle supersedes the reach index as the reach
+            # accelerator: the matcher runs the frozen kernels instead.
+            reach_index=entry.reach_index if oracle is None else None,
             index=None if candidates is not None else entry.attr_index,
             candidates=candidates,
             frozen=(
@@ -630,6 +830,7 @@ class QueryEngine:
                 if self._snapshot_serves(entry, plan)
                 else None
             ),
+            oracle=oracle,
         )
 
     @staticmethod
@@ -641,6 +842,7 @@ class QueryEngine:
         index: AttributeIndex | None = None,
         candidates: dict[str, set[NodeId]] | None = None,
         frozen: FrozenGraph | None = None,
+        oracle: DistanceOracle | None = None,
     ) -> MatchResult:
         if plan.algorithm == ALGORITHM_SIMULATION:
             return match_simulation(
@@ -653,6 +855,7 @@ class QueryEngine:
             index=index,
             candidates=candidates,
             frozen=frozen,
+            oracle=oracle,
         )
 
     # ------------------------------------------------------------------
@@ -755,11 +958,15 @@ class QueryEngine:
         pinned = self._cache.pinned_entries(name)
         before = {key: cache_entry.relation for key, cache_entry in pinned}
 
+        oracle_survives = True
         for update in updates:
             # Node deletions are decomposed into their incident edge
             # deletions plus a bare node removal, so every maintainer sees
             # a primitive sequence it can follow without pre-images.
             for primitive in decompose(entry.graph, update):
+                oracle_survives = oracle_survives and DistanceOracle.survives(
+                    primitive
+                )
                 prior_version = entry.graph.version
                 primitive.apply(entry.graph)
                 for _key, cache_entry in pinned:
@@ -790,6 +997,15 @@ class QueryEngine:
         # the next direct evaluation re-freezes.
         self._rank_cache.invalidate_graph(name, keep=refreshed_keys)
         self._snapshots.invalidate_graph(name)
+        # Oracle labels are shortest-path distances: a batch of purely
+        # distance-preserving primitives (attribute writes, bare node
+        # insertions) leaves them exact, so the entry's validity advances
+        # in place instead of paying a rebuild.  Anything structural drops
+        # the labels; the next bounded evaluation rebuilds lazily.
+        if oracle_survives:
+            self._oracles.refresh_version(name, entry.graph.version)
+        else:
+            self._oracles.invalidate_graph(name)
         invalidated = self._cache.invalidate_graph(name, keep_pinned=True)
         entry.version += 1
         return {
@@ -855,13 +1071,19 @@ class QueryEngine:
         """Counters of the frozen-snapshot cache (builds, hits, stale drops)."""
         return self._snapshots.stats()
 
+    def oracle_cache_stats(self) -> dict[str, int]:
+        """Counters of the distance-oracle cache (builds, refreshes, drops)."""
+        return self._oracles.stats()
+
     # ------------------------------------------------------------------
     # bookkeeping
     # ------------------------------------------------------------------
     def cache_stats(self) -> dict[str, Any]:
-        """Query-cache counters, plus the snapshot cache's under ``"snapshots"``."""
+        """Query-cache counters, plus the snapshot and oracle caches' under
+        ``"snapshots"`` / ``"oracles"``."""
         stats: dict[str, Any] = self._cache.stats()
         stats["snapshots"] = self._snapshots.stats()
+        stats["oracles"] = self._oracles.stats()
         return stats
 
     def persist_graph(self, name: str) -> None:

@@ -52,6 +52,7 @@ from repro.errors import EvaluationError
 from repro.graph.digraph import Graph, NodeId
 from repro.graph.frozen import FrozenGraph
 from repro.graph.index import AttributeIndex, candidates_from_index
+from repro.graph.oracle import DistanceOracle, OracleSlice, set_build_context
 from repro.graph.partition import Shard, decompose
 from repro.matching.base import MatchRelation, MatchResult, Stopwatch
 from repro.matching.bounded import (
@@ -67,12 +68,13 @@ from repro.ranking.topk import RankingContext
 #: Per-shard worker payload, all flat int buffers over a frozen snapshot:
 #: (frozen ball sub-snapshot or None for "use the shared snapshot",
 #: out-edge spec per pivot pattern node, pivot ids per pattern node,
-#: child-candidate id arrays per pattern node).
+#: child-candidate id arrays per pattern node, oracle label slice or None).
 ShardPayload = tuple[
     "FrozenGraph | None",
     dict[str, tuple],
     dict[str, tuple[int, ...]],
     dict[str, array],
+    "OracleSlice | None",
 ]
 
 # Set once per batch worker (fork inheritance or pool initializer), so
@@ -83,13 +85,16 @@ ShardPayload = tuple[
 _batch_graph: Graph | None = None
 _batch_table: dict[tuple, set[NodeId]] | None = None
 _batch_frozen: FrozenGraph | None = None
+_batch_oracle: DistanceOracle | None = None
 
-# The shared frozen snapshot for broad-cover sharded queries.  Under the
-# fork start method the parent sets it *before* creating the pool and
-# children inherit it for free (copy-on-write); under spawn the pool
-# initializer ships it once per worker — and a snapshot pickles as a
-# handful of flat buffers, far cheaper than a dict graph.
+# The shared frozen snapshot (and optional distance oracle) for
+# broad-cover sharded queries.  Under the fork start method the parent
+# sets them *before* creating the pool and children inherit them for free
+# (copy-on-write); under spawn the pool initializer ships them once per
+# worker — and both pickle as a handful of flat buffers, far cheaper than
+# a dict graph.
 _shared_frozen: FrozenGraph | None = None
+_shared_oracle: DistanceOracle | None = None
 
 # Bulk-ranking fan-out state: the snapshot context (and optionally the
 # metric) ship once per worker — fork inheritance or pool initializer —
@@ -98,9 +103,12 @@ _rank_context: RankingContext | None = None
 _rank_metric = None
 
 
-def _set_shared_frozen(frozen: FrozenGraph | None) -> None:
-    global _shared_frozen
+def _set_shared_frozen(
+    frozen: FrozenGraph | None, oracle: DistanceOracle | None = None
+) -> None:
+    global _shared_frozen, _shared_oracle
     _shared_frozen = frozen
+    _shared_oracle = oracle
 
 
 def validate_workers(workers: int | None) -> int:
@@ -128,13 +136,19 @@ def _shard_rows(
     sequential matcher uses (sound because each pivot's full ball is inside
     the shard), then converted back to labels for the merge.
     """
-    frozen, edges_spec, pivots, candidate_arrays = payload
+    frozen, edges_spec, pivots, candidate_arrays, oracle_slice = payload
     if frozen is None:
         frozen = _shared_frozen
         assert frozen is not None, "shared snapshot was not installed"
+        # Shared-snapshot shards query the process-shared oracle directly
+        # (full ids); materialized ball shards carry their own label slice
+        # re-keyed to ball ids.
+        oracle = oracle_slice if oracle_slice is not None else _shared_oracle
+    else:
+        oracle = oracle_slice
     candidate_ids = {u: frozenset(ids) for u, ids in candidate_arrays.items()}
     rows_ids = frozen_successor_rows(
-        frozen, edges_spec, candidate_ids, sources_by_node=pivots
+        frozen, edges_spec, candidate_ids, sources_by_node=pivots, oracle=oracle
     )
     labels = frozen.labels
     return {
@@ -152,11 +166,13 @@ def _init_batch_worker(
     graph: Graph | None,
     table: dict[tuple, set[NodeId]] | None,
     frozen: FrozenGraph | None = None,
+    oracle: DistanceOracle | None = None,
 ) -> None:
-    global _batch_graph, _batch_table, _batch_frozen
+    global _batch_graph, _batch_table, _batch_frozen, _batch_oracle
     _batch_graph = graph
     _batch_table = table
     _batch_frozen = frozen
+    _batch_oracle = oracle
 
 
 def _init_rank_worker(context: RankingContext | None, metric) -> None:
@@ -195,7 +211,11 @@ def _batch_query(
         )
     else:
         result = match_bounded(
-            _batch_graph, pattern, candidates=candidates, frozen=_batch_frozen
+            _batch_graph,
+            pattern,
+            candidates=candidates,
+            frozen=_batch_frozen,
+            oracle=_batch_oracle,
         )
     return result.relation, result.stats
 
@@ -265,6 +285,7 @@ class ParallelExecutor:
         index: AttributeIndex | None = None,
         num_shards: int | None = None,
         frozen: FrozenGraph | None = None,
+        oracle: DistanceOracle | None = None,
     ) -> MatchResult:
         """``M(Q,G)`` via sharded evaluation: partition, fan out, merge.
 
@@ -278,7 +299,13 @@ class ParallelExecutor:
         All shard work runs over a :class:`FrozenGraph` snapshot — the
         caller's ``frozen`` (the engine passes its cached one; it must
         match the graph's current version) or one frozen here.  Shards
-        ship as flat CSR buffers, not pickled dict graphs.
+        ship as flat CSR buffers, not pickled dict graphs.  With an
+        ``oracle`` (a :class:`~repro.graph.oracle.DistanceOracle` built
+        from the same snapshot lineage), workers route selective pattern
+        edges to pairwise label merges: shared-snapshot shards query the
+        process-shared oracle, while materialized ball shards receive the
+        label *slices* their pivots and child candidates need, re-keyed to
+        ball ids, alongside the frozen shard payload.
         """
         pattern.validate()
         watch = Stopwatch()
@@ -290,6 +317,10 @@ class ParallelExecutor:
         candidates = candidates_from_index(graph, pattern, index)
         if frozen is None:
             frozen = FrozenGraph.freeze(graph)
+        if oracle is not None and not oracle.compatible_with(frozen):
+            raise EvaluationError(
+                f"stale distance oracle: {oracle!r} does not match {frozen!r}"
+            )
         shards = decompose(
             graph, pattern, candidates, num_shards or self.workers, frozen=frozen
         )
@@ -315,12 +346,13 @@ class ParallelExecutor:
         )
         payloads = [
             self._shard_payload(
-                frozen, pattern, shard, candidates, materialize, shared_arrays
+                frozen, pattern, shard, candidates, materialize, shared_arrays,
+                oracle=oracle,
             )
             for shard in shards
         ]
         if inline:
-            _set_shared_frozen(frozen)
+            _set_shared_frozen(frozen, oracle)
             try:
                 rows_list = [_shard_rows(payload) for payload in payloads]
             finally:
@@ -328,7 +360,7 @@ class ParallelExecutor:
         elif materialize:
             rows_list = self._query_pool().map(_shard_rows, payloads)
         else:
-            rows_list = self._shared_frozen_map(frozen, payloads)
+            rows_list = self._shared_frozen_map(frozen, payloads, oracle=oracle)
         merged: dict[PatternEdge, dict[NodeId, dict[NodeId, int]]] = {}
         for rows in rows_list:
             for edge, row in rows.items():
@@ -383,6 +415,7 @@ class ParallelExecutor:
         candidates: dict[str, set[NodeId]],
         materialize: bool,
         shared_arrays: dict[str, array] | None,
+        oracle: DistanceOracle | None = None,
     ) -> ShardPayload:
         """What one worker needs, as flat buffers over a frozen snapshot.
 
@@ -393,6 +426,13 @@ class ParallelExecutor:
         ``materialize=False`` sends no snapshot at all — ids refer to the
         process-shared full one and the candidate arrays are the
         ``shared_arrays`` built once for the whole decomposition.
+
+        With an ``oracle``, a materialized payload also carries the label
+        slice for the edges the cost model routes to pairwise merges:
+        forward rows of the shard's pivots (plus the successors needed for
+        self-cycle fixes), reverse rows of the routed edges' child
+        candidates — re-keyed to ball ids, so the worker joins against its
+        ball adjacency directly.
         """
         edges_spec = {u: tuple(pattern.out_edges(u)) for u in shard.pivots}
         targets_needed = {
@@ -411,26 +451,95 @@ class ParallelExecutor:
                 u: array("q", sorted(ids[v] for v in candidates[u] & shard.nodes))
                 for u in targets_needed
             }
+            oracle_slice = (
+                ParallelExecutor._slice_for_shard(
+                    frozen, pattern, shard, candidates, oracle, ball
+                )
+                if oracle is not None
+                else None
+            )
         else:
             assert shared_arrays is not None
             ball = None
             ids = frozen.ids()
             candidate_arrays = {u: shared_arrays[u] for u in targets_needed}
+            oracle_slice = None  # workers query the process-shared oracle
         pivot_ids = {
             u: tuple(ids[v] for v in pivots) for u, pivots in shard.pivots.items()
         }
-        return (ball, edges_spec, pivot_ids, candidate_arrays)
+        return (ball, edges_spec, pivot_ids, candidate_arrays, oracle_slice)
 
-    def _shared_frozen_map(self, frozen: FrozenGraph, payloads: list[ShardPayload]):
+    @staticmethod
+    def _slice_for_shard(
+        frozen: FrozenGraph,
+        pattern: Pattern,
+        shard: Shard,
+        candidates: dict[str, set[NodeId]],
+        oracle: DistanceOracle,
+        ball: FrozenGraph,
+    ) -> "OracleSlice | None":
+        """The label slice a materialized shard ships, or None if no edge
+        of this shard routes to the oracle (cost model, shard-local pivot
+        counts)."""
+        from repro.engine.planner import KERNEL_ORACLE, route_edge
+        from repro.matching.bounded import FROZEN_BULK_DEPTH
+
+        full_ids = frozen.ids()
+        profile = oracle.profile()
+        routed: set[tuple[str, str]] = set()
+        out_nodes: set[int] = set()
+        in_nodes: set[int] = set()
+        successor_sets = frozen.successor_sets()
+        for source_pattern, pivots in shard.pivots.items():
+            pivot_ids = [full_ids[v] for v in pivots]
+            for edge_target, bound in pattern.out_edges(source_pattern):
+                children = candidates[edge_target] & shard.nodes
+                route = route_edge(
+                    (source_pattern, edge_target),
+                    bound,
+                    len(pivot_ids),
+                    len(children),
+                    ball.num_nodes,
+                    ball.num_edges,
+                    profile if oracle.covers(bound) else None,
+                    bulk_depth=FROZEN_BULK_DEPTH,
+                )
+                if route.kernel != KERNEL_ORACLE:
+                    continue
+                routed.add((source_pattern, edge_target))
+                child_ids = {full_ids[v] for v in children}
+                out_nodes.update(pivot_ids)
+                in_nodes.update(child_ids)
+                for pivot_id in pivot_ids:
+                    if pivot_id in child_ids:
+                        # Self-cycle fixes merge through the successors.
+                        out_nodes.update(successor_sets[pivot_id])
+                        in_nodes.add(pivot_id)
+        if not routed:
+            return None
+        ball_ids = ball.ids()
+        labels = frozen.labels
+        remap = {full_id: ball_ids[labels[full_id]] for full_id in out_nodes | in_nodes}
+        label_slice = oracle.slice_rows(out_nodes, in_nodes, remap=remap)
+        label_slice.edges = frozenset(routed)
+        return label_slice
+
+    def _shared_frozen_map(
+        self,
+        frozen: FrozenGraph,
+        payloads: list[ShardPayload],
+        oracle: DistanceOracle | None = None,
+    ):
         """Fan shard work out over a pool that shares the full snapshot.
 
         A dedicated pool is created per call: under the fork start method
-        the children inherit the snapshot from the parent's module global
-        at zero cost; under spawn the initializer ships its flat buffers
-        once per worker.  Either way beats pickling a near-full ball into
-        every task, which is what broad-cover queries would otherwise pay.
+        the children inherit the snapshot (and oracle labels, when routing
+        uses them) from the parent's module globals at zero cost; under
+        spawn the initializer ships their flat buffers once per worker.
+        Either way beats pickling a near-full ball into every task, which
+        is what broad-cover queries would otherwise pay.
         """
-        _set_shared_frozen(frozen)
+        _set_shared_frozen(frozen, oracle)
         try:
             if self._ctx.get_start_method() == "fork":
                 pool = self._ctx.Pool(self.workers)
@@ -439,7 +548,7 @@ class ParallelExecutor:
                 pool = self._ctx.Pool(
                     self.workers,
                     initializer=_set_shared_frozen,
-                    initargs=(frozen.without_attrs(),),
+                    initargs=(frozen.without_attrs(), oracle),
                 )
             with pool:
                 return pool.map(_shard_rows, payloads)
@@ -520,17 +629,20 @@ class ParallelExecutor:
         tasks: Sequence[tuple[Pattern, dict[str, tuple]]],
         table: dict[tuple, set[NodeId]],
         frozen: FrozenGraph | None = None,
+        oracle: DistanceOracle | None = None,
     ) -> list[tuple[MatchRelation, dict[str, Any]]]:
         """Evaluate whole queries across the pool.
 
         Each task is ``(pattern, {pattern node: candidate-table key})``;
         ``table`` maps those keys (canonical predicate keys) to candidate
         sets computed once for the whole batch.  The graph, its frozen
-        snapshot (when given — worker matchers then run the CSR kernels)
-        and the table ship once per worker — fork inheritance on POSIX,
-        pool initializer elsewhere — so a task pickles only its pattern
-        and a few keys.  Returns ``(relation, worker stats)`` per task, in
-        order.  With one worker (or one task) everything runs inline.
+        snapshot (when given — worker matchers then run the CSR kernels),
+        the distance oracle (when given — worker matchers then route
+        selective edges to label merges) and the table ship once per
+        worker — fork inheritance on POSIX, pool initializer elsewhere —
+        so a task pickles only its pattern and a few keys.  Returns
+        ``(relation, worker stats)`` per task, in order.  With one worker
+        (or one task) everything runs inline.
         """
         if not tasks:
             return []
@@ -539,18 +651,28 @@ class ParallelExecutor:
                 f"stale frozen snapshot: {frozen!r} does not match "
                 f"graph version {graph.version}"
             )
+        if oracle is not None:
+            if frozen is None:
+                raise EvaluationError(
+                    "a distance oracle requires a frozen snapshot in the "
+                    "batch-farming path"
+                )
+            if not oracle.compatible_with(frozen):
+                raise EvaluationError(
+                    f"stale distance oracle: {oracle!r} does not match {frozen!r}"
+                )
         if self.workers == 1 or len(tasks) == 1:
-            _init_batch_worker(graph, table, frozen)
+            _init_batch_worker(graph, table, frozen, oracle)
             try:
                 return [_batch_query(task) for task in tasks]
             finally:
-                _init_batch_worker(None, None, None)
+                _init_batch_worker(None, None, None, None)
         try:
             if self._ctx.get_start_method() == "fork":
-                # Children inherit graph, snapshot and table from the
-                # parent's module globals for free (copy-on-write);
+                # Children inherit graph, snapshot, oracle and table from
+                # the parent's module globals for free (copy-on-write);
                 # nothing to pickle.
-                _init_batch_worker(graph, table, frozen)
+                _init_batch_worker(graph, table, frozen, oracle)
                 pool = self._ctx.Pool(self.workers)
             else:  # pragma: no cover - non-fork platforms
                 # Matchers in workers get candidates from the table, so
@@ -562,9 +684,61 @@ class ParallelExecutor:
                         graph,
                         table,
                         None if frozen is None else frozen.without_attrs(),
+                        oracle,
                     ),
                 )
             with pool:
                 return pool.map(_batch_query, list(tasks))
         finally:
-            _init_batch_worker(None, None, None)
+            _init_batch_worker(None, None, None, None)
+
+    # ------------------------------------------------------------------
+    # parallel oracle construction
+    # ------------------------------------------------------------------
+    def build_oracle(
+        self,
+        frozen: FrozenGraph,
+        cap: int | None = None,
+        top: int | None = None,
+    ) -> DistanceOracle:
+        """Build a :class:`DistanceOracle`, fanning phase two across workers.
+
+        Phase one (the sequential top-landmark prefix) runs in the calling
+        process; the independent phase-two landmark chunks are mapped over
+        a dedicated pool that shares the phase-one labels — fork
+        inheritance on POSIX, pool initializer elsewhere — and return flat
+        entry triples.  Because phase-two pruning only ever consults the
+        fixed phase-one labels, the resulting label arrays are
+        byte-identical to a sequential :meth:`DistanceOracle.build`
+        (asserted in ``tests/test_oracle.py``); workers only change the
+        wall-clock.  With one worker everything runs inline.
+        """
+        if self.workers == 1:
+            return DistanceOracle.build(frozen, cap=cap, top=top)
+        return DistanceOracle.build(
+            frozen, cap=cap, top=top, chunk_map=self._oracle_chunk_map
+        )
+
+    def _oracle_chunk_map(self, function, chunks):
+        """Map phase-two chunks over a context-sharing pool.
+
+        ``function`` is always :func:`repro.graph.oracle.phase_two_chunk`;
+        the build context was installed by ``DistanceOracle.build`` right
+        before this call, so forked children inherit it.  Under spawn the
+        initializer re-installs it from an explicit argument.
+        """
+        chunks = list(chunks)
+        if len(chunks) <= 1:
+            return [function(chunk) for chunk in chunks]
+        if self._ctx.get_start_method() == "fork":
+            pool = self._ctx.Pool(self.workers)
+        else:  # pragma: no cover - non-fork platforms
+            from repro.graph.oracle import _build_context
+
+            pool = self._ctx.Pool(
+                self.workers,
+                initializer=set_build_context,
+                initargs=(_build_context,),
+            )
+        with pool:
+            return pool.map(function, chunks)

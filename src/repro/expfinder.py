@@ -79,6 +79,17 @@ class ExpFinder:
     def pattern_from_file(path: str | Path) -> Pattern:
         return load_pattern(path)
 
+    def enable_oracle(
+        self, graph_name: str, cap: int | None = None, top: int | None = None
+    ) -> None:
+        """Route selective bounded edges through the landmark distance
+        oracle (labels build lazily; see ``QueryEngine.enable_oracle``)."""
+        self.engine.enable_oracle(graph_name, cap=cap, top=top)
+
+    def oracle_stats(self, graph_name: str) -> dict[str, Any] | None:
+        """Label/build statistics of the graph's oracle (None: disabled)."""
+        return self.engine.oracle_stats(graph_name)
+
     def match(
         self,
         graph_name: str,

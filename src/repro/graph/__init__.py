@@ -35,6 +35,7 @@ from repro.graph.index import (
     candidates_from_index,
     predicate_key,
 )
+from repro.graph.oracle import DistanceOracle, OracleSlice
 from repro.graph.reach_index import BoundedReachIndex
 from repro.graph.stats import (
     DegreeStats,
@@ -77,6 +78,8 @@ __all__ = [
     "candidates_from_index",
     "predicate_key",
     "BoundedReachIndex",
+    "DistanceOracle",
+    "OracleSlice",
     "DegreeStats",
     "attribute_histogram",
     "degree_stats",

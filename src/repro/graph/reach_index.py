@@ -9,8 +9,10 @@ the same affected-area argument the incremental module relies on).
 
 The index is engine-owned: the engine routes every update through
 :meth:`on_update`, so served results always reflect the current graph.
-Mutating the graph behind the index's back voids that guarantee (as with
-any cache).
+Mutating the graph behind the index's back is *detected*, not silently
+served: the index records ``Graph.version`` at construction and after
+every maintained update, and :meth:`reach` raises :class:`GraphError` on
+a mismatch instead of returning stale reach sets.
 """
 
 from __future__ import annotations
@@ -34,7 +36,10 @@ class BoundedReachIndex:
     1
     """
 
-    __slots__ = ("graph", "max_depth", "_cache", "_hits", "_misses", "_invalidations")
+    __slots__ = (
+        "graph", "max_depth", "_cache", "_hits", "_misses", "_invalidations",
+        "_graph_version",
+    )
 
     def __init__(self, graph: Graph, max_depth: int = 4) -> None:
         if max_depth < 1:
@@ -48,6 +53,10 @@ class BoundedReachIndex:
         self._hits = 0
         self._misses = 0
         self._invalidations = 0
+        # Mutation counter the index has seen; reads verify it so a graph
+        # mutated behind the index's back raises instead of serving stale
+        # reach sets.
+        self._graph_version = graph.version
 
     # ------------------------------------------------------------------
     def covers(self, depth: int | None) -> bool:
@@ -63,7 +72,12 @@ class BoundedReachIndex:
         and fall back to a plain BFS.  ``copy=False`` returns the cached
         dictionary itself when possible — measurably faster for hot callers
         like the matcher, which must then treat the result as read-only.
+
+        Raises :class:`GraphError` when the graph has been mutated without
+        the index seeing the update (``Graph.version`` drift): stale reach
+        sets are a silent-wrong-answer bug, so they are refused outright.
         """
+        self._check_version()
         if not self.covers(depth):
             return bounded_descendants(self.graph, node, depth)
         entry = self._cache.get(node)
@@ -98,6 +112,10 @@ class BoundedReachIndex:
             NodeInsertion,
         )
 
+        # The engine applies the primitive to the graph before notifying
+        # maintainers, so the current version is the post-update one; the
+        # index is consistent with it once invalidation ran.
+        self._graph_version = self.graph.version
         if isinstance(update, (EdgeInsertion, EdgeDeletion)):
             return self._invalidate_around(update.source)
         if isinstance(update, NodeDeletion):
@@ -107,6 +125,15 @@ class BoundedReachIndex:
         if isinstance(update, (NodeInsertion, AttributeUpdate)):
             return 0
         raise GraphError(f"unknown update type: {update!r}")
+
+    def _check_version(self) -> None:
+        if self.graph.version != self._graph_version:
+            raise GraphError(
+                f"graph {self.graph.name!r} was mutated behind the reach "
+                f"index's back (index saw version {self._graph_version}, "
+                f"graph is at {self.graph.version}); route updates through "
+                "on_update() or rebuild the index"
+            )
 
     def _invalidate_around(self, tail: NodeId) -> int:
         """Drop ``tail`` and every node reaching it within depth-1.
@@ -126,7 +153,9 @@ class BoundedReachIndex:
         return dropped
 
     def clear(self) -> None:
+        """Drop every entry and re-sync with the graph's current version."""
         self._cache.clear()
+        self._graph_version = self.graph.version
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -139,4 +168,5 @@ class BoundedReachIndex:
             "hits": self._hits,
             "misses": self._misses,
             "invalidations": self._invalidations,
+            "graph_version": self._graph_version,
         }

@@ -26,7 +26,8 @@ never invalidate it — only graph distance changes do.
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable, Iterator, Mapping, Sequence
+from dataclasses import replace
+from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import EvaluationError
 from repro.graph.digraph import Graph, NodeId
@@ -60,6 +61,8 @@ def frozen_successor_rows(
     out_edges_by_node: Mapping[str, Sequence[tuple[str, Bound]]],
     candidate_ids: Mapping[str, frozenset[int]],
     sources_by_node: Mapping[str, Sequence[int]] | None = None,
+    oracle=None,
+    kernel_log: dict[PatternEdge, Any] | None = None,
 ) -> dict[PatternEdge, dict[int, dict[int, int]]]:
     """Bounded successor rows for every source candidate, int-indexed.
 
@@ -68,8 +71,15 @@ def frozen_successor_rows(
     else every candidate of ``u``), computes per out-edge ``(u, u')`` the
     row ``{w: dist}`` of ``u'``-candidates within the edge bound.  This is
     exactly what :meth:`BoundedState._build_successor_sets` materializes,
-    with two kernel strategies instead of one truncated BFS per candidate:
+    with three kernel strategies instead of one truncated BFS per candidate,
+    routed per pattern edge by the planner's cost model
+    (:func:`repro.engine.planner.route_edge`):
 
+    * **oracle-pairwise** — with a
+      :class:`~repro.graph.oracle.DistanceOracle` (or shipped
+      :class:`~repro.graph.oracle.OracleSlice`) covering the bound and
+      selective candidate sets, rows come from candidate x candidate label
+      merges: no ball is ever materialised;
     * **shallow bounds** — per-source level BFS over the snapshot's
       adjacency sets; candidate filtering is one C-speed intersection per
       level per edge instead of a per-reached-node interpreted check;
@@ -79,31 +89,88 @@ def frozen_successor_rows(
       once instead of once per source.  Entries are decoded per level from
       the first-arrival masks of surviving child candidates.
 
-    Both strategies produce identical rows (the seeded differential suite
-    asserts it); the split is purely a cost model.
+    All strategies produce identical rows (the seeded differential suite
+    asserts it); the split is purely a cost model.  ``kernel_log``, when
+    given, receives the chosen :class:`~repro.engine.planner.EdgeRoute`
+    per pattern edge — this is what ``explain()`` and the matcher stats
+    surface.
     """
+    # Local import: the planner lives in the engine package, which imports
+    # this module at load time — a module-level import would be circular.
+    from repro.engine.planner import (
+        KERNEL_BITSET,
+        KERNEL_ORACLE,
+        KERNEL_PER_SOURCE,
+        enumeration_kernel,
+        route_edge,
+    )
+
     rows: dict[PatternEdge, dict[int, dict[int, int]]] = {}
     adjacency = frozen.successor_sets()
+    num_nodes = len(adjacency)
+    num_edges = frozen.num_edges
+    # A shipped OracleSlice carries the parent's routing verbatim (its
+    # ``edges`` set); a full oracle exposes measured label statistics and
+    # lets the cost model decide here.
+    forced_edges = getattr(oracle, "edges", None)
+    oracle_profile = (
+        oracle.profile()
+        if oracle is not None and forced_edges is None
+        else None
+    )
     for source_pattern, out_edges in out_edges_by_node.items():
         out_edges = list(out_edges)
         if not out_edges:
             continue
-        depth = BoundedState._bfs_depth(bound for _, bound in out_edges)
         if sources_by_node is not None:
             sources = list(sources_by_node.get(source_pattern, ()))
         else:
             sources = sorted(candidate_ids[source_pattern])
-        edge_data = []
+        oracle_edges = []
+        enum_edges = []
+        routes = {}
         for edge_target, bound in out_edges:
             edge = (source_pattern, edge_target)
             rows[edge] = {source: {} for source in sources}
-            edge_data.append((edge, bound, candidate_ids[edge_target]))
-        if not sources:
-            continue
-        if depth is not None and (depth < FROZEN_BULK_DEPTH or len(sources) == 1):
-            _per_source_rows(adjacency, sources, depth, edge_data, rows)
-        else:
-            _bitset_rows(adjacency, sources, depth, edge_data, rows)
+            children = candidate_ids[edge_target]
+            route = route_edge(
+                edge,
+                bound,
+                len(sources),
+                len(children),
+                num_nodes,
+                num_edges,
+                oracle_profile if oracle is not None and oracle.covers(bound) else None,
+                bulk_depth=FROZEN_BULK_DEPTH,
+            )
+            if forced_edges is not None and edge in forced_edges:
+                route = replace(route, kernel=KERNEL_ORACLE)
+            routes[edge] = route
+            item = (edge, bound, children)
+            if route.kernel == KERNEL_ORACLE:
+                oracle_edges.append(item)
+            else:
+                enum_edges.append(item)
+        if sources:
+            if oracle_edges:
+                oracle.fill_rows(sources, oracle_edges, rows, adjacency)
+            if enum_edges:
+                depth = BoundedState._bfs_depth(bound for _, bound, _ in enum_edges)
+                kernel = enumeration_kernel(depth, len(sources), FROZEN_BULK_DEPTH)
+                if kernel == KERNEL_PER_SOURCE:
+                    _per_source_rows(adjacency, sources, depth, enum_edges, rows)
+                else:
+                    _bitset_rows(adjacency, sources, depth, enum_edges, rows)
+                # Enumeration edges of one source node share a traversal,
+                # so the group decision overrides the per-edge estimate in
+                # the log (same rows either way; the log must tell the
+                # truth about what ran).
+                for edge, _bound, _children in enum_edges:
+                    route = routes[edge]
+                    if route.kernel != kernel:
+                        routes[edge] = replace(route, kernel=kernel)
+        if kernel_log is not None:
+            kernel_log.update(routes)
     return rows
 
 
@@ -180,7 +247,7 @@ class BoundedState:
 
     __slots__ = (
         "graph", "pattern", "cand", "sim", "S", "R", "cnt", "_in_edges",
-        "_reach_index",
+        "_reach_index", "kernels",
     )
 
     def __init__(
@@ -191,6 +258,7 @@ class BoundedState:
         index=None,
         candidates: dict[str, set[NodeId]] | None = None,
         frozen: FrozenGraph | None = None,
+        oracle=None,
     ) -> None:
         pattern.validate()
         if frozen is not None and not frozen.matches(graph):
@@ -198,6 +266,16 @@ class BoundedState:
                 f"stale frozen snapshot: {frozen!r} does not match "
                 f"graph version {graph.version}"
             )
+        if oracle is not None:
+            if frozen is None:
+                raise EvaluationError(
+                    "a distance oracle requires a frozen snapshot (its labels "
+                    "are int-indexed against the snapshot's dense ids)"
+                )
+            if not oracle.compatible_with(frozen):
+                raise EvaluationError(
+                    f"stale distance oracle: {oracle!r} does not match {frozen!r}"
+                )
         self._reach_index = reach_index
         if candidates is None:
             candidates = simulation_candidates(graph, pattern, index=index)
@@ -205,7 +283,7 @@ class BoundedState:
         # The snapshot only accelerates construction; it is deliberately
         # *not* stored on the state, because incremental maintenance
         # mutates the graph afterwards and must fall back to live reads.
-        self._build_successor_sets(frozen=frozen)
+        self._build_successor_sets(frozen=frozen, oracle=oracle)
         self._initial_refinement()
 
     def _init_containers(
@@ -215,6 +293,9 @@ class BoundedState:
         the state owns and mutates its sets)."""
         self.graph = graph
         self.pattern = pattern
+        # Per-pattern-edge EdgeRoute log of the frozen kernels (empty for
+        # the dict-graph and merged-row construction paths).
+        self.kernels: dict[PatternEdge, Any] = {}
         self.cand = {u: set(vs) for u, vs in candidates.items()}
         self.sim: dict[str, set[NodeId]] = {u: set(vs) for u, vs in self.cand.items()}
         self.S: dict[PatternEdge, dict[NodeId, dict[NodeId, int]]] = {}
@@ -283,11 +364,13 @@ class BoundedState:
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
-    def _build_successor_sets(self, frozen: FrozenGraph | None = None) -> None:
+    def _build_successor_sets(
+        self, frozen: FrozenGraph | None = None, oracle=None
+    ) -> None:
         if frozen is not None and self._reach_index is None:
             # A reach index outranks the snapshot: its reaches are already
             # materialized dicts, so the frozen kernels have nothing to add.
-            self._build_successor_sets_frozen(frozen)
+            self._build_successor_sets_frozen(frozen, oracle=oracle)
             return
         for source_pattern in self.pattern.nodes():
             out_edges = list(self.pattern.out_edges(source_pattern))
@@ -298,7 +381,9 @@ class BoundedState:
                 reach = self._reach(data_node, depth)
                 self._fill_entries(source_pattern, data_node, reach)
 
-    def _build_successor_sets_frozen(self, frozen: FrozenGraph) -> None:
+    def _build_successor_sets_frozen(
+        self, frozen: FrozenGraph, oracle=None
+    ) -> None:
         """S/R/cnt from the int-indexed kernels, converted back to labels."""
         ids = frozen.ids()
         labels = frozen.labels
@@ -308,7 +393,13 @@ class BoundedState:
         out_edges_by_node = {
             u: tuple(self.pattern.out_edges(u)) for u in self.pattern.nodes()
         }
-        rows = frozen_successor_rows(frozen, out_edges_by_node, candidate_ids)
+        rows = frozen_successor_rows(
+            frozen,
+            out_edges_by_node,
+            candidate_ids,
+            oracle=oracle,
+            kernel_log=self.kernels,
+        )
         for edge, edge_rows in rows.items():
             entries_of = self.S[edge]
             reverse = self.R[edge]
@@ -520,6 +611,7 @@ def match_bounded(
     index=None,
     candidates: dict[str, set[NodeId]] | None = None,
     frozen: FrozenGraph | None = None,
+    oracle=None,
 ) -> MatchResult:
     """Compute ``M(Q,G)`` under bounded simulation.
 
@@ -534,7 +626,10 @@ def match_bounded(
     snapshot of ``graph`` (usually the engine's cached one; it must match
     the graph's current ``version``) routes successor-set construction
     through the int-indexed CSR kernels — same relation, same state, less
-    time.
+    time.  An ``oracle`` (:class:`~repro.graph.oracle.DistanceOracle`
+    built from a compatible snapshot) additionally lets the planner route
+    selective pattern edges to pairwise label merges; the chosen kernel
+    per edge lands in ``stats["kernels"]``.
 
     >>> from repro.graph.digraph import Graph
     >>> from repro.pattern.pattern import Pattern
@@ -555,6 +650,7 @@ def match_bounded(
         index=index,
         candidates=candidates,
         frozen=frozen,
+        oracle=oracle,
     )
     relation = state.relation()
     if candidates is not None:
@@ -566,4 +662,9 @@ def match_bounded(
         "seconds": watch.seconds(),
         "candidate_source": candidate_source,
     }
+    if state.kernels:
+        stats["kernels"] = {
+            f"{edge[0]}->{edge[1]}": route.kernel
+            for edge, route in state.kernels.items()
+        }
     return MatchResult(graph, pattern, relation, stats=stats, state=state)

@@ -150,3 +150,70 @@ class TestInvalidation:
         cache.get(key())
         cache.get(key())
         assert cache.get(key()).hits == 3
+
+
+class TestOracleCache:
+    """The distance-oracle cache: version-validated like SnapshotCache,
+    plus in-place validity refreshes for distance-preserving updates."""
+
+    def _cache(self, capacity=4):
+        from repro.engine.cache import OracleCache
+
+        return OracleCache(capacity=capacity)
+
+    def test_miss_then_hit_with_matching_version(self):
+        cache = self._cache()
+        assert cache.get("g", 0) is None
+        cache.put("g", "oracle-sentinel", 0)
+        assert cache.get("g", 0) == "oracle-sentinel"
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["builds"] == 1
+
+    def test_version_mismatch_drops_the_entry(self):
+        cache = self._cache()
+        cache.put("g", "stale", 0)
+        assert cache.get("g", 3) is None
+        assert "g" not in cache
+        assert cache.stats()["stale_drops"] == 1
+
+    def test_refresh_version_extends_validity(self):
+        cache = self._cache()
+        cache.put("g", "labels", 0)
+        assert cache.refresh_version("g", 5)
+        assert cache.get("g", 5) == "labels"
+        assert cache.get("g", 0) is None  # old version now stale
+        assert cache.stats()["refreshes"] == 1
+
+    def test_refresh_of_absent_entry_is_a_noop(self):
+        cache = self._cache()
+        assert not cache.refresh_version("missing", 1)
+        assert cache.stats()["refreshes"] == 0
+
+    def test_lru_eviction(self):
+        cache = self._cache(capacity=2)
+        cache.put("a", 1, 0)
+        cache.put("b", 2, 0)
+        assert cache.get("a", 0) == 1  # touch: b becomes LRU
+        cache.put("c", 3, 0)
+        assert "b" not in cache and "a" in cache and "c" in cache
+        assert len(cache) == 2
+
+    def test_invalidate_graph(self):
+        cache = self._cache()
+        cache.put("g", 1, 0)
+        assert cache.invalidate_graph("g") == 1
+        assert cache.invalidate_graph("g") == 0
+        assert cache.stats()["invalidations"] == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(CacheError):
+            self._cache(capacity=0)
+
+    def test_peek_skips_stats(self):
+        cache = self._cache()
+        cache.put("g", 1, 0)
+        entry = cache.peek("g")
+        assert entry is not None and entry.oracle == 1
+        assert cache.peek("missing") is None
+        assert cache.stats()["hits"] == 0 and cache.stats()["misses"] == 0

@@ -300,3 +300,53 @@ class TestWorkers:
                      "--pattern", pattern_file, "--workers", "2"])
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestOracle:
+    def test_oracle_stats_subcommand(self, graph_file, capsys):
+        code = main(["oracle", "--graph", graph_file])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "exact-distance cap: unbounded ('*' covered)" in out
+        assert "labels:" in out and "reachability closure:" in out
+
+    def test_oracle_with_cap_and_pattern_routing(self, graph_file, pattern_file, capsys):
+        code = main([
+            "oracle", "--graph", graph_file, "--cap", "3",
+            "--pattern", pattern_file,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "exact-distance cap: 3" in out
+        assert "route: direct" in out
+        assert "distance oracle: warm" in out
+        assert "edge " in out  # per-edge kernel routing lines
+
+    def test_query_with_oracle_matches_plain(self, graph_file, pattern_file, capsys):
+        plain_code = main(["query", "--graph", graph_file, "--pattern", pattern_file])
+        plain_out = capsys.readouterr().out
+        code = main([
+            "query", "--graph", graph_file, "--pattern", pattern_file,
+            "--oracle", "--explain",
+        ])
+        out = capsys.readouterr().out
+        assert code == plain_code == 0
+        assert "distance oracle" in out
+        assert "kernels used:" in out
+        # Identical relation summaries: the oracle changes kernels only.
+        assert plain_out.strip().splitlines()[-1] in out
+
+    def test_batch_with_oracle_reports_label_stats(self, graph_file, pattern_file, capsys):
+        code = main([
+            "batch", "--graph", graph_file,
+            "--pattern", pattern_file, "--pattern", pattern_file,
+            "--oracle",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "distance oracle:" in out
+
+    def test_oracle_bad_workers_rejected(self, graph_file, capsys):
+        code = main(["oracle", "--graph", graph_file, "--workers", "0"])
+        assert code == 2
+        assert "--workers" in capsys.readouterr().err

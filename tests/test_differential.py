@@ -28,7 +28,9 @@ import pytest
 from repro.engine.engine import QueryEngine
 from repro.engine.parallel import ParallelExecutor
 from repro.graph.digraph import Graph
+from repro.graph.frozen import FrozenGraph
 from repro.graph.generators import random_digraph
+from repro.graph.oracle import DistanceOracle
 from repro.matching.bounded import match_bounded
 from repro.matching.simulation import match_simulation
 from repro.pattern.pattern import Pattern
@@ -36,6 +38,7 @@ from repro.pattern.pattern import Pattern
 BOUNDED_SEEDS = range(60)
 SIMULATION_SEEDS = range(60)
 ENGINE_SEEDS = range(6)
+ORACLE_SEEDS = range(40)
 
 
 @pytest.fixture(scope="module")
@@ -153,3 +156,81 @@ def test_engine_batch_workers_equals_sequential():
     for seed, (seq, par) in enumerate(zip(sequential, parallel)):
         assert_identical(seed, par, seq)
     assert parallel[0].stats["batch"]["workers"] == 2
+
+
+# ----------------------------------------------------------------------
+# oracle-kernel differential: oracle-pairwise ≡ per-source BFS ≡ bitset
+# ----------------------------------------------------------------------
+
+def _forced_kernel_costs(kernel: str):
+    """A kernel_costs wrapper that makes one kernel win every cost race."""
+    from repro.engine import planner
+
+    original = planner.kernel_costs
+
+    def forced(*args, **kwargs):
+        costs = original(*args, **kwargs)
+        if kernel in costs:
+            costs[kernel] = -1.0
+        return costs
+
+    return original, forced
+
+
+@pytest.mark.parametrize("seed", ORACLE_SEEDS, ids=lambda s: f"seed{s}")
+def test_oracle_kernel_equals_enumeration_kernels(seed, monkeypatch):
+    """The three row kernels are byte-identical on the same queries.
+
+    Per seeded case, the same (graph, pattern) is evaluated three times
+    over the same snapshot: per-source BFS (bulk depth pushed out of
+    reach), bitset (bulk depth 1), and oracle-pairwise (cost race rigged
+    so every covered edge routes to the labels).  Relations *and* full
+    refinement states (S rows with distances) must agree exactly.
+    """
+    import repro.matching.bounded as bounded_module
+    from repro.engine import planner
+
+    graph, pattern = random_case(seed)
+    if pattern.num_edges == 0:
+        pytest.skip("edge-free pattern exercises no row kernel")
+    frozen = FrozenGraph.freeze(graph)
+    oracle = DistanceOracle.build(frozen)
+
+    monkeypatch.setattr(bounded_module, "FROZEN_BULK_DEPTH", 99)
+    per_source = match_bounded(graph, pattern, frozen=frozen)
+    monkeypatch.setattr(bounded_module, "FROZEN_BULK_DEPTH", 1)
+    bitset = match_bounded(graph, pattern, frozen=frozen)
+    monkeypatch.setattr(bounded_module, "FROZEN_BULK_DEPTH", 5)
+    original, forced = _forced_kernel_costs(planner.KERNEL_ORACLE)
+    monkeypatch.setattr(planner, "kernel_costs", forced)
+    via_oracle = match_bounded(graph, pattern, frozen=frozen, oracle=oracle)
+    monkeypatch.setattr(planner, "kernel_costs", original)
+
+    assert_identical(seed, bitset, per_source)
+    assert_identical(seed, via_oracle, per_source)
+    for name, result in (("bitset", bitset), ("oracle", via_oracle)):
+        assert result._state.S == per_source._state.S, (
+            f"seed {seed}: {name} S rows (entries + distances) diverged"
+        )
+    assert any(
+        route.kernel == planner.KERNEL_ORACLE
+        for route in via_oracle._state.kernels.values()
+    ), f"seed {seed}: forced routing did not reach the oracle"
+    via_oracle._state.check_invariants()
+
+
+@pytest.mark.parametrize("seed", range(6), ids=lambda s: f"seed{s}")
+def test_engine_oracle_equals_plain_evaluation(seed):
+    """enable_oracle() changes kernels, never results (engine level)."""
+    graph, pattern = random_case(seed)
+    plain = QueryEngine()
+    plain.register_graph("g", graph)
+    accelerated = QueryEngine()
+    accelerated.register_graph("g", graph)
+    accelerated.enable_oracle("g")
+    kwargs = dict(use_cache=False, cache_result=False)
+    assert_identical(
+        seed,
+        accelerated.evaluate("g", pattern, **kwargs),
+        plain.evaluate("g", pattern, **kwargs),
+    )

@@ -238,3 +238,160 @@ class TestTopK:
 
         scored = engine.top_k("fig1", paper_pattern(), 1, metric=HarmonicMetric())
         assert scored[0][0] == "Bob"
+
+
+class TestOracleManagement:
+    """enable_oracle / oracle_stats / invalidation-vs-survival semantics."""
+
+    def test_disabled_by_default(self, engine):
+        assert engine.oracle_stats("fig1") is None
+        result = engine.evaluate("fig1", paper_pattern())
+        assert engine.oracle_cache_stats()["builds"] == 0
+        assert result.is_match
+
+    def test_enable_builds_lazily_and_warms(self, engine):
+        engine.enable_oracle("fig1")
+        assert engine.oracle_stats("fig1")["state"] == "cold"
+        first = engine.evaluate("fig1", paper_pattern(), use_cache=False,
+                                cache_result=False)
+        stats = engine.oracle_stats("fig1")
+        assert stats["state"] == "warm"
+        assert stats["nodes"] == paper_graph().num_nodes
+        assert engine.oracle_cache_stats()["builds"] == 1
+        second = engine.evaluate("fig1", paper_pattern(), use_cache=False,
+                                 cache_result=False)
+        assert engine.oracle_cache_stats()["builds"] == 1  # reused
+        assert second.relation == first.relation
+        plain = QueryEngine()
+        plain.register_graph("fig1", paper_graph())
+        reference = plain.evaluate("fig1", paper_pattern())
+        assert first.relation == reference.relation
+        assert first.relation.to_dict() == reference.relation.to_dict()
+
+    def test_disable_drops_the_cached_labels(self, engine):
+        engine.enable_oracle("fig1")
+        engine.evaluate("fig1", paper_pattern(), use_cache=False,
+                        cache_result=False)
+        engine.disable_oracle("fig1")
+        assert engine.oracle_stats("fig1") is None
+        assert engine.oracle_cache_stats()["invalidations"] >= 1
+
+    def test_reconfigure_invalidates(self, engine):
+        engine.enable_oracle("fig1")
+        engine.evaluate("fig1", paper_pattern(), use_cache=False,
+                        cache_result=False)
+        engine.enable_oracle("fig1", cap=2)
+        assert engine.oracle_stats("fig1") == {"state": "cold", "cap": 2, "top": None}
+        engine.enable_oracle("fig1", cap=2)  # same config: no extra drop
+        assert engine.oracle_stats("fig1")["state"] == "cold"
+
+    def test_structural_update_invalidates(self, engine):
+        engine.enable_oracle("fig1")
+        engine.evaluate("fig1", paper_pattern(), use_cache=False,
+                        cache_result=False)
+        engine.update_graph("fig1", [EdgeInsertion(*EDGE_E1)])
+        assert engine.oracle_stats("fig1")["state"] == "cold"
+        assert engine.oracle_cache_stats()["invalidations"] == 1
+        # The next evaluation rebuilds against the post-update graph.
+        result = engine.evaluate("fig1", paper_pattern(), use_cache=False,
+                                 cache_result=False)
+        assert engine.oracle_stats("fig1")["state"] == "warm"
+        plain = QueryEngine()
+        updated = paper_graph()
+        updated.add_edge(*EDGE_E1)
+        plain.register_graph("g", updated)
+        assert result.relation == plain.evaluate("g", paper_pattern()).relation
+
+    def test_distance_preserving_batch_survives(self, engine):
+        from repro.incremental.updates import AttributeUpdate, NodeInsertion
+
+        engine.enable_oracle("fig1")
+        engine.evaluate("fig1", paper_pattern(), use_cache=False,
+                        cache_result=False)
+        engine.update_graph("fig1", [
+            AttributeUpdate("Bob", "experience", 9),
+            NodeInsertion.with_attrs("Newcomer", field="SA", experience=1),
+        ])
+        stats = engine.oracle_stats("fig1")
+        assert stats["state"] == "warm"  # refreshed in place, no rebuild
+        assert engine.oracle_cache_stats()["refreshes"] == 1
+        assert engine.oracle_cache_stats()["builds"] == 1
+        # And the surviving labels still answer correctly for the new graph.
+        result = engine.evaluate("fig1", paper_pattern(), use_cache=False,
+                                 cache_result=False)
+        assert engine.oracle_cache_stats()["builds"] == 1
+        plain = QueryEngine()
+        plain.register_graph("g", engine.graph("fig1"))
+        assert result.relation == plain.evaluate("g", paper_pattern()).relation
+
+    def test_oracle_supersedes_reach_index(self, engine):
+        engine.enable_reach_index("fig1", max_depth=4)
+        engine.enable_oracle("fig1")
+        result = engine.evaluate("fig1", paper_pattern(), use_cache=False,
+                                 cache_result=False)
+        # The frozen kernels ran (kernel log present); the reach index was
+        # never consulted (no hits, no misses).
+        assert "kernels" in result.stats
+        reach_stats = engine.reach_index_stats("fig1")
+        assert reach_stats["hits"] == 0 and reach_stats["misses"] == 0
+
+    def test_explain_reports_oracle_state_and_edge_routes(self, engine):
+        engine.enable_oracle("fig1")
+        cold = engine.explain("fig1", paper_pattern())
+        assert any("distance oracle: cold" in r for r in cold.reasons)
+        assert cold.edge_routes  # every pattern edge has a route
+        assert {route.edge for route in cold.edge_routes} == {
+            (s, t) for s, t, _b in paper_pattern().edges()
+        }
+        engine.evaluate("fig1", paper_pattern(), use_cache=False,
+                        cache_result=False)
+        warm = engine.explain("fig1", paper_pattern())
+        assert any("distance oracle: warm" in r for r in warm.reasons)
+        assert "edge" in warm.explain()
+
+    def test_explain_without_oracle_mentions_enablement(self, engine):
+        plan = engine.explain("fig1", paper_pattern())
+        assert any("distance oracle: disabled" in r for r in plan.reasons)
+
+    def test_register_replace_drops_oracle(self, engine):
+        engine.enable_oracle("fig1")
+        engine.evaluate("fig1", paper_pattern(), use_cache=False,
+                        cache_result=False)
+        engine.register_graph("fig1", paper_graph(), replace=True)
+        assert engine.oracle_cache_stats()["invalidations"] >= 1
+
+    def test_unknown_graph_raises(self, engine):
+        with pytest.raises(EvaluationError, match="unknown graph"):
+            engine.enable_oracle("nope")
+        with pytest.raises(EvaluationError, match="unknown graph"):
+            engine.oracle_stats("nope")
+
+    def test_batch_evaluation_uses_the_oracle(self, engine):
+        engine.enable_oracle("fig1")
+        results = engine.evaluate_many(
+            "fig1", [paper_pattern(), label_pattern()], use_cache=False,
+            cache_result=False,
+        )
+        assert engine.oracle_stats("fig1")["state"] == "warm"
+        plain = QueryEngine()
+        plain.register_graph("fig1", paper_graph())
+        reference = plain.evaluate_many(
+            "fig1", [paper_pattern(), label_pattern()], use_cache=False,
+            cache_result=False,
+        )
+        for mine, theirs in zip(results, reference):
+            assert mine.relation == theirs.relation
+
+    def test_cache_stats_carry_oracle_counters(self, engine):
+        stats = engine.cache_stats()
+        assert "oracles" in stats and stats["oracles"]["size"] == 0
+
+    def test_warm_oracle_builds_eagerly(self, engine):
+        with pytest.raises(EvaluationError, match="not enabled"):
+            engine.warm_oracle("fig1")
+        engine.enable_oracle("fig1")
+        stats = engine.warm_oracle("fig1")
+        assert stats["state"] == "warm"
+        assert engine.oracle_cache_stats()["builds"] == 1
+        engine.warm_oracle("fig1")  # idempotent: cached labels reused
+        assert engine.oracle_cache_stats()["builds"] == 1

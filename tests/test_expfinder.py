@@ -73,3 +73,19 @@ class TestStorageIntegration:
         graph = finder.load_graph_file("fig1", path)
         assert graph.num_nodes == 9
         assert finder.graph("fig1") is graph
+
+
+class TestOracleFacade:
+    def test_enable_oracle_passthrough(self):
+        from repro.datasets.paper_example import paper_graph, paper_pattern
+        from repro.expfinder import ExpFinder
+
+        finder = ExpFinder()
+        finder.add_graph("fig1", paper_graph())
+        assert finder.oracle_stats("fig1") is None
+        finder.enable_oracle("fig1")
+        assert finder.oracle_stats("fig1")["state"] == "cold"
+        result = finder.match("fig1", paper_pattern(), use_cache=False,
+                              cache_result=False)
+        assert result.is_match
+        assert finder.oracle_stats("fig1")["state"] == "warm"

@@ -548,7 +548,8 @@ class TestFrozenShipping:
             payload = ParallelExecutor._shard_payload(
                 frozen, fig1_query, shard, candidates, True, None
             )
-            ball, edges_spec, pivot_ids, candidate_arrays = payload
+            ball, edges_spec, pivot_ids, candidate_arrays, oracle_slice = payload
+            assert oracle_slice is None  # no oracle was passed
             assert isinstance(ball, FrozenGraph)
             assert set(ball.nodes()) == set(shard.nodes)
             assert ball.node_attrs(next(iter(shard.nodes))) == {}  # attrs stay home

@@ -1,16 +1,32 @@
-"""Unit tests for the query planner."""
+"""Unit tests for the query planner and the per-edge kernel cost model."""
 
 from repro.datasets.paper_example import paper_pattern
 from repro.engine.planner import (
     ALGORITHM_BOUNDED,
     ALGORITHM_SIMULATION,
+    KERNEL_BITSET,
+    KERNEL_ORACLE,
+    KERNEL_PER_SOURCE,
     ROUTE_CACHE,
     ROUTE_COMPRESSED,
     ROUTE_DIRECT,
+    Plan,
     choose_algorithm,
+    enumeration_kernel,
+    estimate_levels,
+    kernel_costs,
     make_plan,
+    route_edge,
 )
 from repro.pattern.builder import PatternBuilder
+
+#: A hub-structured oracle profile (tiny measured labels), like the ones
+#: twitter-shaped graphs produce.
+HUBBY = {"cap": None, "avg_out_label": 5.0, "avg_in_label": 13.0}
+
+#: A hub-poor profile: labels comparable to ball volumes, like the sparse
+#: collaboration graphs produce — the oracle should lose the cost race.
+HUB_POOR = {"cap": 6, "avg_out_label": 270.0, "avg_in_label": 350.0}
 
 
 def unit_pattern():
@@ -75,3 +91,66 @@ class TestRouteOrder:
         assert "route: direct" in text
         assert "bounded-simulation" in text
         assert text.count("-") >= 1  # reasons are listed
+
+
+class TestKernelCostModel:
+    def test_selective_deep_edge_routes_to_oracle(self):
+        route = route_edge(("A", "B"), None, 50, 500, 50_000, 150_000, HUBBY)
+        assert route.kernel == KERNEL_ORACLE
+
+    def test_broad_candidates_fall_back_to_enumeration(self):
+        route = route_edge(("A", "B"), None, 20_000, 30_000, 50_000, 150_000, HUBBY)
+        assert route.kernel == KERNEL_BITSET
+
+    def test_hub_poor_labels_lose_the_cost_race(self):
+        # Same cardinalities that favour the oracle under HUBBY: measured
+        # label sizes are what flips the decision, so the model is
+        # self-calibrating across graph structures.
+        route = route_edge(("A", "B"), 6, 300, 1000, 50_000, 125_000, HUB_POOR)
+        assert route.kernel != KERNEL_ORACLE
+
+    def test_no_profile_means_no_oracle_kernel(self):
+        costs = kernel_costs(50, 500, None, 50_000, 150_000, None)
+        assert KERNEL_ORACLE not in costs
+        route = route_edge(("A", "B"), None, 50, 500, 50_000, 150_000, None)
+        assert route.kernel in (KERNEL_BITSET, KERNEL_PER_SOURCE)
+
+    def test_capped_profile_does_not_cover_deeper_bounds(self):
+        capped = {"cap": 3, "avg_out_label": 5.0, "avg_in_label": 13.0}
+        assert KERNEL_ORACLE in kernel_costs(10, 10, 3, 1000, 3000, capped)
+        assert KERNEL_ORACLE not in kernel_costs(10, 10, 4, 1000, 3000, capped)
+        assert KERNEL_ORACLE not in kernel_costs(10, 10, None, 1000, 3000, capped)
+
+    def test_enumeration_split_matches_the_calibrated_rule(self):
+        assert enumeration_kernel(2, 100, 5) == KERNEL_PER_SOURCE
+        assert enumeration_kernel(5, 100, 5) == KERNEL_BITSET
+        assert enumeration_kernel(None, 100, 5) == KERNEL_BITSET
+        assert enumeration_kernel(9, 1, 5) == KERNEL_PER_SOURCE  # single source
+        assert enumeration_kernel(None, 1, 5) == KERNEL_BITSET
+
+    def test_estimate_levels(self):
+        assert estimate_levels(3, 50_000, 2.5) == 3
+        unbounded = estimate_levels(None, 50_000, 3.0)
+        assert 4 <= unbounded <= 40
+        assert estimate_levels(None, 1, 3.0) == 1
+
+    def test_route_carries_every_estimate_sorted(self):
+        route = route_edge(("A", "B"), None, 50, 500, 50_000, 150_000, HUBBY)
+        kernels = [kernel for kernel, _cost in route.costs]
+        assert set(kernels) == {KERNEL_ORACLE, KERNEL_BITSET, KERNEL_PER_SOURCE}
+        costs = [cost for _kernel, cost in route.costs]
+        assert costs == sorted(costs)
+        assert route.costs[0][0] == route.kernel  # the winner is the cheapest
+
+    def test_describe_names_edge_bound_and_kernel(self):
+        route = route_edge(("SA", "ST"), None, 50, 500, 50_000, 150_000, HUBBY)
+        text = route.describe()
+        assert "SA->ST" in text and "bound *" in text
+        assert KERNEL_ORACLE in text and "50x500" in text
+
+    def test_plan_explain_includes_edge_routes(self):
+        route = route_edge(("SA", "ST"), 2, 5, 7, 100, 300, None)
+        plan = Plan(ROUTE_DIRECT, ALGORITHM_BOUNDED, ("because",), (route,))
+        text = plan.explain()
+        assert "edge SA->ST" in text
+        assert route.kernel in text

@@ -167,3 +167,60 @@ class TestMatcherAndEngineIntegration:
         engine.enable_reach_index("fig1")
         engine.disable_reach_index("fig1")
         assert engine.reach_index_stats("fig1") is None
+
+
+class TestVersionGuard:
+    """Regression: a graph mutated behind the index's back must raise,
+    never silently serve stale reach sets."""
+
+    def test_out_of_band_mutation_raises(self):
+        graph = Graph.from_edges([("a", "b"), ("b", "c")])
+        index = BoundedReachIndex(graph, max_depth=3)
+        assert index.reach("a", 2) == {"b": 1, "c": 2}
+        graph.add_edge("a", "c")  # bypasses on_update
+        with pytest.raises(GraphError, match="behind the reach index's back"):
+            index.reach("a", 2)
+
+    def test_out_of_band_attribute_write_also_raises(self):
+        # Attribute writes cannot change reachability, but the guard is a
+        # version equality check on purpose: distinguishing benign drift
+        # from structural drift would need the mutation history the index
+        # never sees.
+        graph = Graph.from_edges([("a", "b")])
+        index = BoundedReachIndex(graph, max_depth=2)
+        index.reach("a", 1)
+        graph.set("a", "field", "SA")
+        with pytest.raises(GraphError, match="behind the reach index's back"):
+            index.reach("a", 1)
+
+    def test_maintained_updates_keep_serving(self):
+        from repro.incremental.updates import EdgeInsertion
+
+        graph = Graph.from_edges([("a", "b"), ("b", "c")])
+        index = BoundedReachIndex(graph, max_depth=3)
+        index.reach("a", 3)
+        update = EdgeInsertion("a", "c")
+        update.apply(graph)
+        index.on_update(update)
+        assert index.reach("a", 1) == {"b": 1, "c": 1}
+        assert index.stats()["graph_version"] == graph.version
+
+    def test_clear_resyncs_the_version(self):
+        graph = Graph.from_edges([("a", "b")])
+        index = BoundedReachIndex(graph, max_depth=2)
+        graph.add_edge("b", "a")  # out-of-band...
+        index.clear()             # ...acknowledged by a full rebuild
+        assert index.reach("a", 2) == {"b": 1, "a": 2}
+
+    def test_engine_routed_updates_never_trip_the_guard(self):
+        from repro.engine.engine import QueryEngine
+        from repro.incremental.updates import EdgeInsertion
+
+        graph = Graph.from_edges([("a", "b"), ("b", "c")])
+        engine = QueryEngine()
+        engine.register_graph("g", graph)
+        engine.enable_reach_index("g", max_depth=3)
+        entry = engine._entry("g")
+        entry.reach_index.reach("a", 2)
+        engine.update_graph("g", [EdgeInsertion("c", "a")])
+        assert entry.reach_index.reach("a", 3)["a"] == 3
