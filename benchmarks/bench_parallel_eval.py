@@ -39,7 +39,7 @@ SIZE = 50_000
 WORKERS = 4
 CORES = os.cpu_count() or 1
 
-summary = summary_recorder("E12")
+summary = summary_recorder("E12", workers=WORKERS, graph_nodes=SIZE)
 
 
 @pytest.fixture(scope="module")

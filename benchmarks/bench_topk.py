@@ -59,7 +59,9 @@ K = 10
 WORKERS = 4
 CORES = os.cpu_count() or 1
 
-summary = summary_recorder("E13")
+summary = summary_recorder(
+    "E13", workers=WORKERS, regular_teams=REGULAR, elite_teams=ELITE, k=K
+)
 
 
 def clustered_graph(direct: bool) -> Graph:

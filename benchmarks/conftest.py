@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 from pathlib import Path
 
 import pytest
@@ -39,20 +40,45 @@ class SummaryRecorder:
             / f"BENCH_{experiment}.json"
         )
         self.metrics: dict[str, object] = {}
+        # Parallel-speedup numbers are meaningless without the host they
+        # were measured on; every summary carries it so report.py (and a
+        # reader diffing two CI artifacts) can tell a hardware change
+        # from a regression.
+        self.host: dict[str, object] = {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        }
+        self.settings: dict[str, object] = {}
+
+    def record_settings(self, **settings: object) -> None:
+        """Declare experiment knobs (worker counts, budgets) once per run."""
+        self.settings.update(settings)
 
     def record(self, name: str, **values: object) -> None:
         """Store one measurement group and flush the summary file."""
         self.metrics[name] = values
-        payload = {"experiment": self.experiment, "metrics": self.metrics}
+        payload = {
+            "experiment": self.experiment,
+            "host": self.host,
+            "settings": self.settings,
+            "metrics": self.metrics,
+        }
         self.path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
-def summary_recorder(experiment: str) -> pytest.fixture:
-    """A module-scoped fixture factory: one recorder per benchmark module."""
+def summary_recorder(experiment: str, **settings: object) -> pytest.fixture:
+    """A module-scoped fixture factory: one recorder per benchmark module.
+
+    Keyword arguments become the run's recorded settings (worker counts,
+    workload sizes, budgets) and land in the JSON next to the host info.
+    """
 
     @pytest.fixture(scope="module", name="summary")
     def fixture() -> SummaryRecorder:
-        return SummaryRecorder(experiment)
+        recorder = SummaryRecorder(experiment)
+        recorder.record_settings(**settings)
+        return recorder
 
     return fixture
 

@@ -89,6 +89,7 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--oracle-cap", type=int, default=None, metavar="DEPTH",
                        help="bound the oracle's exact-distance depth "
                             "(default: uncapped, covers '*' too)")
+    _add_budget_flags(query)
     query.set_defaults(handler=_cmd_query)
 
     batch = sub.add_parser(
@@ -112,6 +113,7 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--oracle-cap", type=int, default=None, metavar="DEPTH",
                        help="bound the oracle's exact-distance depth "
                             "(default: uncapped)")
+    _add_budget_flags(batch)
     batch.set_defaults(handler=_cmd_batch)
 
     oracle = sub.add_parser(
@@ -141,6 +143,7 @@ def _build_parser() -> argparse.ArgumentParser:
     topk.add_argument("--workers", type=int, default=1,
                       help="evaluate and score with N worker processes "
                            "(default 1 = sequential)")
+    _add_budget_flags(topk)
     topk.set_defaults(handler=_cmd_topk)
 
     update = sub.add_parser("update", help="apply graph updates to a graph file")
@@ -230,6 +233,55 @@ def _resolve_pattern(spec: str) -> Pattern:
     return load_pattern(spec)
 
 
+def _add_budget_flags(sub: argparse.ArgumentParser) -> None:
+    """Runaway-query guard flags, shared by query/batch/topk."""
+    sub.add_argument("--budget", type=int, default=None, metavar="VISITS",
+                     help="abort (or truncate, with --allow-partial) any "
+                          "bounded query that touches more than VISITS "
+                          "data nodes during traversal")
+    sub.add_argument("--time-limit", type=float, default=None, metavar="SECONDS",
+                     help="wall-clock limit per bounded query")
+    sub.add_argument("--allow-partial", action="store_true",
+                     help="degrade gracefully when a guard trips: return a "
+                          "sound partial result (marked partial) instead of "
+                          "failing the query")
+
+
+def _parse_budget(args: argparse.Namespace):
+    """Flags into a validated :class:`QueryBudget` (or None when absent).
+
+    Mirrors `_check_workers`: validation lives in the engine's one rule
+    (`QueryBudget.validate`) and the CLI only rephrases failures in flag
+    terms, so the two layers can never disagree.
+    """
+    if args.budget is None and args.time_limit is None:
+        if args.allow_partial:
+            raise CliError("--allow-partial needs --budget and/or --time-limit")
+        return None
+    from repro.engine.estimator import QueryBudget
+    from repro.errors import EvaluationError
+
+    budget = QueryBudget(
+        node_visits=args.budget,
+        seconds=args.time_limit,
+        allow_partial=args.allow_partial,
+    )
+    try:
+        budget.validate()
+    except EvaluationError as exc:
+        raise CliError(f"--budget/--time-limit: {exc}") from None
+    return budget
+
+
+def _report_partial(stats: dict) -> None:
+    """One-line partial-result notice (query/topk; batch prints inline)."""
+    if stats.get("partial"):
+        print(
+            f"note: partial result — {stats.get('guard', '?')} guard tripped "
+            f"after {stats.get('visits', 0)} node visits"
+        )
+
+
 def _check_workers(workers: int) -> int:
     """CLI-level validation so `--workers 0` fails before any work starts.
 
@@ -259,20 +311,23 @@ def _evaluate(graph: Graph, pattern: Pattern, workers: int = 1):
 
 def _cmd_query(args: argparse.Namespace) -> int:
     workers = _check_workers(args.workers)
+    budget = _parse_budget(args)
     graph, pattern = _load_inputs(args)
-    if args.oracle:
-        # Oracle-routed evaluation goes through the engine: it owns the
-        # snapshot, the oracle cache and the planner's kernel routing.
+    if args.oracle or budget is not None:
+        # Oracle-routed and guarded evaluation go through the engine: it
+        # owns the snapshot, the oracle cache, the planner's kernel
+        # routing, and the estimator-driven query guards.
         from repro.engine.engine import QueryEngine
 
         engine = QueryEngine()
         engine.register_graph("cli", graph)
-        engine.enable_oracle("cli", cap=args.oracle_cap)
+        if args.oracle:
+            engine.enable_oracle("cli", cap=args.oracle_cap)
         try:
             if args.explain:
-                print(engine.explain("cli", pattern).explain())
+                print(engine.explain("cli", pattern, budget=budget).explain())
                 print()
-            result = engine.evaluate("cli", pattern, workers=workers)
+            result = engine.evaluate("cli", pattern, workers=workers, budget=budget)
             if args.explain and "kernels" in result.stats:
                 kernels = ", ".join(
                     f"{edge}: {kernel}"
@@ -282,6 +337,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 print()
         finally:
             engine.close()
+        _report_partial(result.stats)
     else:
         if args.explain:
             print(make_plan(pattern).explain())
@@ -298,16 +354,19 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.engine.engine import QueryEngine
 
     workers = _check_workers(args.workers)
+    budget = _parse_budget(args)
     graph = load_graph(args.graph)
     patterns = [_resolve_pattern(spec) for spec in args.pattern]
     engine = QueryEngine()
     engine.register_graph("cli", graph)
     if args.oracle:
         engine.enable_oracle("cli", cap=args.oracle_cap)
-    results = engine.evaluate_many("cli", patterns, workers=workers)
+    results = engine.evaluate_many("cli", patterns, workers=workers, budget=budget)
     all_matched = True
     for spec, result in zip(args.pattern, results):
         status = "match" if result.is_match else "no-match"
+        if result.stats.get("partial"):
+            status += f" [partial: {result.stats.get('guard', '?')}]"
         all_matched = all_matched and result.is_match
         print(
             f"{spec}: {status} ({result.relation.num_pairs} pairs, "
@@ -401,13 +460,15 @@ def _cmd_topk(args: argparse.Namespace) -> int:
     from repro.engine.engine import QueryEngine
 
     workers = _check_workers(args.workers)
+    budget = _parse_budget(args)
     graph, pattern = _load_inputs(args)
     pattern.validate(require_output=True)
     engine = QueryEngine()
     engine.register_graph("cli", graph)
     try:
         ranked = engine.top_k(
-            "cli", pattern, args.k, metric=args.metric, workers=workers
+            "cli", pattern, args.k, metric=args.metric, workers=workers,
+            budget=budget,
         )
         # M(Q,G) is total-or-empty: no ranked experts means no match at all.
         if not ranked:
@@ -423,8 +484,12 @@ def _cmd_topk(args: argparse.Namespace) -> int:
             top = ranked[0][0]
         if args.dot is not None:
             # The evaluation is already cached (and the ranking context
-            # snapshotted), so deriving the result graph here is cheap.
-            result_graph = engine.evaluate("cli", pattern).result_graph()
+            # snapshotted), so deriving the result graph here is cheap —
+            # unless the result was partial (never cached), in which case
+            # the same budget keeps the re-derivation guarded too.
+            result = engine.evaluate("cli", pattern, budget=budget)
+            _report_partial(result.stats)
+            result_graph = result.result_graph()
             Path(args.dot).write_text(result_to_dot(result_graph, highlight=top))
             print(f"wrote {args.dot}")
         return 0

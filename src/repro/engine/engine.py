@@ -28,6 +28,7 @@ from repro.engine.cache import (
     SnapshotCache,
     cache_key,
 )
+from repro.engine.estimator import QueryBudget, estimate_pattern
 from repro.engine.planner import (
     ALGORITHM_BOUNDED,
     ALGORITHM_SIMULATION,
@@ -344,7 +345,9 @@ class QueryEngine:
     # ------------------------------------------------------------------
     # evaluation
     # ------------------------------------------------------------------
-    def explain(self, name: str, pattern: Pattern) -> Plan:
+    def explain(
+        self, name: str, pattern: Pattern, budget: QueryBudget | None = None
+    ) -> Plan:
         """The plan :meth:`evaluate` would follow right now (no matching).
 
         Direct-route plans also report the frozen-snapshot and
@@ -356,6 +359,12 @@ class QueryEngine:
         cardinalities, so that one case runs the same (indexed) candidate
         generation evaluation would; with the oracle disabled, explain
         stays pure metadata and no graph work happens.
+
+        With a ``budget``, direct bounded plans additionally run the
+        sampling estimator over the frozen snapshot and report the
+        per-edge frontier estimates next to the configured limits — what
+        guarded evaluation would route from, and roughly how much of the
+        budget the query looks set to spend.
         """
         entry = self._entry(name)
         key = cache_key(name, pattern)
@@ -390,6 +399,9 @@ class QueryEngine:
                 oracle_note, edge_routes = self._explain_kernels(entry, pattern)
                 if oracle_note:
                     notes.append(oracle_note)
+            if budget is not None and plan.algorithm == ALGORITHM_BOUNDED:
+                budget.validate()
+                notes.extend(self._explain_budget(entry, pattern, budget))
             plan = Plan(
                 plan.route,
                 plan.algorithm,
@@ -397,6 +409,31 @@ class QueryEngine:
                 edge_routes,
             )
         return plan
+
+    def _explain_budget(
+        self, entry: RegisteredGraph, pattern: Pattern, budget: QueryBudget
+    ) -> list[str]:
+        """Sampled cardinality estimates vs the configured limits."""
+        from repro.matching.simulation import simulation_candidates
+
+        visits = "unlimited" if budget.node_visits is None else str(budget.node_visits)
+        seconds = "unlimited" if budget.seconds is None else f"{budget.seconds:g}s"
+        lines = [
+            f"budget: {visits} node visits, {seconds} wall clock "
+            f"({'partial results allowed' if budget.allow_partial else 'hard failure on breach'})"
+        ]
+        if pattern.num_edges:
+            frozen = self._frozen_snapshot(entry)
+            ids = frozen.ids()
+            candidates = simulation_candidates(
+                entry.graph, pattern, index=entry.attr_index
+            )
+            candidate_ids = {
+                u: frozenset(ids[v] for v in vs) for u, vs in candidates.items()
+            }
+            estimate = estimate_pattern(frozen, pattern, candidate_ids)
+            lines.extend(f"estimate: {line}" for line in estimate.describe_lines())
+        return lines
 
     def _explain_kernels(
         self, entry: RegisteredGraph, pattern: Pattern
@@ -531,6 +568,7 @@ class QueryEngine:
         use_compression: bool = True,
         cache_result: bool = True,
         workers: int | None = None,
+        budget: QueryBudget | None = None,
     ) -> MatchResult:
         """Evaluate a pattern query following the §II route order.
 
@@ -540,9 +578,21 @@ class QueryEngine:
         successor-row work fans out to a worker pool, producing exactly
         the sequential relation.  Cache and compressed routes are already
         cheap and stay sequential.
+
+        A ``budget`` (:class:`~repro.engine.estimator.QueryBudget`) guards
+        direct bounded evaluation — the one route/algorithm combination
+        that can run away (cache and compressed routes are cheap by
+        construction; the quadratic simulation matcher is not guarded, so
+        sequential and parallel runs agree on the partial flag).  A blown
+        budget raises :class:`~repro.errors.BudgetExceededError`, or with
+        ``allow_partial=True`` returns a sound subset of the exact answer
+        flagged ``stats["partial"] = True``.  Partial results are never
+        cached.
         """
         pattern.validate()
         workers = validate_workers(workers)
+        if budget is not None:
+            budget.validate()
         entry = self._entry(name)
         watch = Stopwatch()
         key = cache_key(name, pattern)
@@ -557,6 +607,9 @@ class QueryEngine:
             use_compression=use_compression,
         )
 
+        bounded_direct = (
+            plan.route == ROUTE_DIRECT and plan.algorithm != ALGORITHM_SIMULATION
+        )
         if workers > 1 and plan.route == ROUTE_DIRECT:
             result = self._executor(workers).match(
                 entry.graph,
@@ -568,6 +621,7 @@ class QueryEngine:
                     if plan.algorithm != ALGORITHM_SIMULATION
                     else None
                 ),
+                budget=budget if bounded_direct else None,
             )
         else:
             result = self._dispatch_route(
@@ -578,10 +632,18 @@ class QueryEngine:
                     cached_entry.relation if cached_entry is not None else None
                 ),
                 compressed=compressed,
+                budget=budget if bounded_direct else None,
             )
 
         self._stamp_stats(result, plan.route, plan, name, entry, watch.seconds())
-        if cache_result and plan.route != ROUTE_CACHE:
+        # A partial result is an artefact of this call's budget, not the
+        # query's answer — caching it would serve an under-approximation
+        # to unbudgeted callers.
+        if (
+            cache_result
+            and plan.route != ROUTE_CACHE
+            and not result.stats.get("partial")
+        ):
             self._cache.put(key, result.relation)
         return result
 
@@ -593,8 +655,14 @@ class QueryEngine:
         use_compression: bool = True,
         cache_result: bool = True,
         workers: int | None = None,
+        budget: QueryBudget | None = None,
     ) -> list[MatchResult]:
         """Evaluate a batch of pattern queries, amortising shared work.
+
+        A ``budget`` applies *per query* (fresh limits for each bounded
+        direct-route pattern, sequentially and in pool workers alike);
+        partial results are neither cached nor reused for identical
+        queries later in the batch.
 
         All queries are planned up front; every *direct-route* query then
         draws its candidate sets from one shared pool computed once per
@@ -626,6 +694,8 @@ class QueryEngine:
         for pattern in patterns:
             pattern.validate()
         workers = validate_workers(workers)
+        if budget is not None:
+            budget.validate()
         if workers > 1 and len(patterns) == 1:
             result = self.evaluate(
                 name,
@@ -634,6 +704,7 @@ class QueryEngine:
                 use_compression=use_compression,
                 cache_result=cache_result,
                 workers=workers,
+                budget=budget,
             )
             # Preserve evaluate_many's contract: every result carries batch
             # stats (the CLI and callers read them unconditionally).  Like
@@ -729,6 +800,7 @@ class QueryEngine:
                     if tasks and bounded_tasks
                     else None
                 ),
+                budget=budget,
             )
             farmed = dict(zip(task_keys, outcomes))
 
@@ -773,6 +845,12 @@ class QueryEngine:
                     ),
                     compressed=compressed,
                     candidates=candidates,
+                    budget=(
+                        budget
+                        if route == ROUTE_DIRECT
+                        and plan.algorithm != ALGORITHM_SIMULATION
+                        else None
+                    ),
                 )
             self._stamp_stats(
                 result,
@@ -787,7 +865,7 @@ class QueryEngine:
                 else query_watch.seconds(),
                 batch=batch_info,
             )
-            if route != ROUTE_CACHE:
+            if route != ROUTE_CACHE and not result.stats.get("partial"):
                 fresh[key] = result.relation
                 if cache_result:
                     self._cache.put(key, result.relation)
@@ -803,6 +881,7 @@ class QueryEngine:
         cached_relation: MatchRelation | None,
         compressed: CompressedGraph | None,
         candidates: dict[str, set[NodeId]] | None = None,
+        budget: QueryBudget | None = None,
     ) -> MatchResult:
         """Execute a plan's route — the one dispatch both evaluate paths use."""
         if plan.route == ROUTE_CACHE:
@@ -831,6 +910,7 @@ class QueryEngine:
                 else None
             ),
             oracle=oracle,
+            budget=budget,
         )
 
     @staticmethod
@@ -843,6 +923,7 @@ class QueryEngine:
         candidates: dict[str, set[NodeId]] | None = None,
         frozen: FrozenGraph | None = None,
         oracle: DistanceOracle | None = None,
+        budget: QueryBudget | None = None,
     ) -> MatchResult:
         if plan.algorithm == ALGORITHM_SIMULATION:
             return match_simulation(
@@ -856,6 +937,7 @@ class QueryEngine:
             candidates=candidates,
             frozen=frozen,
             oracle=oracle,
+            budget=budget,
         )
 
     # ------------------------------------------------------------------
@@ -920,7 +1002,10 @@ class QueryEngine:
                 return cached.context
         result = self.evaluate(name, pattern, workers=workers, **evaluate_kwargs)
         context = RankingContext(result.result_graph())
-        if use_rank_cache:
+        # A guarded evaluation that tripped produced a partial relation;
+        # rankings over it are valid for this call but must not be served
+        # to later (possibly unbudgeted) top_k calls.
+        if use_rank_cache and not result.stats.get("partial"):
             self._rank_cache.put(key, context, entry.graph.version)
         return context
 

@@ -45,10 +45,12 @@ measures both situations honestly.
 from __future__ import annotations
 
 import multiprocessing
+import time
 from array import array
 from typing import Any, Sequence
 
-from repro.errors import EvaluationError
+from repro.engine.estimator import GUARD_TIME_LIMIT, QueryBudget, QueryGuard
+from repro.errors import BudgetExceededError, EvaluationError
 from repro.graph.digraph import Graph, NodeId
 from repro.graph.frozen import FrozenGraph
 from repro.graph.index import AttributeIndex, candidates_from_index
@@ -86,6 +88,7 @@ _batch_graph: Graph | None = None
 _batch_table: dict[tuple, set[NodeId]] | None = None
 _batch_frozen: FrozenGraph | None = None
 _batch_oracle: DistanceOracle | None = None
+_batch_budget: QueryBudget | None = None
 
 # The shared frozen snapshot (and optional distance oracle) for
 # broad-cover sharded queries.  Under the fork start method the parent
@@ -111,6 +114,28 @@ def _set_shared_frozen(
     _shared_oracle = oracle
 
 
+# Guard state for sharded workers: either a live QueryGuard (inline runs —
+# one guard accumulates across every shard, exactly like the sequential
+# matcher) or a ``(budget, shared counter, deadline)`` triple from which
+# each worker process builds its own guard around the *shared* visit
+# counter — one budget governs the whole fan-out, so sequential and
+# parallel evaluation trip on the same total work.
+_shard_guard_state: "QueryGuard | tuple | None" = None
+
+
+def _set_shard_guard(state) -> None:
+    global _shard_guard_state
+    _shard_guard_state = state
+
+
+def _resolve_shard_guard() -> "QueryGuard | None":
+    state = _shard_guard_state
+    if state is None or isinstance(state, QueryGuard):
+        return state
+    budget, counter, deadline = state
+    return QueryGuard(budget, shared_counter=counter, deadline=deadline)
+
+
 def validate_workers(workers: int | None) -> int:
     """Normalize a ``workers`` argument: ``None`` means sequential (1).
 
@@ -127,14 +152,17 @@ def validate_workers(workers: int | None) -> int:
 
 def _shard_rows(
     payload: ShardPayload,
-) -> dict[PatternEdge, dict[NodeId, dict[NodeId, int]]]:
+) -> tuple[dict[PatternEdge, dict[NodeId, dict[NodeId, int]]], dict[str, Any]]:
     """Successor rows for one shard (runs inside a worker process).
 
     The payload is int-indexed against a frozen snapshot — either the ball
     sub-snapshot it carries or the process-shared full one.  Rows are
     computed by the same :func:`frozen_successor_rows` kernel the
     sequential matcher uses (sound because each pivot's full ball is inside
-    the shard), then converted back to labels for the merge.
+    the shard), then converted back to labels for the merge.  Returns the
+    rows plus a guard-info dict (empty when unguarded): each worker's
+    guard charges the *shared* visit counter, so a blown budget stops
+    every sibling at its next check, not just this shard.
     """
     frozen, edges_spec, pivots, candidate_arrays, oracle_slice = payload
     if frozen is None:
@@ -146,12 +174,14 @@ def _shard_rows(
         oracle = oracle_slice if oracle_slice is not None else _shared_oracle
     else:
         oracle = oracle_slice
+    guard = _resolve_shard_guard()
     candidate_ids = {u: frozenset(ids) for u, ids in candidate_arrays.items()}
     rows_ids = frozen_successor_rows(
-        frozen, edges_spec, candidate_ids, sources_by_node=pivots, oracle=oracle
+        frozen, edges_spec, candidate_ids, sources_by_node=pivots, oracle=oracle,
+        guard=guard,
     )
     labels = frozen.labels
-    return {
+    converted = {
         edge: {
             labels[source_id]: {
                 labels[reached_id]: dist for reached_id, dist in entries.items()
@@ -160,6 +190,7 @@ def _shard_rows(
         }
         for edge, edge_rows in rows_ids.items()
     }
+    return converted, (guard.stats() if guard is not None else {})
 
 
 def _init_batch_worker(
@@ -167,12 +198,25 @@ def _init_batch_worker(
     table: dict[tuple, set[NodeId]] | None,
     frozen: FrozenGraph | None = None,
     oracle: DistanceOracle | None = None,
+    budget: "QueryBudget | None" = None,
 ) -> None:
-    global _batch_graph, _batch_table, _batch_frozen, _batch_oracle
+    global _batch_graph, _batch_table, _batch_frozen, _batch_oracle, _batch_budget
     _batch_graph = graph
     _batch_table = table
     _batch_frozen = frozen
     _batch_oracle = oracle
+    _batch_budget = budget
+
+
+def _init_guarded_worker(
+    frozen: FrozenGraph | None,
+    oracle: DistanceOracle | None,
+    budget: "QueryBudget",
+    counter,
+    deadline: float | None,
+) -> None:  # pragma: no cover - non-fork platforms
+    _set_shared_frozen(frozen, oracle)
+    _set_shard_guard((budget, counter, deadline))
 
 
 def _init_rank_worker(context: RankingContext | None, metric) -> None:
@@ -206,6 +250,9 @@ def _batch_query(
     assert _batch_table is not None, "batch candidate table was not installed"
     candidates = {u: _batch_table[key] for u, key in key_by_node.items()}
     if pattern.is_simulation_pattern:
+        # Guards cover the bounded algorithm only (the quadratic matcher
+        # has no runaway mode worth the bookkeeping), sequentially and in
+        # workers alike — so both modes agree on the partial flag.
         result = match_simulation(
             _batch_graph, pattern, candidates=candidates, frozen=_batch_frozen
         )
@@ -216,6 +263,7 @@ def _batch_query(
             candidates=candidates,
             frozen=_batch_frozen,
             oracle=_batch_oracle,
+            budget=_batch_budget,
         )
     return result.relation, result.stats
 
@@ -286,6 +334,7 @@ class ParallelExecutor:
         num_shards: int | None = None,
         frozen: FrozenGraph | None = None,
         oracle: DistanceOracle | None = None,
+        budget: QueryBudget | None = None,
     ) -> MatchResult:
         """``M(Q,G)`` via sharded evaluation: partition, fan out, merge.
 
@@ -306,6 +355,14 @@ class ParallelExecutor:
         process-shared oracle, while materialized ball shards receive the
         label *slices* their pivots and child candidates need, re-keyed to
         ball ids, alongside the frozen shard payload.
+
+        A ``budget`` (:class:`~repro.engine.estimator.QueryBudget`) guards
+        the fan-out as one query: workers charge a *shared* visit counter,
+        so the node budget governs total work across shards (sequential
+        and guarded-parallel runs agree on whether the budget trips); a
+        wall-clock limit aborts in-flight workers via pool termination,
+        and shards that never reported merge as empty rows — a sound
+        under-approximation flagged ``stats["partial"] = True``.
         """
         pattern.validate()
         watch = Stopwatch()
@@ -351,21 +408,40 @@ class ParallelExecutor:
             )
             for shard in shards
         ]
+        guarded = budget is not None and budget.is_limited
+        if guarded:
+            budget.validate()
+        guard_stats: dict[str, Any] = {}
         if inline:
+            guard = QueryGuard(budget) if guarded else None
             _set_shared_frozen(frozen, oracle)
+            _set_shard_guard(guard)
             try:
-                rows_list = [_shard_rows(payload) for payload in payloads]
+                results = [_shard_rows(payload) for payload in payloads]
             finally:
                 _set_shared_frozen(None)
+                _set_shard_guard(None)
+            if guard is not None:
+                guard_stats = guard.stats()
+        elif guarded:
+            # Guarded fan-out always uses a dedicated pool: the shared
+            # visit counter must exist before workers fork, and a
+            # wall-clock abort terminates the pool mid-flight.
+            results, guard_stats = self._guarded_map(
+                frozen, payloads, oracle, budget
+            )
         elif materialize:
-            rows_list = self._query_pool().map(_shard_rows, payloads)
+            results = self._query_pool().map(_shard_rows, payloads)
         else:
-            rows_list = self._shared_frozen_map(frozen, payloads, oracle=oracle)
+            results = self._shared_frozen_map(frozen, payloads, oracle=oracle)
         merged: dict[PatternEdge, dict[NodeId, dict[NodeId, int]]] = {}
-        for rows in rows_list:
+        for rows, _info in results:
             for edge, row in rows.items():
                 merged.setdefault(edge, {}).update(row)
-        state = BoundedState.from_successor_rows(graph, pattern, candidates, merged)
+        state = BoundedState.from_successor_rows(
+            graph, pattern, candidates, merged,
+            allow_missing=bool(guard_stats.get("partial")),
+        )
         relation = state.relation()
         stats = {
             "algorithm": (
@@ -385,6 +461,7 @@ class ParallelExecutor:
                 ),
             },
         }
+        stats.update(guard_stats)
         return MatchResult(graph, pattern, relation, stats=stats, state=state)
 
     @staticmethod
@@ -524,6 +601,86 @@ class ParallelExecutor:
         label_slice.edges = frozenset(routed)
         return label_slice
 
+    def _guarded_map(
+        self,
+        frozen: FrozenGraph,
+        payloads: list[ShardPayload],
+        oracle: DistanceOracle | None,
+        budget: QueryBudget,
+    ) -> tuple[list, dict[str, Any]]:
+        """Fan shard work out under a budget shared across all workers.
+
+        A dedicated pool forks with the snapshot *and* the guard state —
+        ``(budget, shared counter, absolute deadline)`` — in its globals;
+        each worker builds a :class:`QueryGuard` around the shared counter,
+        so one node budget governs the sum of all shards' work.  The
+        parent drains ``imap_unordered`` with the remaining wall-clock as
+        timeout: when time runs out it *terminates* the pool, cancelling
+        in-flight shards; their pivots merge as missing (empty) rows — a
+        sound under-approximation.  ``time.monotonic`` is comparable
+        across processes on Linux, so the absolute deadline forks as-is.
+        """
+        counter = self._ctx.Value("q", 0)
+        deadline = (
+            time.monotonic() + budget.seconds
+            if budget.seconds is not None
+            else None
+        )
+        aborted = False
+        results: list = []
+        pool = None
+        _set_shared_frozen(frozen, oracle)
+        _set_shard_guard((budget, counter, deadline))
+        try:
+            if self._ctx.get_start_method() == "fork":
+                pool = self._ctx.Pool(self.workers)
+            else:  # pragma: no cover - non-fork platforms
+                pool = self._ctx.Pool(
+                    self.workers,
+                    initializer=_init_guarded_worker,
+                    initargs=(
+                        frozen.without_attrs(), oracle, budget, counter, deadline
+                    ),
+                )
+            iterator = pool.imap_unordered(_shard_rows, payloads)
+            for _ in payloads:
+                try:
+                    if deadline is None:
+                        results.append(iterator.next())
+                    else:
+                        remaining = deadline - time.monotonic()
+                        results.append(iterator.next(max(0.0, remaining)))
+                except multiprocessing.TimeoutError:
+                    aborted = True
+                    break
+        finally:
+            if pool is not None:
+                pool.terminate()
+                pool.join()
+            _set_shared_frozen(None)
+            _set_shard_guard(None)
+        visits = counter.value
+        tripped = GUARD_TIME_LIMIT if aborted else None
+        replans = 0
+        for _rows, info in results:
+            replans += info.get("replans", 0)
+            if tripped is None and info.get("guard"):
+                tripped = info["guard"]
+        if aborted and not budget.allow_partial:
+            raise BudgetExceededError(
+                f"query exceeded its {GUARD_TIME_LIMIT} (visits={visits}, "
+                f"budget={budget}); in-flight shard workers were cancelled"
+            )
+        guard_stats: dict[str, Any] = {
+            "partial": tripped is not None,
+            "visits": visits,
+        }
+        if tripped is not None:
+            guard_stats["guard"] = tripped
+        if replans:
+            guard_stats["replans"] = replans
+        return results, guard_stats
+
     def _shared_frozen_map(
         self,
         frozen: FrozenGraph,
@@ -630,6 +787,7 @@ class ParallelExecutor:
         table: dict[tuple, set[NodeId]],
         frozen: FrozenGraph | None = None,
         oracle: DistanceOracle | None = None,
+        budget: QueryBudget | None = None,
     ) -> list[tuple[MatchRelation, dict[str, Any]]]:
         """Evaluate whole queries across the pool.
 
@@ -643,6 +801,11 @@ class ParallelExecutor:
         so a task pickles only its pattern and a few keys.  Returns
         ``(relation, worker stats)`` per task, in order.  With one worker
         (or one task) everything runs inline.
+
+        A ``budget`` applies *per query*: each bounded-pattern task gets a
+        fresh guard inside its worker (node and wall limits count from the
+        task's own start), exactly as a sequential loop over the batch
+        would apply it.
         """
         if not tasks:
             return []
@@ -661,18 +824,22 @@ class ParallelExecutor:
                 raise EvaluationError(
                     f"stale distance oracle: {oracle!r} does not match {frozen!r}"
                 )
+        if budget is not None and budget.is_limited:
+            budget.validate()
+        else:
+            budget = None
         if self.workers == 1 or len(tasks) == 1:
-            _init_batch_worker(graph, table, frozen, oracle)
+            _init_batch_worker(graph, table, frozen, oracle, budget)
             try:
                 return [_batch_query(task) for task in tasks]
             finally:
-                _init_batch_worker(None, None, None, None)
+                _init_batch_worker(None, None, None, None, None)
         try:
             if self._ctx.get_start_method() == "fork":
                 # Children inherit graph, snapshot, oracle and table from
                 # the parent's module globals for free (copy-on-write);
                 # nothing to pickle.
-                _init_batch_worker(graph, table, frozen, oracle)
+                _init_batch_worker(graph, table, frozen, oracle, budget)
                 pool = self._ctx.Pool(self.workers)
             else:  # pragma: no cover - non-fork platforms
                 # Matchers in workers get candidates from the table, so
@@ -685,12 +852,13 @@ class ParallelExecutor:
                         table,
                         None if frozen is None else frozen.without_attrs(),
                         oracle,
+                        budget,
                     ),
                 )
             with pool:
                 return pool.map(_batch_query, list(tasks))
         finally:
-            _init_batch_worker(None, None, None, None)
+            _init_batch_worker(None, None, None, None, None)
 
     # ------------------------------------------------------------------
     # parallel oracle construction

@@ -29,6 +29,15 @@ class EvaluationError(ReproError):
     """A matcher was invoked with inconsistent inputs or state."""
 
 
+class BudgetExceededError(EvaluationError):
+    """A query blew its :class:`~repro.engine.estimator.QueryBudget`.
+
+    Raised only when the budget was created with ``allow_partial=False``;
+    with partial results allowed, the guard degrades gracefully instead
+    and flags the result ``stats["partial"] = True``.
+    """
+
+
 class RankingError(ReproError):
     """Ranking was requested for a node that is not a match of the output node."""
 

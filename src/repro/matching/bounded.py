@@ -49,6 +49,11 @@ FROZEN_BULK_DEPTH = 5
 #: of masks of this many bits) and keeps big-int ops cache-friendly.
 FROZEN_CHUNK_BITS = 4096
 
+#: Arrivals the bitset kernel accumulates before charging its guard.
+#: Bounds budget overshoot (one hub level can carry millions of arrivals)
+#: while keeping the charge/should_stop round trip off the per-node path.
+_GUARD_CHARGE_BATCH = 1024
+
 #: byte value -> indices of its set bits; decodes visitor masks without
 #: allocating big ints per extracted bit.
 _BYTE_BITS = tuple(
@@ -63,6 +68,7 @@ def frozen_successor_rows(
     sources_by_node: Mapping[str, Sequence[int]] | None = None,
     oracle=None,
     kernel_log: dict[PatternEdge, Any] | None = None,
+    guard=None,
 ) -> dict[PatternEdge, dict[int, dict[int, int]]]:
     """Bounded successor rows for every source candidate, int-indexed.
 
@@ -94,6 +100,19 @@ def frozen_successor_rows(
     given, receives the chosen :class:`~repro.engine.planner.EdgeRoute`
     per pattern edge — this is what ``explain()`` and the matcher stats
     surface.
+
+    ``guard`` (a :class:`~repro.engine.estimator.QueryGuard`) changes two
+    things.  First, routing: each source group's analytic frontier is
+    replaced by a *sampled* one (:func:`~repro.engine.estimator.
+    sample_frontier`), and when a group's measured work overshoots its
+    estimate by the budget's ``replan_factor`` the remaining groups'
+    estimates are re-scaled by the observed ratio before they are routed —
+    adaptive mid-query re-planning.  Second, enforcement: every kernel
+    charges node arrivals as it works and stops admitting new work once
+    the guard trips.  Rows already filled stay; rows not reached stay at
+    their initialized empty dict.  Incomplete-but-honest rows are *sound*:
+    the removal fixpoint over them yields a valid bounded simulation,
+    hence a subset of the exact ``M(Q,G)``.
     """
     # Local import: the planner lives in the engine package, which imports
     # this module at load time — a module-level import would be circular.
@@ -118,6 +137,13 @@ def frozen_successor_rows(
         if oracle is not None and forced_edges is None
         else None
     )
+    # Guarded evaluation routes from *sampled* frontier estimates and
+    # re-scales the remaining estimates (``correction``) whenever a group's
+    # measured work overshoots its estimate by the budget's replan factor.
+    correction = 1.0
+    replan_factor = (
+        guard.budget.replan_factor if guard is not None else None
+    )
     for source_pattern, out_edges in out_edges_by_node.items():
         out_edges = list(out_edges)
         if not out_edges:
@@ -126,6 +152,17 @@ def frozen_successor_rows(
             sources = list(sources_by_node.get(source_pattern, ()))
         else:
             sources = sorted(candidate_ids[source_pattern])
+        sampled = None
+        ball_edges_estimate = None
+        if guard is not None and sources:
+            from repro.engine.estimator import sample_frontier
+
+            sampled = sample_frontier(
+                adjacency,
+                sources,
+                BoundedState._bfs_depth(bound for _, bound in out_edges),
+            )
+            ball_edges_estimate = max(1.0, sampled.ball_edges * correction)
         oracle_edges = []
         enum_edges = []
         routes = {}
@@ -142,6 +179,7 @@ def frozen_successor_rows(
                 num_edges,
                 oracle_profile if oracle is not None and oracle.covers(bound) else None,
                 bulk_depth=FROZEN_BULK_DEPTH,
+                ball_edges_estimate=ball_edges_estimate,
             )
             if forced_edges is not None and edge in forced_edges:
                 route = replace(route, kernel=KERNEL_ORACLE)
@@ -151,16 +189,33 @@ def frozen_successor_rows(
                 oracle_edges.append(item)
             else:
                 enum_edges.append(item)
-        if sources:
+        if sources and (guard is None or not guard.should_stop()):
+            visits_before = guard.visits if guard is not None else 0
             if oracle_edges:
                 oracle.fill_rows(sources, oracle_edges, rows, adjacency)
-            if enum_edges:
+                if guard is not None:
+                    guard.charge(sum(
+                        len(row)
+                        for edge, _bound, _children in oracle_edges
+                        for row in rows[edge].values()
+                    ))
+            if enum_edges and (guard is None or not guard.should_stop()):
                 depth = BoundedState._bfs_depth(bound for _, bound, _ in enum_edges)
                 kernel = enumeration_kernel(depth, len(sources), FROZEN_BULK_DEPTH)
                 if kernel == KERNEL_PER_SOURCE:
-                    _per_source_rows(adjacency, sources, depth, enum_edges, rows)
+                    _per_source_rows(
+                        adjacency, sources, depth, enum_edges, rows, guard=guard
+                    )
                 else:
-                    _bitset_rows(adjacency, sources, depth, enum_edges, rows)
+                    _bitset_rows(
+                        adjacency, sources, depth, enum_edges, rows, guard=guard
+                    )
+            if guard is not None and sampled is not None and replan_factor:
+                measured = guard.visits - visits_before
+                estimated = max(1.0, len(sources) * sampled.frontier * correction)
+                if measured > replan_factor * estimated:
+                    correction *= measured / estimated
+                    guard.replans += 1
                 # Enumeration edges of one source node share a traversal,
                 # so the group decision overrides the per-edge estimate in
                 # the log (same rows either way; the log must tell the
@@ -174,10 +229,19 @@ def frozen_successor_rows(
     return rows
 
 
-def _per_source_rows(adjacency, sources, depth, edge_data, rows) -> None:
-    """One level BFS per source; per-level set intersections filter rows."""
+def _per_source_rows(adjacency, sources, depth, edge_data, rows, guard=None) -> None:
+    """One level BFS per source; per-level set intersections filter rows.
+
+    With a ``guard``, each source's ball is charged (sum of its level
+    sizes) and row construction stops before the next source once the
+    guard trips — completed rows are exact, unstarted rows stay empty.
+    """
     for source in sources:
+        if guard is not None and guard.should_stop():
+            break
         levels = frozen_reach_levels(adjacency, source, depth)
+        if guard is not None:
+            guard.charge(sum(len(level) for level in levels))
         for edge, bound, child_candidates in edge_data:
             entries = rows[edge][source]
             for dist, level in enumerate(levels[:bound], start=1):
@@ -185,7 +249,7 @@ def _per_source_rows(adjacency, sources, depth, edge_data, rows) -> None:
                     entries[reached] = dist
 
 
-def _bitset_rows(adjacency, sources, depth, edge_data, rows) -> None:
+def _bitset_rows(adjacency, sources, depth, edge_data, rows, guard=None) -> None:
     """Bitset-parallel traversal: all sources of one chunk advance together.
 
     ``frontier[node]`` is a big-int mask of the chunk sources that first
@@ -193,10 +257,19 @@ def _bitset_rows(adjacency, sources, depth, edge_data, rows) -> None:
     edges (C-speed regardless of how many sources share the step), and a
     per-node ``reach`` mask keeps arrivals first-only.  Survivor masks are
     decoded bytewise via the :data:`_BYTE_BITS` table.
+
+    With a ``guard``, arrivals (popcounts of the first-arrival masks) are
+    charged in :data:`_GUARD_CHARGE_BATCH` batches *during* the frontier
+    rebuild, and the rebuild stops as soon as the guard trips — one hub
+    level can carry millions of arrivals, far past any sane budget, so
+    charging per level would gut the guarantee.  Entries emitted from the
+    truncated frontier are all true, so the partial rows stay sound.
     """
     num_nodes = len(adjacency)
     byte_bits = _BYTE_BITS
     for chunk_start in range(0, len(sources), FROZEN_CHUNK_BITS):
+        if guard is not None and guard.should_stop():
+            break
         chunk = sources[chunk_start : chunk_start + FROZEN_CHUNK_BITS]
         mask_bytes = (len(chunk) + 7) // 8
         reach = [0] * num_nodes
@@ -205,6 +278,8 @@ def _bitset_rows(adjacency, sources, depth, edge_data, rows) -> None:
             frontier[source] = frontier.get(source, 0) | (1 << bit)
         dist = 0
         while frontier and (depth is None or dist < depth):
+            if guard is not None and guard.should_stop():
+                break
             dist += 1
             grown: dict[int, int] = {}
             get = grown.get
@@ -213,12 +288,22 @@ def _bitset_rows(adjacency, sources, depth, edge_data, rows) -> None:
                     seen = get(target)
                     grown[target] = mask if seen is None else seen | mask
             frontier = {}
+            pending = 0
             for node, mask in grown.items():
                 seen = reach[node]
                 arrived = mask & ~seen if seen else mask
                 if arrived:
                     reach[node] = seen | arrived
                     frontier[node] = arrived
+                    if guard is not None:
+                        pending += arrived.bit_count()
+                        if pending >= _GUARD_CHARGE_BATCH:
+                            guard.charge(pending)
+                            pending = 0
+                            if guard.should_stop():
+                                break
+            if guard is not None and pending:
+                guard.charge(pending)
             for edge, bound, child_candidates in edge_data:
                 if bound is not None and dist > bound:
                     continue
@@ -259,6 +344,7 @@ class BoundedState:
         candidates: dict[str, set[NodeId]] | None = None,
         frozen: FrozenGraph | None = None,
         oracle=None,
+        guard=None,
     ) -> None:
         pattern.validate()
         if frozen is not None and not frozen.matches(graph):
@@ -283,7 +369,7 @@ class BoundedState:
         # The snapshot only accelerates construction; it is deliberately
         # *not* stored on the state, because incremental maintenance
         # mutates the graph afterwards and must fall back to live reads.
-        self._build_successor_sets(frozen=frozen, oracle=oracle)
+        self._build_successor_sets(frozen=frozen, oracle=oracle, guard=guard)
         self._initial_refinement()
 
     def _init_containers(
@@ -316,6 +402,7 @@ class BoundedState:
         pattern: Pattern,
         candidates: dict[str, set[NodeId]],
         rows: dict[PatternEdge, dict[NodeId, dict[NodeId, int]]],
+        allow_missing: bool = False,
     ) -> "BoundedState":
         """Assemble a state from externally computed ``S`` rows.
 
@@ -330,6 +417,12 @@ class BoundedState:
         must have a row (possibly empty); a missing row means the shard
         decomposition lost a pivot and raises instead of silently producing
         a wrong (too large) relation.
+
+        ``allow_missing=True`` relaxes that check for *guarded* partial
+        evaluation: shards aborted by a tripped budget never report their
+        rows, so missing candidates get an empty row (cnt 0) and the
+        fixpoint prunes them — an under-approximation, which is exactly
+        the sound direction for a partial result.
         """
         pattern.validate()
         state = cls.__new__(cls)
@@ -351,13 +444,17 @@ class BoundedState:
                 state.cnt[edge][data_node] = sum(
                     1 for reached in entries if reached in child_sim
                 )
-        for (source, _target), edge_rows in state.S.items():
+        for (source, target), edge_rows in state.S.items():
             if set(edge_rows) != state.cand[source]:
                 lost = state.cand[source] - set(edge_rows)
-                raise EvaluationError(
-                    f"merged S rows incomplete for source {source!r}: "
-                    f"{len(lost)} candidate(s) have no row"
-                )
+                if not allow_missing:
+                    raise EvaluationError(
+                        f"merged S rows incomplete for source {source!r}: "
+                        f"{len(lost)} candidate(s) have no row"
+                    )
+                for data_node in lost:
+                    state.S[(source, target)][data_node] = {}
+                    state.cnt[(source, target)][data_node] = 0
         state._initial_refinement()
         return state
 
@@ -365,12 +462,12 @@ class BoundedState:
     # construction
     # ------------------------------------------------------------------
     def _build_successor_sets(
-        self, frozen: FrozenGraph | None = None, oracle=None
+        self, frozen: FrozenGraph | None = None, oracle=None, guard=None
     ) -> None:
         if frozen is not None and self._reach_index is None:
             # A reach index outranks the snapshot: its reaches are already
             # materialized dicts, so the frozen kernels have nothing to add.
-            self._build_successor_sets_frozen(frozen, oracle=oracle)
+            self._build_successor_sets_frozen(frozen, oracle=oracle, guard=guard)
             return
         for source_pattern in self.pattern.nodes():
             out_edges = list(self.pattern.out_edges(source_pattern))
@@ -378,11 +475,19 @@ class BoundedState:
                 continue
             depth = self._bfs_depth(bound for _, bound in out_edges)
             for data_node in self.cand[source_pattern]:
+                if guard is not None and guard.should_stop():
+                    # Sound early stop: unvisited candidates get empty rows
+                    # (cnt 0), so the removal fixpoint prunes them — the
+                    # surviving relation shrinks, never grows.
+                    self._fill_entries(source_pattern, data_node, {})
+                    continue
                 reach = self._reach(data_node, depth)
+                if guard is not None:
+                    guard.charge(len(reach))
                 self._fill_entries(source_pattern, data_node, reach)
 
     def _build_successor_sets_frozen(
-        self, frozen: FrozenGraph, oracle=None
+        self, frozen: FrozenGraph, oracle=None, guard=None
     ) -> None:
         """S/R/cnt from the int-indexed kernels, converted back to labels."""
         ids = frozen.ids()
@@ -399,6 +504,7 @@ class BoundedState:
             candidate_ids,
             oracle=oracle,
             kernel_log=self.kernels,
+            guard=guard,
         )
         for edge, edge_rows in rows.items():
             entries_of = self.S[edge]
@@ -612,6 +718,8 @@ def match_bounded(
     candidates: dict[str, set[NodeId]] | None = None,
     frozen: FrozenGraph | None = None,
     oracle=None,
+    budget=None,
+    guard=None,
 ) -> MatchResult:
     """Compute ``M(Q,G)`` under bounded simulation.
 
@@ -631,6 +739,15 @@ def match_bounded(
     selective pattern edges to pairwise label merges; the chosen kernel
     per edge lands in ``stats["kernels"]``.
 
+    A ``budget`` (:class:`~repro.engine.estimator.QueryBudget`) guards the
+    evaluation: kernels charge node visits against it, a blown limit
+    either raises :class:`~repro.errors.BudgetExceededError` or — with
+    ``allow_partial=True`` — degrades to a *sound subset* of the exact
+    relation flagged ``stats["partial"] = True`` with the tripped guard in
+    ``stats["guard"]``.  Callers that already own a
+    :class:`~repro.engine.estimator.QueryGuard` (the parallel executor's
+    shard workers share one counter) pass ``guard`` instead.
+
     >>> from repro.graph.digraph import Graph
     >>> from repro.pattern.pattern import Pattern
     >>> g = Graph.from_edges(
@@ -643,6 +760,10 @@ def match_bounded(
     [('X', 'a'), ('Y', 'b')]
     """
     watch = Stopwatch()
+    if guard is None and budget is not None and budget.is_limited:
+        from repro.engine.estimator import QueryGuard
+
+        guard = QueryGuard(budget)
     state = BoundedState(
         graph,
         pattern,
@@ -651,6 +772,7 @@ def match_bounded(
         candidates=candidates,
         frozen=frozen,
         oracle=oracle,
+        guard=guard,
     )
     relation = state.relation()
     if candidates is not None:
@@ -667,4 +789,6 @@ def match_bounded(
             f"{edge[0]}->{edge[1]}": route.kernel
             for edge, route in state.kernels.items()
         }
+    if guard is not None:
+        stats.update(guard.stats())
     return MatchResult(graph, pattern, relation, stats=stats, state=state)

@@ -350,3 +350,96 @@ class TestOracle:
         code = main(["oracle", "--graph", graph_file, "--workers", "0"])
         assert code == 2
         assert "--workers" in capsys.readouterr().err
+
+
+class TestBudgetFlags:
+    """--budget/--time-limit/--allow-partial on query, batch and topk."""
+
+    @pytest.fixture
+    def hub_graph_file(self, tmp_path):
+        from repro.graph.generators import twitter_like_graph
+
+        return str(save_graph(twitter_like_graph(300, seed=3), tmp_path / "hub.json"))
+
+    @pytest.fixture
+    def bomb_file(self, tmp_path):
+        bomb = tmp_path / "bomb.pattern"
+        bomb.write_text(
+            "node A*\nnode B\nnode C\n"
+            "edge A -> B : *\nedge B -> C : *\nedge C -> A : *\n"
+        )
+        return str(bomb)
+
+    def test_query_partial_note_and_estimates(self, hub_graph_file, bomb_file, capsys):
+        code = main([
+            "query", "--graph", hub_graph_file, "--pattern", bomb_file,
+            "--budget", "500", "--allow-partial", "--explain",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1  # partial bomb: no full match
+        assert "budget: 500 node visits" in out
+        assert "estimate: edge A->B:" in out
+        assert "note: partial result — node-budget guard tripped" in out
+
+    def test_query_hard_budget_is_error(self, hub_graph_file, bomb_file, capsys):
+        code = main([
+            "query", "--graph", hub_graph_file, "--pattern", bomb_file,
+            "--budget", "500",
+        ])
+        assert code == 2
+        assert "node-budget" in capsys.readouterr().err
+
+    def test_generous_budget_matches_unguarded(self, graph_file, pattern_file, capsys):
+        assert main(["query", "--graph", graph_file, "--pattern", pattern_file]) == 0
+        plain_out = capsys.readouterr().out
+        code = main([
+            "query", "--graph", graph_file, "--pattern", pattern_file,
+            "--budget", "1000000000", "--time-limit", "3600",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "note: partial" not in out
+        assert plain_out.strip().splitlines()[-1] in out
+
+    def test_budget_flag_validation(self, graph_file, pattern_file, capsys):
+        assert main([
+            "query", "--graph", graph_file, "--pattern", pattern_file,
+            "--budget", "0",
+        ]) == 2
+        assert "--budget/--time-limit" in capsys.readouterr().err
+        assert main([
+            "query", "--graph", graph_file, "--pattern", pattern_file,
+            "--time-limit", "-1",
+        ]) == 2
+        assert "--budget/--time-limit" in capsys.readouterr().err
+        assert main([
+            "query", "--graph", graph_file, "--pattern", pattern_file,
+            "--allow-partial",
+        ]) == 2
+        assert "--allow-partial needs" in capsys.readouterr().err
+
+    def test_batch_marks_partial_queries(self, hub_graph_file, bomb_file, capsys):
+        code = main([
+            "batch", "--graph", hub_graph_file, "--pattern", bomb_file,
+            "--budget", "500", "--allow-partial",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "[partial: node-budget]" in out
+
+    def test_topk_with_budget_runs(self, graph_file, pattern_file, capsys):
+        code = main([
+            "topk", "--graph", graph_file, "--pattern", pattern_file,
+            "-k", "2", "--budget", "1000000000",
+        ])
+        assert code == 0
+        assert "Bob" in capsys.readouterr().out
+
+    def test_query_workers_with_budget(self, hub_graph_file, bomb_file, capsys):
+        code = main([
+            "query", "--graph", hub_graph_file, "--pattern", bomb_file,
+            "--workers", "2", "--budget", "500", "--allow-partial",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "note: partial result" in out

@@ -219,6 +219,76 @@ def test_oracle_kernel_equals_enumeration_kernels(seed, monkeypatch):
     via_oracle._state.check_invariants()
 
 
+# ----------------------------------------------------------------------
+# guard differential: a generous budget must change nothing, ever
+# ----------------------------------------------------------------------
+#
+# Guarded evaluation swaps the planner's analytic frontier for sampled
+# estimates and threads charge/should_stop checks through every kernel —
+# none of which may perturb the answer when the budget never trips.  The
+# full seed sweep (60 bounded + 60 simulation + 6 engine + 1 batch = 127
+# cases) is repeated with a budget no test-sized case can blow.
+
+GENEROUS_BUDGET_VISITS = 10**9
+
+
+def generous_budget():
+    from repro.engine.estimator import QueryBudget
+
+    return QueryBudget(node_visits=GENEROUS_BUDGET_VISITS, allow_partial=True)
+
+
+@pytest.mark.parametrize("seed", BOUNDED_SEEDS, ids=lambda s: f"seed{s}")
+def test_guarded_equals_unguarded_bounded(seed):
+    graph, pattern = random_case(seed)
+    sequential = sequential_result(graph, pattern)
+    guarded = match_bounded(graph, pattern, budget=generous_budget())
+    assert_identical(seed, guarded, sequential)
+    assert guarded.stats["partial"] is False, (
+        f"seed {seed}: a {GENEROUS_BUDGET_VISITS}-visit budget tripped"
+    )
+
+
+@pytest.mark.parametrize("seed", SIMULATION_SEEDS, ids=lambda s: f"seed{s}")
+def test_guarded_equals_unguarded_simulation(seed):
+    """All-bounds-1 patterns through the *bounded* matcher under guard."""
+    graph, pattern = random_case(seed, simulation_only=True)
+    guarded = match_bounded(graph, pattern, budget=generous_budget())
+    assert_identical(seed, guarded, match_simulation(graph, pattern))
+    assert guarded.stats["partial"] is False
+
+
+@pytest.mark.parametrize("seed", ENGINE_SEEDS, ids=lambda s: f"seed{s}")
+def test_engine_guarded_workers_equals_sequential(seed):
+    """Budget + sharded workers + generous limits = the sequential answer."""
+    graph, pattern = random_case(seed)
+    engine = QueryEngine()
+    engine.register_graph("g", graph)
+    kwargs = dict(use_cache=False, cache_result=False)
+    sequential = engine.evaluate("g", pattern, **kwargs)
+    guarded = engine.evaluate(
+        "g", pattern, budget=generous_budget(), workers=2, **kwargs
+    )
+    assert_identical(seed, guarded, sequential)
+    assert not guarded.stats.get("partial")
+
+
+def test_engine_batch_guarded_equals_unguarded():
+    cases = [random_case(seed) for seed in range(8)]
+    graph = cases[0][0]
+    patterns = [pattern for _graph, pattern in cases]
+    engine = QueryEngine()
+    engine.register_graph("g", graph)
+    kwargs = dict(use_cache=False, cache_result=False)
+    unguarded = engine.evaluate_many("g", patterns, **kwargs)
+    guarded = engine.evaluate_many(
+        "g", patterns, budget=generous_budget(), **kwargs
+    )
+    for seed, (plain, limited) in enumerate(zip(unguarded, guarded)):
+        assert_identical(seed, limited, plain)
+        assert not limited.stats.get("partial")
+
+
 @pytest.mark.parametrize("seed", range(6), ids=lambda s: f"seed{s}")
 def test_engine_oracle_equals_plain_evaluation(seed):
     """enable_oracle() changes kernels, never results (engine level)."""

@@ -437,7 +437,7 @@ class TestParallelMatching:
             if payload[4] is not None:
                 carried_a_slice = True
                 assert payload[4].edges  # parent-routed edges travel along
-            rows = _shard_rows(payload)
+            rows, _info = _shard_rows(payload)
             for edge, row in rows.items():
                 merged.setdefault(edge, {}).update(row)
         monkeypatch.setattr(planner, "kernel_costs", original)
@@ -455,7 +455,7 @@ class TestParallelMatching:
                         frozen.ids(), candidates, pattern, shards
                     ),
                 )
-                for edge, row in _shard_rows(plain_payload).items():
+                for edge, row in _shard_rows(plain_payload)[0].items():
                     reference.setdefault(edge, {}).update(row)
         finally:
             _set_shared_frozen(None)
