@@ -167,6 +167,38 @@ def _build_parser() -> argparse.ArgumentParser:
     compress_cmd.add_argument("--out", default=None, help="write the quotient graph JSON")
     compress_cmd.set_defaults(handler=_cmd_compress)
 
+    snapshot = sub.add_parser(
+        "snapshot",
+        help="persist frozen snapshots (and oracles) as mmap-ready binary files",
+    )
+    snap_sub = snapshot.add_subparsers(dest="snapshot_command", required=True)
+    snap_save = snap_sub.add_parser(
+        "save", help="freeze a graph into a store's binary snapshot catalogue"
+    )
+    snap_save.add_argument("--graph", required=True, help="graph JSON file")
+    snap_save.add_argument("--store", required=True, help="store root directory")
+    snap_save.add_argument("--name", default=None,
+                           help="store name (default: the graph file's stem)")
+    snap_save.add_argument("--oracle", action="store_true",
+                           help="also build and persist the distance oracle")
+    snap_save.add_argument("--oracle-cap", type=int, default=None, metavar="DEPTH",
+                           help="exact-distance cap for the oracle build")
+    snap_save.add_argument("--workers", type=int, default=1,
+                           help="worker processes for the oracle build")
+    snap_save.set_defaults(handler=_cmd_snapshot_save)
+    snap_load = snap_sub.add_parser(
+        "load", help="mmap a stored snapshot back and verify it"
+    )
+    snap_load.add_argument("--store", required=True, help="store root directory")
+    snap_load.add_argument("--name", required=True, help="snapshot name")
+    snap_load.set_defaults(handler=_cmd_snapshot_load)
+    snap_info = snap_sub.add_parser(
+        "info", help="print a stored snapshot's header and section layout"
+    )
+    snap_info.add_argument("--store", required=True, help="store root directory")
+    snap_info.add_argument("--name", required=True, help="snapshot name")
+    snap_info.set_defaults(handler=_cmd_snapshot_info)
+
     demo = sub.add_parser("demo", help="walk through the paper's Examples 1-3")
     demo.set_defaults(handler=_cmd_demo)
     return parser
@@ -447,6 +479,93 @@ def _cmd_oracle(args: argparse.Namespace) -> int:
         return 0
     finally:
         engine.close()
+
+
+def _cmd_snapshot_save(args: argparse.Namespace) -> int:
+    """Freeze a graph (and optionally its oracle) into a store's catalogue.
+
+    Also persists the graph JSON under the same name: reloading that JSON
+    reproduces the same deterministic ``Graph.version``, which is what
+    later loads (and engine cache fault-ins) validate the binary snapshot
+    against.
+    """
+    from repro.engine.engine import QueryEngine
+    from repro.engine.storage import GraphStore
+
+    workers = _check_workers(args.workers)
+    graph = load_graph(args.graph)
+    name = args.name if args.name is not None else Path(args.graph).stem
+    engine = QueryEngine(store=GraphStore(args.store))
+    engine.register_graph(name, graph)
+    try:
+        engine.persist_graph(name)
+        if args.oracle:
+            engine.enable_oracle(name, cap=args.oracle_cap)
+        paths = engine.persist_snapshot(
+            name, include_oracle=args.oracle, workers=workers
+        )
+        print(
+            f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges "
+            f"(version {graph.version})"
+        )
+        snapshot_path = paths["snapshot"]
+        print(f"snapshot: {snapshot_path} ({snapshot_path.stat().st_size} bytes)")
+        if args.oracle:
+            oracle_path = paths["oracle"]
+            print(f"oracle: {oracle_path} ({oracle_path.stat().st_size} bytes)")
+        return 0
+    finally:
+        engine.close()
+
+
+def _cmd_snapshot_load(args: argparse.Namespace) -> int:
+    """Mmap a stored snapshot, validate it, and report what came back."""
+    from repro.engine.storage import GraphStore
+
+    store = GraphStore(args.store)
+    expected = store.load_graph(args.name).version if store.has_graph(args.name) else None
+    frozen = store.load_snapshot(args.name, expected_version=expected)
+    print(
+        f"snapshot: {frozen.num_nodes} nodes, {frozen.num_edges} edges "
+        f"(source version {frozen.source_version})"
+    )
+    print(f"mapped from: {frozen.path}")
+    if expected is not None:
+        print(f"validated against stored graph {args.name!r} (version {expected})")
+    if store.has_oracle(args.name):
+        oracle = store.load_oracle(args.name, expected_version=expected)
+        cap = "*" if oracle.cap is None else oracle.cap
+        print(
+            f"oracle: cap {cap}, "
+            f"{len(oracle.out_hubs) + len(oracle.in_hubs)} label entries "
+            f"(mapped from {oracle.path})"
+        )
+    return 0
+
+
+def _cmd_snapshot_info(args: argparse.Namespace) -> int:
+    """Print header fields and section layout of stored snapshot files."""
+    from repro.engine.storage import GraphStore
+
+    store = GraphStore(args.store)
+    kinds = []
+    if store.has_snapshot(args.name):
+        kinds.append("frozen")
+    if store.has_oracle(args.name):
+        kinds.append("oracle")
+    if not kinds:
+        raise CliError(f"no stored snapshot named {args.name!r}")
+    for kind in kinds:
+        info = store.snapshot_info(args.name, kind=kind)
+        print(f"{info['kind']}: {info['path']}")
+        print(
+            f"  format v{info['format_version']}, "
+            f"source version {info['source_version']}, "
+            f"checksum {info['checksum']}, {info['file_bytes']} bytes"
+        )
+        for section, length in info["sections"]:
+            print(f"  section {section}: {length} bytes")
+    return 0
 
 
 def _cmd_topk(args: argparse.Namespace) -> int:

@@ -18,7 +18,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.errors import CacheError
+from repro.errors import CacheError, StorageError
 from repro.matching.base import MatchRelation
 from repro.pattern.pattern import Pattern
 
@@ -178,37 +178,63 @@ class SnapshotCache:
     APIs — makes the entry stale, and the next read drops it so the engine
     re-freezes the current graph.
 
+    With a ``store`` attached, a miss additionally tries to *fault in* a
+    persisted snapshot file before the caller pays a rebuild: the load is
+    validated against ``graph_version`` exactly like the in-memory entry,
+    and any :class:`StorageError` (missing, stale, corrupt) silently falls
+    back to the rebuild path — a bad file can slow things down, never
+    break them or change an answer.
+
     >>> cache = SnapshotCache(capacity=2)
     >>> cache.stats()["size"]
     0
     """
 
-    def __init__(self, capacity: int = 8) -> None:
+    def __init__(self, capacity: int = 8, store: Any = None) -> None:
         if capacity < 1:
             raise CacheError(f"capacity must be >= 1: {capacity}")
         self.capacity = capacity
+        self.store = store
         self._entries: "OrderedDict[str, SnapshotEntry]" = OrderedDict()
         self._hits = 0
         self._misses = 0
         self._stale_drops = 0
         self._invalidations = 0
         self._builds = 0
+        self._fault_ins = 0
+        self._fault_in_errors = 0
 
     def get(self, name: str, graph_version: int) -> Any | None:
         """The snapshot for ``name`` iff it matches ``graph_version``."""
         entry = self._entries.get(name)
         if entry is None:
             self._misses += 1
-            return None
+            return self._fault_in(name, graph_version)
         if entry.graph_version != graph_version:
             del self._entries[name]
             self._stale_drops += 1
             self._misses += 1
-            return None
+            return self._fault_in(name, graph_version)
         self._entries.move_to_end(name)
         entry.hits += 1
         self._hits += 1
         return entry.frozen
+
+    def _fault_in(self, name: str, graph_version: int) -> Any | None:
+        """Serve a miss from the store's snapshot file, if it checks out."""
+        if self.store is None:
+            return None
+        try:
+            if not self.store.has_snapshot(name):
+                return None
+            frozen = self.store.load_snapshot(name, expected_version=graph_version)
+        except StorageError:
+            # Stale or corrupt file: fall back to a rebuild, never fail.
+            self._fault_in_errors += 1
+            return None
+        self._fault_ins += 1
+        self._insert(name, SnapshotEntry(frozen=frozen, graph_version=graph_version))
+        return frozen
 
     def peek(self, name: str) -> SnapshotEntry | None:
         """Raw access without version checks or stats (``explain`` uses it)."""
@@ -216,9 +242,12 @@ class SnapshotCache:
 
     def put(self, name: str, frozen: Any, graph_version: int) -> SnapshotEntry:
         entry = SnapshotEntry(frozen=frozen, graph_version=graph_version)
+        self._builds += 1
+        return self._insert(name, entry)
+
+    def _insert(self, name: str, entry: SnapshotEntry) -> SnapshotEntry:
         self._entries[name] = entry
         self._entries.move_to_end(name)
-        self._builds += 1
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
         return entry
@@ -246,6 +275,8 @@ class SnapshotCache:
             "stale_drops": self._stale_drops,
             "invalidations": self._invalidations,
             "builds": self._builds,
+            "fault_ins": self._fault_ins,
+            "fault_in_errors": self._fault_in_errors,
         }
 
 
@@ -274,10 +305,11 @@ class OracleCache:
     0
     """
 
-    def __init__(self, capacity: int = 4) -> None:
+    def __init__(self, capacity: int = 4, store: Any = None) -> None:
         if capacity < 1:
             raise CacheError(f"capacity must be >= 1: {capacity}")
         self.capacity = capacity
+        self.store = store
         self._entries: "OrderedDict[str, OracleEntry]" = OrderedDict()
         self._hits = 0
         self._misses = 0
@@ -285,22 +317,52 @@ class OracleCache:
         self._invalidations = 0
         self._builds = 0
         self._refreshes = 0
+        self._fault_ins = 0
+        self._fault_in_errors = 0
 
-    def get(self, name: str, graph_version: int) -> Any | None:
-        """The oracle for ``name`` iff its recorded version matches."""
+    def get(
+        self, name: str, graph_version: int, config: "dict[str, Any] | None" = None
+    ) -> Any | None:
+        """The oracle for ``name`` iff its recorded version matches.
+
+        ``config`` (the engine's ``enable_oracle`` parameters) gates the
+        disk fault-in: a stored oracle whose distance ``cap`` differs from
+        the requested one answers different bounds, so it is skipped and
+        the caller rebuilds.
+        """
         entry = self._entries.get(name)
         if entry is None:
             self._misses += 1
-            return None
+            return self._fault_in(name, graph_version, config)
         if entry.graph_version != graph_version:
             del self._entries[name]
             self._stale_drops += 1
             self._misses += 1
-            return None
+            return self._fault_in(name, graph_version, config)
         self._entries.move_to_end(name)
         entry.hits += 1
         self._hits += 1
         return entry.oracle
+
+    def _fault_in(
+        self, name: str, graph_version: int, config: "dict[str, Any] | None"
+    ) -> Any | None:
+        """Serve a miss from the store's oracle file, if it checks out."""
+        if self.store is None:
+            return None
+        try:
+            if not self.store.has_oracle(name):
+                return None
+            oracle = self.store.load_oracle(name, expected_version=graph_version)
+        except StorageError:
+            # Stale or corrupt file: fall back to a rebuild, never fail.
+            self._fault_in_errors += 1
+            return None
+        if config is not None and oracle.cap != config.get("cap"):
+            return None
+        self._fault_ins += 1
+        self._insert(name, OracleEntry(oracle=oracle, graph_version=graph_version))
+        return oracle
 
     def peek(self, name: str) -> OracleEntry | None:
         """Raw access without version checks or stats (``explain`` uses it)."""
@@ -308,9 +370,12 @@ class OracleCache:
 
     def put(self, name: str, oracle: Any, graph_version: int) -> OracleEntry:
         entry = OracleEntry(oracle=oracle, graph_version=graph_version)
+        self._builds += 1
+        return self._insert(name, entry)
+
+    def _insert(self, name: str, entry: OracleEntry) -> OracleEntry:
         self._entries[name] = entry
         self._entries.move_to_end(name)
-        self._builds += 1
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
         return entry
@@ -348,6 +413,8 @@ class OracleCache:
             "invalidations": self._invalidations,
             "builds": self._builds,
             "refreshes": self._refreshes,
+            "fault_ins": self._fault_ins,
+            "fault_in_errors": self._fault_in_errors,
         }
 
 

@@ -117,11 +117,11 @@ class QueryEngine:
         # Frozen CSR snapshots, one per graph, built on the first direct
         # evaluation and reused by every traversal kernel (matchers, ball
         # decomposition, shard shipping) until the graph's version moves.
-        self._snapshots = SnapshotCache(capacity=snapshot_cache_capacity)
+        self._snapshots = SnapshotCache(capacity=snapshot_cache_capacity, store=store)
         # Distance oracles (landmark labels over the snapshots), for graphs
         # with the oracle enabled; they survive distance-preserving update
         # batches and are rebuilt lazily after structural ones.
-        self._oracles = OracleCache(capacity=oracle_cache_capacity)
+        self._oracles = OracleCache(capacity=oracle_cache_capacity, store=store)
         # One executor per worker count, alive across calls (released by
         # close()).  Pool reuse only helps the ball-subgraph sharded path;
         # the shared-graph and batch-farming paths fork a fresh pool per
@@ -307,7 +307,9 @@ class QueryEngine:
         """The cached oracle for a graph's current version (or build it)."""
         if entry.oracle_config is None:
             return None
-        oracle = self._oracles.get(entry.name, entry.graph.version)
+        oracle = self._oracles.get(
+            entry.name, entry.graph.version, config=entry.oracle_config
+        )
         if oracle is None:
             frozen = self._frozen_snapshot(entry)
             if workers > 1:
@@ -1176,6 +1178,40 @@ class QueryEngine:
         if self.store is None:
             raise EvaluationError("engine has no file store configured")
         self.store.save_graph(name, self._entry(name).graph)
+
+    def persist_snapshot(
+        self,
+        name: str,
+        include_oracle: bool = False,
+        workers: int | None = None,
+    ) -> dict[str, Any]:
+        """Persist a graph's frozen snapshot (and optionally its oracle).
+
+        Freezes the graph's current version if no warm snapshot exists,
+        writes the binary snapshot file into the store's catalogue, and —
+        with ``include_oracle=True`` (requires :meth:`enable_oracle`
+        first; ``workers`` fans out the build) — the oracle labeling too.
+        A later engine pointed at the same store faults both back in via
+        ``mmap`` instead of rebuilding, as long as the registered graph is
+        at the same version.  Returns ``{"snapshot": path}`` plus
+        ``{"oracle": path}`` when included.
+        """
+        if self.store is None:
+            raise EvaluationError("engine has no file store configured")
+        entry = self._entry(name)
+        paths: dict[str, Any] = {
+            "snapshot": self.store.save_snapshot(
+                name, self._frozen_snapshot(entry)
+            )
+        }
+        if include_oracle:
+            oracle = self._oracle_for(entry, workers=validate_workers(workers))
+            if oracle is None:
+                raise EvaluationError(
+                    f"oracle not enabled for graph {name!r}; call enable_oracle() first"
+                )
+            paths["oracle"] = self.store.save_oracle(name, oracle)
+        return paths
 
     def __repr__(self) -> str:
         return f"<QueryEngine graphs={self.graphs()}>"

@@ -47,6 +47,7 @@ from __future__ import annotations
 import multiprocessing
 import time
 from array import array
+from pathlib import Path
 from typing import Any, Sequence
 
 from repro.engine.estimator import GUARD_TIME_LIMIT, QueryBudget, QueryGuard
@@ -112,6 +113,41 @@ def _set_shared_frozen(
     global _shared_frozen, _shared_oracle
     _shared_frozen = frozen
     _shared_oracle = oracle
+
+
+def _shipment(
+    frozen: FrozenGraph, oracle: DistanceOracle | None
+) -> tuple[Any, Any]:
+    """``(frozen, oracle)`` as a spawn pool initializer should receive them.
+
+    Store-loaded objects record their backing snapshot file in ``.path``;
+    shipping that path lets every worker ``mmap`` the same pages — shared
+    RSS, no per-worker pickle of the buffers.  Objects built in-process
+    have no file and ship as pickled (attribute-less) flat buffers.
+    """
+    shipped_frozen: Any = (
+        frozen.path if frozen.path is not None else frozen.without_attrs()
+    )
+    shipped_oracle: Any = (
+        oracle if oracle is None or oracle.path is None else oracle.path
+    )
+    return shipped_frozen, shipped_oracle
+
+
+def _resolve_shipped(frozen: Any, oracle: Any) -> tuple[Any, Any]:
+    """Worker-side inverse of :func:`_shipment`: map file paths back in."""
+    from repro.engine.storage import load_frozen_file, load_oracle_file
+
+    if isinstance(frozen, (str, Path)):
+        frozen = load_frozen_file(frozen)
+    if isinstance(oracle, (str, Path)):
+        oracle = load_oracle_file(oracle)
+    return frozen, oracle
+
+
+def _init_shared_worker(frozen: Any, oracle: Any = None) -> None:
+    # Runs inside spawn-started pool workers (invisible to coverage).
+    _set_shared_frozen(*_resolve_shipped(frozen, oracle))  # pragma: no cover
 
 
 # Guard state for sharded workers: either a live QueryGuard (inline runs —
@@ -201,6 +237,7 @@ def _init_batch_worker(
     budget: "QueryBudget | None" = None,
 ) -> None:
     global _batch_graph, _batch_table, _batch_frozen, _batch_oracle, _batch_budget
+    frozen, oracle = _resolve_shipped(frozen, oracle)
     _batch_graph = graph
     _batch_table = table
     _batch_frozen = frozen
@@ -209,13 +246,13 @@ def _init_batch_worker(
 
 
 def _init_guarded_worker(
-    frozen: FrozenGraph | None,
-    oracle: DistanceOracle | None,
+    frozen: Any,
+    oracle: Any,
     budget: "QueryBudget",
     counter,
     deadline: float | None,
-) -> None:  # pragma: no cover - non-fork platforms
-    _set_shared_frozen(frozen, oracle)
+) -> None:  # pragma: no cover - runs in spawn workers
+    _set_shared_frozen(*_resolve_shipped(frozen, oracle))
     _set_shard_guard((budget, counter, deadline))
 
 
@@ -634,13 +671,11 @@ class ParallelExecutor:
         try:
             if self._ctx.get_start_method() == "fork":
                 pool = self._ctx.Pool(self.workers)
-            else:  # pragma: no cover - non-fork platforms
+            else:
                 pool = self._ctx.Pool(
                     self.workers,
                     initializer=_init_guarded_worker,
-                    initargs=(
-                        frozen.without_attrs(), oracle, budget, counter, deadline
-                    ),
+                    initargs=(*_shipment(frozen, oracle), budget, counter, deadline),
                 )
             iterator = pool.imap_unordered(_shard_rows, payloads)
             for _ in payloads:
@@ -700,12 +735,13 @@ class ParallelExecutor:
         try:
             if self._ctx.get_start_method() == "fork":
                 pool = self._ctx.Pool(self.workers)
-            else:  # pragma: no cover - non-fork platforms
-                # Workers only traverse: ship the adjacency-only twin.
+            else:
+                # Workers only traverse: ship the adjacency-only twin —
+                # or just the file path when the snapshot is mmap-backed.
                 pool = self._ctx.Pool(
                     self.workers,
-                    initializer=_set_shared_frozen,
-                    initargs=(frozen.without_attrs(), oracle),
+                    initializer=_init_shared_worker,
+                    initargs=_shipment(frozen, oracle),
                 )
             with pool:
                 return pool.map(_shard_rows, payloads)
@@ -841,19 +877,18 @@ class ParallelExecutor:
                 # nothing to pickle.
                 _init_batch_worker(graph, table, frozen, oracle, budget)
                 pool = self._ctx.Pool(self.workers)
-            else:  # pragma: no cover - non-fork platforms
+            else:
                 # Matchers in workers get candidates from the table, so
-                # the snapshot ships without its attribute columns.
+                # the snapshot ships without its attribute columns (or as
+                # its backing file path when mmap-backed).
+                if frozen is None:
+                    shipped_frozen = shipped_oracle = None
+                else:
+                    shipped_frozen, shipped_oracle = _shipment(frozen, oracle)
                 pool = self._ctx.Pool(
                     self.workers,
                     initializer=_init_batch_worker,
-                    initargs=(
-                        graph,
-                        table,
-                        None if frozen is None else frozen.without_attrs(),
-                        oracle,
-                        budget,
-                    ),
+                    initargs=(graph, table, shipped_frozen, shipped_oracle, budget),
                 )
             with pool:
                 return pool.map(_batch_query, list(tasks))

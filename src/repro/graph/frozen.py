@@ -55,6 +55,17 @@ from repro.errors import GraphError
 from repro.graph.digraph import Edge, Graph, NodeId
 
 
+def _own_buffer(buffer: Any) -> array:
+    """``buffer`` as an ``array('q')`` that owns its memory.
+
+    Store-loaded snapshots hold int64 ``memoryview`` casts over an mmap;
+    those cannot pickle (and must not — the receiving process has no
+    mapping), so pickling materializes them.  Already-owned arrays pass
+    through untouched.
+    """
+    return buffer if isinstance(buffer, array) else array("q", buffer)
+
+
 class FrozenGraph:
     """An immutable CSR snapshot of a :class:`~repro.graph.digraph.Graph`.
 
@@ -77,10 +88,12 @@ class FrozenGraph:
         "in_offsets",
         "in_targets",
         "_columns",
+        "_columns_packed",
         "_values",
         "_ids",
         "_succ_sets",
         "_pred_sets",
+        "path",
     )
 
     def __init__(
@@ -103,11 +116,18 @@ class FrozenGraph:
         self.in_offsets = in_offsets
         self.in_targets = in_targets
         self._columns = columns
+        # Store-loaded snapshots keep the columns packed as paired
+        # (node index, value id) int64 sections until first attribute
+        # access, so loading is O(1) in attribute count.
+        self._columns_packed: dict[str, tuple[Any, Any]] | None = None
         self._values = values
         # Derived structures; rebuilt lazily, excluded from pickles.
         self._ids: dict[NodeId, int] | None = None
         self._succ_sets: tuple[frozenset[int], ...] | None = None
         self._pred_sets: tuple[frozenset[int], ...] | None = None
+        # Backing snapshot file when loaded via the store (mmap views);
+        # lets the parallel executor ship the path instead of the buffers.
+        self.path: Any = None
 
     # ------------------------------------------------------------------
     # construction
@@ -206,7 +226,7 @@ class FrozenGraph:
             # Re-pool values so a pickled sub-snapshot carries only what
             # its own nodes reference, not the parent's whole pool.
             value_remap: dict[int, int] = {}
-            for attr, column in self._columns.items():
+            for attr, column in self._column_dicts().items():
                 sub_column: dict[int, int] = {}
                 for old, value_id in column.items():
                     if mask[old]:
@@ -244,9 +264,9 @@ class FrozenGraph:
         never read attributes, so pickling the columns and value pool
         would be dead weight on spawn-start platforms.
         """
-        if not self._columns and not self._values:
+        if not self._columns and not self._columns_packed and not self._values:
             return self
-        return FrozenGraph(
+        twin = FrozenGraph(
             self.name,
             self.source_version,
             self.labels,
@@ -257,6 +277,8 @@ class FrozenGraph:
             {},
             [],
         )
+        twin.path = self.path
+        return twin
 
     # ------------------------------------------------------------------
     # inspection
@@ -333,13 +355,22 @@ class FrozenGraph:
         source_id = self.id_of(source)
         return self.id_of(target) in self.successor_sets()[source_id]
 
+    def _column_dicts(self) -> dict[str, dict[int, int]]:
+        """``attr -> {node index: value id}``, unpacked from sections lazily."""
+        if self._columns is None:
+            self._columns = {
+                attr: dict(zip(indices.tolist(), value_ids.tolist()))
+                for attr, (indices, value_ids) in (self._columns_packed or {}).items()
+            }
+        return self._columns
+
     def node_attrs(self, node: NodeId) -> dict[str, Any]:
         """A fresh attribute dict for ``node`` (column order, not original)."""
         index = self.id_of(node)
         values = self._values
         return {
             attr: values[column[index]]
-            for attr, column in self._columns.items()
+            for attr, column in self._column_dicts().items()
             if index in column
         }
 
@@ -398,7 +429,7 @@ class FrozenGraph:
         """Reconstruct an equal :class:`Graph` (labels, edges, attributes)."""
         values = self._values
         attr_rows: list[dict[str, Any]] = [{} for _ in self.labels]
-        for attr, column in self._columns.items():
+        for attr, column in self._column_dicts().items():
             for index, value_id in column.items():
                 attr_rows[index][attr] = values[value_id]
         graph = Graph(name=self.name if name is None else name)
@@ -411,18 +442,108 @@ class FrozenGraph:
         return graph
 
     # ------------------------------------------------------------------
-    # pickling (derived views never travel)
+    # flat-buffer codec (binary snapshot files)
+    # ------------------------------------------------------------------
+    def _packed_labels(self) -> array | None:
+        """The labels as one int64 buffer, or None when not purely ints."""
+        if not all(type(label) is int for label in self.labels):
+            return None
+        try:
+            return array("q", self.labels)
+        except OverflowError:  # labels beyond int64 stay in the metadata
+            return None
+
+    def to_buffers(self) -> tuple[dict[str, Any], list[tuple[str, Any]]]:
+        """Split the snapshot into JSON-ready metadata and flat buffers.
+
+        The buffer list carries the four CSR arrays as ``(section,
+        buffer)`` pairs, plus one ``labels`` section when every node id is
+        a plain int (the common case for generated graphs — JSON-encoding
+        and re-parsing millions of int labels would dominate an otherwise
+        O(1) load) and one ``col<i>.idx`` / ``col<i>.val`` section pair
+        per attribute column.  The metadata dict carries the rest: name,
+        the interned value pool, the column attribute names in section
+        order, and — only for graphs with non-int node ids — the labels
+        themselves.  :meth:`from_buffers` inverts this over either
+        materialized arrays or zero-copy mmap views.
+        """
+        buffers = [
+            ("out_offsets", self.out_offsets),
+            ("out_targets", self.out_targets),
+            ("in_offsets", self.in_offsets),
+            ("in_targets", self.in_targets),
+        ]
+        labels_buffer = self._packed_labels()
+        if labels_buffer is not None:
+            buffers.append(("labels", labels_buffer))
+        if self._columns is None and self._columns_packed is not None:
+            packed = self._columns_packed  # never unpacked: reuse verbatim
+        else:
+            packed = {
+                attr: (array("q", column.keys()), array("q", column.values()))
+                for attr, column in self._column_dicts().items()
+            }
+        for ordinal, pair in enumerate(packed.values()):
+            buffers.append((f"col{ordinal}.idx", pair[0]))
+            buffers.append((f"col{ordinal}.val", pair[1]))
+        meta = {
+            "name": self.name,
+            "labels": None if labels_buffer is not None else list(self.labels),
+            "columns": list(packed),
+            "values": list(self._values),
+        }
+        return meta, buffers
+
+    @classmethod
+    def from_buffers(
+        cls,
+        source_version: int,
+        meta: dict[str, Any],
+        buffers: dict[str, Any],
+    ) -> "FrozenGraph":
+        """Rebuild from :meth:`to_buffers` output.
+
+        ``buffers`` values may be ``array('q')`` objects or int64
+        ``memoryview`` casts over an mmap — the kernels only ever index,
+        slice and ``tolist()`` them, so views are served as-is (zero
+        copy).  Attribute columns stay packed until first access, so this
+        is O(num_nodes) at worst (int label decode) and O(1) beyond that.
+        """
+        if meta["labels"] is None:
+            labels = tuple(buffers["labels"].tolist())
+        else:
+            labels = tuple(meta["labels"])
+        frozen = cls(
+            meta["name"],
+            source_version,
+            labels,
+            buffers["out_offsets"],
+            buffers["out_targets"],
+            buffers["in_offsets"],
+            buffers["in_targets"],
+            {},
+            list(meta["values"]),
+        )
+        frozen._columns = None
+        frozen._columns_packed = {
+            attr: (buffers[f"col{ordinal}.idx"], buffers[f"col{ordinal}.val"])
+            for ordinal, attr in enumerate(meta["columns"])
+        }
+        return frozen
+
+    # ------------------------------------------------------------------
+    # pickling (derived views never travel; mmap views materialize)
     # ------------------------------------------------------------------
     def __getstate__(self) -> tuple:
         return (
             self.name,
             self.source_version,
             self.labels,
-            self.out_offsets,
-            self.out_targets,
-            self.in_offsets,
-            self.in_targets,
-            self._columns,
+            _own_buffer(self.out_offsets),
+            _own_buffer(self.out_targets),
+            _own_buffer(self.in_offsets),
+            _own_buffer(self.in_targets),
+            self._column_dicts(),
             self._values,
         )
 
@@ -438,9 +559,11 @@ class FrozenGraph:
             self._columns,
             self._values,
         ) = state
+        self._columns_packed = None
         self._ids = None
         self._succ_sets = None
         self._pred_sets = None
+        self.path = None
 
     def __repr__(self) -> str:
         label = f" {self.name!r}" if self.name else ""

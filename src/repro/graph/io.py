@@ -12,14 +12,58 @@ in-memory graphs may use any hashable id.
 
 from __future__ import annotations
 
+import contextlib
 import json
+import os
+import tempfile
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterable
 
 from repro.errors import StorageError
 from repro.graph.digraph import Graph
 
 FORMAT_VERSION = 1
+
+
+def _atomic_write(path: Path, mode: str, write: Any) -> Path:
+    """Durable write: temp file in the target directory, then ``os.replace``.
+
+    A crash (or raised exception) mid-write can never leave a truncated
+    file under the final name — the previously-good file, if any, stays
+    untouched until the replace, and the replace is atomic because the
+    temp file lives on the same filesystem.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, mode) as handle:
+            write(handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise
+    return path
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Atomically replace ``path`` with ``text`` (see :func:`_atomic_write`)."""
+    return _atomic_write(Path(path), "w", lambda handle: handle.write(text))
+
+
+def atomic_write_bytes(path: str | Path, chunks: Iterable[bytes]) -> Path:
+    """Atomically replace ``path`` with the concatenation of ``chunks``."""
+
+    def write(handle: Any) -> None:
+        for chunk in chunks:
+            handle.write(chunk)
+
+    return _atomic_write(Path(path), "wb", write)
 
 
 def graph_to_dict(graph: Graph) -> dict[str, Any]:
@@ -60,10 +104,9 @@ def graph_from_dict(payload: dict[str, Any]) -> Graph:
 
 def save_graph(graph: Graph, path: str | Path) -> Path:
     """Write ``graph`` as JSON to ``path``; returns the path written."""
-    target = Path(path)
-    target.parent.mkdir(parents=True, exist_ok=True)
-    target.write_text(json.dumps(graph_to_dict(graph), indent=2, sort_keys=False))
-    return target
+    return atomic_write_text(
+        Path(path), json.dumps(graph_to_dict(graph), indent=2, sort_keys=False)
+    )
 
 
 def load_graph(path: str | Path) -> Graph:
@@ -80,11 +123,8 @@ def load_graph(path: str | Path) -> Graph:
 
 def save_edgelist(graph: Graph, path: str | Path) -> Path:
     """Write a tab-separated ``source<TAB>target`` edge list."""
-    target = Path(path)
-    target.parent.mkdir(parents=True, exist_ok=True)
     lines = [f"{source}\t{dest}" for source, dest in graph.edges()]
-    target.write_text("\n".join(lines) + ("\n" if lines else ""))
-    return target
+    return atomic_write_text(Path(path), "\n".join(lines) + ("\n" if lines else ""))
 
 
 def load_edgelist(path: str | Path, name: str = "") -> Graph:

@@ -64,7 +64,7 @@ from array import array
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.errors import GraphError
-from repro.graph.frozen import FrozenGraph
+from repro.graph.frozen import FrozenGraph, _own_buffer
 
 #: Landmarks processed sequentially (phase one) before the parallel phase.
 #: More top landmarks mean better pruning (smaller labels, cheaper phase
@@ -262,6 +262,29 @@ def _pack_labels(
     return offsets, hubs, dists
 
 
+def _pack_reach(reach: Sequence[frozenset[int]]) -> tuple[array, array]:
+    """Reach rows (frozensets) into CSR ``(offsets, hubs)`` arrays.
+
+    Rows are written sorted so the file bytes are deterministic; set
+    semantics make the order irrelevant on the way back in.
+    """
+    offsets = array("q", [0])
+    hubs = array("q")
+    for row in reach:
+        hubs.extend(sorted(row))
+        offsets.append(len(hubs))
+    return offsets, hubs
+
+
+def _unpack_reach(offsets: Any, hubs: Any) -> tuple[frozenset[int], ...]:
+    """Invert :func:`_pack_reach` (accepts arrays or mmap views)."""
+    flat = hubs.tolist()
+    return tuple(
+        frozenset(flat[offsets[index] : offsets[index + 1]])
+        for index in range(len(offsets) - 1)
+    )
+
+
 class _LabelRows:
     """Shared row-access mixin for the full oracle and shipped slices.
 
@@ -446,12 +469,14 @@ class DistanceOracle(_LabelRows):
         "in_offsets",
         "in_hubs",
         "in_dists",
-        "reach_out",
-        "reach_in",
+        "_reach_out",
+        "_reach_in",
+        "_reach_packed",
         "_first_label",
         "_last_label",
         "rows_filled",
         "point_queries",
+        "path",
     )
 
     def __init__(
@@ -465,8 +490,8 @@ class DistanceOracle(_LabelRows):
         build_seconds: float,
         out_labels: tuple[array, array, array],
         in_labels: tuple[array, array, array],
-        reach_out: tuple[frozenset[int], ...],
-        reach_in: tuple[frozenset[int], ...],
+        reach_out: tuple[frozenset[int], ...] | None,
+        reach_in: tuple[frozenset[int], ...] | None,
         first_label: Any,
         last_label: Any,
     ) -> None:
@@ -479,12 +504,19 @@ class DistanceOracle(_LabelRows):
         self.build_seconds = build_seconds
         self.out_offsets, self.out_hubs, self.out_dists = out_labels
         self.in_offsets, self.in_hubs, self.in_dists = in_labels
-        self.reach_out = reach_out
-        self.reach_in = reach_in
+        # Reach rows are frozensets in memory but CSR arrays on disk;
+        # store-loaded oracles keep the packed form (``_reach_packed``,
+        # set by :meth:`from_buffers`) and materialize lazily so a load
+        # stays O(1) — see the ``reach_out``/``reach_in`` properties.
+        self._reach_out = reach_out
+        self._reach_in = reach_in
+        self._reach_packed: tuple | None = None
         self._first_label = first_label
         self._last_label = last_label
         self.rows_filled = 0
         self.point_queries = 0
+        # Backing snapshot file when loaded via the store (see FrozenGraph.path).
+        self.path: Any = None
 
     # ------------------------------------------------------------------
     # construction
@@ -596,6 +628,23 @@ class DistanceOracle(_LabelRows):
         from repro.incremental.updates import AttributeUpdate, NodeInsertion
 
         return isinstance(update, (AttributeUpdate, NodeInsertion))
+
+    # ------------------------------------------------------------------
+    # reach closure (lazy when loaded from a snapshot file)
+    # ------------------------------------------------------------------
+    @property
+    def reach_out(self) -> tuple[frozenset[int], ...]:
+        if self._reach_out is None:
+            offsets, hubs = self._reach_packed[0]
+            self._reach_out = _unpack_reach(offsets, hubs)
+        return self._reach_out
+
+    @property
+    def reach_in(self) -> tuple[frozenset[int], ...]:
+        if self._reach_in is None:
+            offsets, hubs = self._reach_packed[1]
+            self._reach_in = _unpack_reach(offsets, hubs)
+        return self._reach_in
 
     # ------------------------------------------------------------------
     # rows + point queries
@@ -729,11 +778,143 @@ class DistanceOracle(_LabelRows):
             "label_entries_in": len(self.in_hubs),
             "avg_out_label": len(self.out_hubs) / n,
             "avg_in_label": len(self.in_hubs) / n,
-            "reach_entries": sum(len(s) for s in self.reach_out)
-            + sum(len(s) for s in self.reach_in),
+            "reach_entries": self._reach_entries(),
             "rows_filled": self.rows_filled,
             "point_queries": self.point_queries,
         }
+
+    def _reach_entries(self) -> int:
+        # Counting from the packed arrays keeps stats() from forcing a
+        # lazily-loaded reach closure to materialize.
+        if self._reach_out is None or self._reach_in is None:
+            packed_out, packed_in = self._reach_packed
+            return len(packed_out[1]) + len(packed_in[1])
+        return sum(len(s) for s in self._reach_out) + sum(
+            len(s) for s in self._reach_in
+        )
+
+    # ------------------------------------------------------------------
+    # flat-buffer codec (binary snapshot files)
+    # ------------------------------------------------------------------
+    def to_buffers(self) -> tuple[dict[str, Any], list[tuple[str, Any]]]:
+        """JSON-ready metadata plus the flat label/reach buffers.
+
+        Mirrors :meth:`FrozenGraph.to_buffers`: the six label CSR arrays
+        travel as-is, the reach closure is packed into CSR ``(offsets,
+        hubs)`` pairs (reused verbatim when this oracle was itself loaded
+        from a file and never materialized its reach rows).
+        """
+        meta = {
+            "name": self.name,
+            "cap": self.cap,
+            "top": self.top,
+            "num_nodes": self.num_nodes,
+            "num_edges": self.num_edges,
+            "build_seconds": self.build_seconds,
+            "first_label": self._first_label,
+            "last_label": self._last_label,
+        }
+        if (self._reach_out is None or self._reach_in is None) and (
+            self._reach_packed is not None
+        ):
+            (reach_out_offsets, reach_out_hubs), (
+                reach_in_offsets,
+                reach_in_hubs,
+            ) = self._reach_packed
+        else:
+            reach_out_offsets, reach_out_hubs = _pack_reach(self.reach_out)
+            reach_in_offsets, reach_in_hubs = _pack_reach(self.reach_in)
+        buffers = [
+            ("out_offsets", self.out_offsets),
+            ("out_hubs", self.out_hubs),
+            ("out_dists", self.out_dists),
+            ("in_offsets", self.in_offsets),
+            ("in_hubs", self.in_hubs),
+            ("in_dists", self.in_dists),
+            ("reach_out_offsets", reach_out_offsets),
+            ("reach_out_hubs", reach_out_hubs),
+            ("reach_in_offsets", reach_in_offsets),
+            ("reach_in_hubs", reach_in_hubs),
+        ]
+        return meta, buffers
+
+    @classmethod
+    def from_buffers(
+        cls,
+        source_version: int,
+        meta: dict[str, Any],
+        buffers: dict[str, Any],
+    ) -> "DistanceOracle":
+        """Rebuild from :meth:`to_buffers` output (arrays or mmap views).
+
+        The reach closure stays packed until first use, so loading is
+        O(1) in graph size.
+        """
+        oracle = cls(
+            meta["name"],
+            source_version,
+            meta["cap"],
+            meta["top"],
+            meta["num_nodes"],
+            meta["num_edges"],
+            meta["build_seconds"],
+            (buffers["out_offsets"], buffers["out_hubs"], buffers["out_dists"]),
+            (buffers["in_offsets"], buffers["in_hubs"], buffers["in_dists"]),
+            None,
+            None,
+            meta["first_label"],
+            meta["last_label"],
+        )
+        oracle._reach_packed = (
+            (buffers["reach_out_offsets"], buffers["reach_out_hubs"]),
+            (buffers["reach_in_offsets"], buffers["reach_in_hubs"]),
+        )
+        return oracle
+
+    # ------------------------------------------------------------------
+    # pickling (mmap views materialize; the mapping stays home)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> tuple:
+        return (
+            self.name,
+            self.source_version,
+            self.cap,
+            self.top,
+            self.num_nodes,
+            self.num_edges,
+            self.build_seconds,
+            tuple(_own_buffer(buf) for buf in (self.out_offsets, self.out_hubs, self.out_dists)),
+            tuple(_own_buffer(buf) for buf in (self.in_offsets, self.in_hubs, self.in_dists)),
+            self.reach_out,
+            self.reach_in,
+            self._first_label,
+            self._last_label,
+            self.rows_filled,
+            self.point_queries,
+        )
+
+    def __setstate__(self, state: tuple) -> None:
+        (
+            self.name,
+            self.source_version,
+            self.cap,
+            self.top,
+            self.num_nodes,
+            self.num_edges,
+            self.build_seconds,
+            out_labels,
+            in_labels,
+            self._reach_out,
+            self._reach_in,
+            self._first_label,
+            self._last_label,
+            self.rows_filled,
+            self.point_queries,
+        ) = state
+        self.out_offsets, self.out_hubs, self.out_dists = out_labels
+        self.in_offsets, self.in_hubs, self.in_dists = in_labels
+        self._reach_packed = None
+        self.path = None
 
     def __repr__(self) -> str:
         label = f" {self.name!r}" if self.name else ""

@@ -103,7 +103,6 @@ def load_pattern(path: str | Path) -> Pattern:
 
 def save_pattern(pattern: Pattern, path: str | Path) -> Path:
     """Write a pattern file (text syntax); returns the path written."""
-    target = Path(path)
-    target.parent.mkdir(parents=True, exist_ok=True)
-    target.write_text(format_pattern(pattern))
-    return target
+    from repro.graph.io import atomic_write_text
+
+    return atomic_write_text(Path(path), format_pattern(pattern))

@@ -443,3 +443,73 @@ class TestBudgetFlags:
         out = capsys.readouterr().out
         assert code == 1
         assert "note: partial result" in out
+
+
+class TestSnapshot:
+    def test_save_then_load(self, tmp_path, graph_file, capsys):
+        store = str(tmp_path / "store")
+        code = main(["snapshot", "save", "--graph", graph_file, "--store", store])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "graph: 9 nodes, 12 edges" in out
+        assert "snapshot:" in out and "fig1.frozen.snap" in out
+
+        code = main(["snapshot", "load", "--store", store, "--name", "fig1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "snapshot: 9 nodes, 12 edges" in out
+        assert "mapped from:" in out
+        assert "validated against stored graph 'fig1'" in out
+
+    def test_save_with_oracle(self, tmp_path, graph_file, capsys):
+        store = str(tmp_path / "store")
+        code = main([
+            "snapshot", "save", "--graph", graph_file, "--store", store,
+            "--name", "team", "--oracle", "--oracle-cap", "4",
+        ])
+        assert code == 0
+        assert "oracle:" in capsys.readouterr().out
+
+        code = main(["snapshot", "load", "--store", store, "--name", "team"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "oracle: cap 4," in out
+
+    def test_info_lists_sections(self, tmp_path, graph_file, capsys):
+        store = str(tmp_path / "store")
+        main([
+            "snapshot", "save", "--graph", graph_file, "--store", store,
+            "--name", "team", "--oracle",
+        ])
+        capsys.readouterr()
+        code = main(["snapshot", "info", "--store", store, "--name", "team"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "frozen-graph:" in out
+        assert "distance-oracle:" in out
+        assert "format v1" in out
+        assert "section out_targets:" in out
+
+    def test_info_missing_is_error(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        code = main(["snapshot", "info", "--store", store, "--name", "ghost"])
+        assert code == 2
+        assert "no stored snapshot named 'ghost'" in capsys.readouterr().err
+
+    def test_load_missing_is_error(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        code = main(["snapshot", "load", "--store", store, "--name", "ghost"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_load_detects_corruption(self, tmp_path, graph_file, capsys):
+        store = tmp_path / "store"
+        main(["snapshot", "save", "--graph", graph_file, "--store", str(store)])
+        capsys.readouterr()
+        path = store / "snapshots" / "fig1.frozen.snap"
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        code = main(["snapshot", "load", "--store", str(store), "--name", "fig1"])
+        assert code == 2
+        assert "checksum mismatch" in capsys.readouterr().err

@@ -304,3 +304,107 @@ def test_engine_oracle_equals_plain_evaluation(seed):
         accelerated.evaluate("g", pattern, **kwargs),
         plain.evaluate("g", pattern, **kwargs),
     )
+
+
+# ----------------------------------------------------------------------
+# store-loaded snapshots: mmap files in, byte-identical answers out
+# ----------------------------------------------------------------------
+# The full 127-seed sweep (60 bounded + 60 simulation + 6 engine + 1
+# batch) re-runs with snapshots and oracles served from the GraphStore's
+# binary files instead of built in-process: freeze/build -> save ->
+# mmap-load -> evaluate must reproduce the sequential result byte for
+# byte.  This is the acceptance gate for the persistence layer — a codec
+# or alignment bug anywhere surfaces as a named seed here.
+
+
+@pytest.fixture(scope="module")
+def snapshot_store(tmp_path_factory):
+    from repro.engine.storage import GraphStore
+
+    return GraphStore(tmp_path_factory.mktemp("snapshot-store"))
+
+
+def _store_served(store, tag, graph):
+    """Persist a graph's snapshot + oracle, reload both mmap-backed."""
+    name = f"case-{tag}"
+    store.save_snapshot(name, FrozenGraph.freeze(graph))
+    store.save_oracle(name, DistanceOracle.build(store.load_snapshot(name)))
+    return (
+        store.load_snapshot(name, expected_version=graph.version),
+        store.load_oracle(name, expected_version=graph.version),
+    )
+
+
+@pytest.mark.parametrize("seed", BOUNDED_SEEDS, ids=lambda s: f"seed{s}")
+def test_store_loaded_equals_sequential_bounded(snapshot_store, seed):
+    graph, pattern = random_case(seed)
+    sequential = sequential_result(graph, pattern)
+    frozen, oracle = _store_served(snapshot_store, f"b{seed}", graph)
+    assert frozen.path is not None and oracle.path is not None
+    if pattern.is_simulation_pattern:
+        via_store = match_simulation(graph, pattern, frozen=frozen)
+    else:
+        via_store = match_bounded(graph, pattern, frozen=frozen, oracle=oracle)
+    assert_identical(seed, via_store, sequential)
+
+
+@pytest.mark.parametrize("seed", SIMULATION_SEEDS, ids=lambda s: f"seed{s}")
+def test_store_loaded_equals_sequential_simulation(snapshot_store, seed):
+    graph, pattern = random_case(seed, simulation_only=True)
+    sequential = match_simulation(graph, pattern)
+    frozen, _oracle = _store_served(snapshot_store, f"s{seed}", graph)
+    via_store = match_simulation(graph, pattern, frozen=frozen)
+    assert_identical(seed, via_store, sequential)
+
+
+@pytest.mark.parametrize("seed", ENGINE_SEEDS, ids=lambda s: f"seed{s}")
+def test_engine_fault_in_equals_sequential(seed, tmp_path):
+    """A cold engine on the same store faults files in — same answers."""
+    from repro.engine.storage import GraphStore
+
+    graph, pattern = random_case(seed)
+    store = GraphStore(tmp_path)
+    warm = QueryEngine(store=store)
+    warm.register_graph("g", graph)
+    warm.enable_oracle("g")
+    warm.persist_snapshot("g", include_oracle=True)
+    warm.close()
+
+    sequential = sequential_result(graph, pattern)
+    cold = QueryEngine(store=store)
+    cold.register_graph("g", graph)
+    cold.enable_oracle("g")
+    served = cold.evaluate("g", pattern, use_cache=False, cache_result=False)
+    assert_identical(seed, served, sequential)
+    snapshot_stats = cold.snapshot_stats()
+    assert snapshot_stats["fault_ins"] == 1, f"seed {seed}: snapshot not faulted in"
+    assert snapshot_stats["builds"] == 0, f"seed {seed}: engine re-froze anyway"
+    assert cold.oracle_cache_stats()["builds"] == 0, (
+        f"seed {seed}: engine rebuilt the oracle despite the stored labels"
+    )
+    cold.close()
+
+
+def test_engine_batch_store_loaded_equals_sequential(tmp_path):
+    """Batch evaluation over a faulted-in snapshot matches the plain path."""
+    from repro.engine.storage import GraphStore
+
+    cases = [random_case(seed) for seed in range(8)]
+    graph = cases[0][0]
+    patterns = [pattern for _graph, pattern in cases]
+    store = GraphStore(tmp_path)
+    warm = QueryEngine(store=store)
+    warm.register_graph("g", graph)
+    warm.persist_snapshot("g")
+    warm.close()
+
+    plain = QueryEngine()
+    plain.register_graph("g", graph)
+    sequential = plain.evaluate_many("g", patterns, use_cache=False, cache_result=False)
+    cold = QueryEngine(store=store)
+    cold.register_graph("g", graph)
+    served = cold.evaluate_many("g", patterns, use_cache=False, cache_result=False)
+    for seed, (seq, via_store) in enumerate(zip(sequential, served)):
+        assert_identical(seed, via_store, seq)
+    assert cold.snapshot_stats()["fault_ins"] == 1
+    assert cold.snapshot_stats()["builds"] == 0

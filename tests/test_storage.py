@@ -108,3 +108,67 @@ class TestRelations:
             store.load_relation("nope")
         with pytest.raises(StorageError):
             store.delete_relation("nope")
+
+    def test_structurally_malformed_payload_raises(self, store: GraphStore):
+        store.save_relation("bad", MatchRelation({"A": {"x"}}))
+        path = store.root / "results" / "bad.json"
+        # Valid JSON, right format tag, but "sets" is missing entirely.
+        path.write_text('{"format": "repro.relation"}')
+        with pytest.raises(StorageError, match="malformed result file"):
+            store.load_relation("bad")
+        # Valid JSON whose sets are not iterables of node ids.
+        path.write_text('{"format": "repro.relation", "sets": {"A": 5}}')
+        with pytest.raises(StorageError, match="malformed result file"):
+            store.load_relation("bad")
+
+
+class TestResultGraphNamespace:
+    """Result graphs own their directory — no more ``.rg.json`` collisions."""
+
+    @pytest.fixture
+    def fig1_result(self):
+        return match_bounded(paper_graph(), paper_pattern())
+
+    def test_rg_suffixed_relation_does_not_collide(self, store, fig1_result):
+        # The old layout stored result graph "foo" as results/foo.rg.json,
+        # the same file as relation "foo.rg".  Both names must coexist now.
+        store.save_relation("foo.rg", fig1_result.relation)
+        store.save_result_graph("foo", fig1_result.result_graph())
+        assert store.list_relations() == ["foo.rg"]
+        assert store.list_result_graphs() == ["foo"]
+        assert store.load_relation("foo.rg") == fig1_result.relation
+        loaded = store.load_result_graph("foo", paper_graph(), paper_pattern())
+        assert set(loaded.edges()) == set(fig1_result.result_graph().edges())
+
+    def test_rg_suffixed_relations_are_listed(self, store, fig1_result):
+        # The old scheme's listing filter silently hid these names.
+        store.save_relation("team.rg", fig1_result.relation)
+        store.save_relation("plain", fig1_result.relation)
+        assert store.list_relations() == ["plain", "team.rg"]
+
+    def test_deletes_stay_in_their_namespace(self, store, fig1_result):
+        store.save_relation("foo.rg", fig1_result.relation)
+        store.save_result_graph("foo", fig1_result.result_graph())
+        store.delete_relation("foo.rg")
+        assert store.list_result_graphs() == ["foo"]
+        store.save_relation("foo.rg", fig1_result.relation)
+        store.delete_result_graph("foo")
+        assert store.list_relations() == ["foo.rg"]
+        with pytest.raises(StorageError, match="no stored result graph"):
+            store.delete_result_graph("foo")
+
+    def test_result_graph_round_trip_and_overwrite(self, store, fig1_result):
+        result_graph = fig1_result.result_graph()
+        store.save_result_graph("rg", result_graph)
+        store.save_result_graph("rg", result_graph)  # atomic overwrite
+        assert store.list_result_graphs() == ["rg"]
+        loaded = store.load_result_graph("rg", paper_graph(), paper_pattern())
+        assert set(loaded.edges()) == set(result_graph.edges())
+
+    def test_structurally_malformed_payload_raises(self, store, fig1_result):
+        store.save_result_graph("bad", fig1_result.result_graph())
+        path = store.root / "result_graphs" / "bad.json"
+        # Valid JSON, right format tag, but no node/edge tables.
+        path.write_text('{"format": "repro.result_graph"}')
+        with pytest.raises(StorageError, match="malformed result-graph file"):
+            store.load_result_graph("bad", paper_graph(), paper_pattern())
