@@ -1,0 +1,39 @@
+"""repro-lint: AST-based enforcement of the engine's invariants.
+
+Public surface:
+
+>>> from repro.analysis import lint_source
+>>> [f.rule for f in lint_source("import ast\\n")]
+[]
+
+See :mod:`repro.analysis.core` for the framework,
+:mod:`repro.analysis.rules` for the seven project rules, and run
+``python -m repro.analysis --list-rules`` (or ``repro lint``) for the
+command-line front end.
+"""
+
+from repro.analysis.core import (
+    Finding,
+    LintResult,
+    ModuleUnderLint,
+    Rule,
+    all_rules,
+    lint_paths,
+    lint_source,
+    register,
+    rule_ids,
+    select_rules,
+)
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "ModuleUnderLint",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "rule_ids",
+    "select_rules",
+]

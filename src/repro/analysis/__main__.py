@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` — the repro-lint entry point."""
+
+import sys
+
+from repro.analysis.cli import main
+
+if __name__ == "__main__":  # pragma: no cover - subprocess-only entry point
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Baseline files: grandfathered findings that report but do not fail.
+
+A baseline is a JSON document mapping finding fingerprints (content-based,
+see :meth:`repro.analysis.core.Finding.fingerprint`) to a human-readable
+record of what was grandfathered.  ``--write-baseline`` snapshots the
+current unsuppressed findings; later runs mark matching findings
+``baselined`` and exit 0 for them.  Fixing a baselined violation and
+re-writing the baseline shrinks the file — the ratchet only tightens.
+
+The repo itself ships with an *empty* baseline: every finding in the tree
+is either fixed or carries an inline justification.  The mechanism exists
+so future sweeps can land a new rule before paying down its findings.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.core import Finding
+from repro.errors import StorageError
+
+FORMAT_VERSION = 1
+
+
+def write_baseline(path: str | Path, findings: Iterable[Finding]) -> int:
+    """Snapshot ``findings`` (their fingerprints) to ``path``; returns count."""
+    records = {}
+    for finding in findings:
+        records[finding.fingerprint()] = {
+            "rule": finding.rule,
+            "path": finding.path,
+            "line": finding.line,
+            "message": finding.message,
+        }
+    payload = {"version": FORMAT_VERSION, "findings": records}
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    tmp.replace(target)
+    return len(records)
+
+
+def load_baseline(path: str | Path) -> frozenset[str]:
+    """The fingerprints recorded in ``path`` (a missing file is empty)."""
+    target = Path(path)
+    if not target.exists():
+        return frozenset()
+    try:
+        payload = json.loads(target.read_text())
+        if payload.get("version") != FORMAT_VERSION:
+            raise StorageError(
+                f"unsupported baseline format version in {target}: "
+                f"{payload.get('version')!r}"
+            )
+        return frozenset(payload["findings"])
+    except (json.JSONDecodeError, KeyError, TypeError, AttributeError) as exc:
+        raise StorageError(f"malformed baseline file {target}: {exc}") from exc

@@ -1,0 +1,157 @@
+"""Command-line front end: ``python -m repro.analysis`` / ``repro lint``.
+
+Exit codes: 0 clean (or everything suppressed/baselined), 1 unsuppressed
+findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.baseline import load_baseline, write_baseline
+from repro.analysis.core import (
+    DEFAULT_EXCLUDED_DIRS,
+    all_rules,
+    lint_paths,
+    select_rules,
+)
+from repro.analysis.reporters import render_json, render_text
+from repro.errors import StorageError
+
+DEFAULT_PATHS = ("src", "benchmarks", "tests")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based invariant checker for the ExpFinder engine: "
+            "concurrency, caching and determinism contracts, enforced at "
+            "the source level."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=(
+            "files or directories to lint (default: the repo's "
+            "src/benchmarks/tests directories that exist under the "
+            "current directory)"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule with its description and exit",
+    )
+    parser.add_argument(
+        "--baseline",
+        help="baseline JSON file: matching findings report but do not fail",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="snapshot current unsuppressed findings into --baseline and exit 0",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="include suppressed findings in the text report",
+    )
+    parser.add_argument(
+        "--no-default-excludes",
+        action="store_true",
+        help=(
+            "descend into directories excluded by default "
+            f"({', '.join(sorted(DEFAULT_EXCLUDED_DIRS))}) — used by the "
+            "linter's own fixture tests"
+        ),
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, rule in sorted(all_rules().items()):
+            print(f"{rule_id}: {rule.description}")
+        return 0
+
+    try:
+        rules = select_rules(
+            [name.strip() for name in args.rules.split(",") if name.strip()]
+            if args.rules
+            else None
+        )
+    except KeyError as exc:
+        print(f"repro-lint: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    paths = args.paths or [p for p in DEFAULT_PATHS if Path(p).exists()]
+    if not paths:
+        print(
+            "repro-lint: no paths given and none of "
+            f"{'/'.join(DEFAULT_PATHS)} exist here",
+            file=sys.stderr,
+        )
+        return 2
+
+    excluded = (
+        frozenset({"__pycache__", ".git"})
+        if args.no_default_excludes
+        else DEFAULT_EXCLUDED_DIRS
+    )
+    baseline_fps = frozenset()
+    if args.baseline and not args.write_baseline:
+        try:
+            baseline_fps = load_baseline(args.baseline)
+        except StorageError as exc:
+            print(f"repro-lint: {exc}", file=sys.stderr)
+            return 2
+
+    try:
+        result = lint_paths(
+            paths,
+            rules=rules,
+            baseline_fingerprints=baseline_fps,
+            excluded_dirs=excluded,
+        )
+    except FileNotFoundError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        if not args.baseline:
+            print(
+                "repro-lint: --write-baseline requires --baseline FILE",
+                file=sys.stderr,
+            )
+            return 2
+        count = write_baseline(args.baseline, result.active)
+        print(f"repro-lint: wrote {count} finding(s) to {args.baseline}")
+        return 0
+
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, show_suppressed=args.show_suppressed))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,337 @@
+"""The `repro-lint` core: findings, rules, and the per-file lint driver.
+
+Seven PRs of engine work have accumulated load-bearing invariants —
+version-validated cache reads, immutable frozen buffers, guard threading,
+spawn-safe pool payloads, deterministic kernels, single version bumps,
+wrapped boundary errors — that lived only in prose and in tests that catch
+violations *after* they ship.  This package checks them at the source
+level, over the Python ``ast``, before a line ever runs.
+
+The moving parts:
+
+* :class:`Finding` — one diagnostic, with a content-based
+  :meth:`~Finding.fingerprint` so baselines survive line-number drift;
+* :class:`Rule` — a named check over a parsed :class:`ModuleUnderLint`;
+  concrete rules live in :mod:`repro.analysis.rules` and register
+  themselves via :func:`register`;
+* :func:`lint_source` / :func:`lint_paths` — the drivers: parse, run every
+  rule, apply suppression comments (:mod:`repro.analysis.suppress`) and a
+  baseline (:mod:`repro.analysis.baseline`).
+
+Rules are *approximations by design*: static analysis over names and
+shapes, not a type system.  Each rule's docstring states exactly what it
+matches and what it knowingly misses; deliberate exceptions at call sites
+carry a ``# repro-lint: disable=<rule> -- <justification>`` comment whose
+justification text is itself asserted non-empty (``bad-suppression``).
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Sequence
+
+#: Directory names the path walker skips by default.  ``lint_fixtures``
+#: holds deliberately-violating corpus files for the linter's own tests;
+#: linting them as part of the repo sweep would defeat their purpose.
+DEFAULT_EXCLUDED_DIRS = frozenset(
+    {"lint_fixtures", "__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+)
+
+#: Meta rule ids (not registered visitors; emitted by the driver itself).
+PARSE_ERROR = "parse-error"
+BAD_SUPPRESSION = "bad-suppression"
+
+#: Rules that cannot be suppressed (suppressing a broken suppression with
+#: another suppression would be turtles all the way down).
+UNSUPPRESSABLE = frozenset({BAD_SUPPRESSION})
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by a rule against one source line."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    source_line: str = ""
+    suppressed: bool = False
+    baselined: bool = False
+
+    def fingerprint(self) -> str:
+        """Content-based identity for baselining.
+
+        Hashes the rule id, the file path and the *stripped source line*
+        (not the line number), so a finding keeps its identity when code
+        above it moves.  Two identical violations on identical lines in
+        one file do collide — the baseline treats them as one, which is
+        the conservative direction (the second one resurfaces the moment
+        the first is fixed).
+        """
+        text = f"{self.rule}::{self.path}::{self.source_line.strip()}"
+        return hashlib.sha1(text.encode("utf-8")).hexdigest()
+
+    @property
+    def active(self) -> bool:
+        """True when the finding should fail the run."""
+        return not self.suppressed and not self.baselined
+
+
+class ModuleUnderLint:
+    """A parsed source file handed to every rule.
+
+    ``path`` is kept as given (posix-normalised) so rules can scope by
+    path shape (``module.path_endswith("engine/storage.py")``) and so
+    fixtures can opt into a scope by mirroring the directory layout.
+    """
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = Path(path).as_posix()
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self._parents: dict[ast.AST, ast.AST] | None = None
+
+    # -- path scoping --------------------------------------------------
+    def path_endswith(self, *suffixes: str) -> bool:
+        return any(self.path.endswith(suffix) for suffix in suffixes)
+
+    def has_path_part(self, *parts: str) -> bool:
+        own = set(Path(self.path).parts)
+        return any(part in own for part in parts)
+
+    # -- tree helpers --------------------------------------------------
+    def parents(self) -> dict[ast.AST, ast.AST]:
+        """child -> parent map over the whole tree (built once, lazily)."""
+        if self._parents is None:
+            self._parents = {
+                child: parent
+                for parent in ast.walk(self.tree)
+                for child in ast.iter_child_nodes(parent)
+            }
+        return self._parents
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        parents = self.parents()
+        current = parents.get(node)
+        while current is not None:
+            yield current
+            current = parents.get(current)
+
+    def source_line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def functions(self) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    def classes(self) -> Iterator[ast.ClassDef]:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.ClassDef):
+                yield node
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`id` / :attr:`description` and implement
+    :meth:`check`, yielding ``(line, message)`` pairs.  The driver turns
+    those into :class:`Finding` objects, attaches source lines, and
+    applies suppressions and the baseline.
+    """
+
+    id: str = ""
+    description: str = ""
+
+    def check(self, module: ModuleUnderLint) -> Iterator[tuple[int, str]]:
+        raise NotImplementedError
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and register a rule by its id."""
+    rule = rule_cls()
+    if not rule.id:
+        raise ValueError(f"rule {rule_cls.__name__} has no id")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id: {rule.id}")
+    _REGISTRY[rule.id] = rule
+    return rule_cls
+
+
+def all_rules() -> dict[str, Rule]:
+    """id -> rule instance for every registered rule (loads the rule pack)."""
+    # Importing the package registers every rule module exactly once.
+    from repro.analysis import rules  # noqa: F401  (import-for-effect)
+
+    return dict(_REGISTRY)
+
+
+def rule_ids() -> list[str]:
+    return sorted(all_rules())
+
+
+def select_rules(only: Iterable[str] | None = None) -> list[Rule]:
+    registry = all_rules()
+    if only is None:
+        return [registry[rule_id] for rule_id in sorted(registry)]
+    chosen = []
+    for rule_id in only:
+        if rule_id not in registry:
+            raise KeyError(f"unknown rule: {rule_id!r} (see --list-rules)")
+        chosen.append(registry[rule_id])
+    return chosen
+
+
+# ----------------------------------------------------------------------
+# drivers
+# ----------------------------------------------------------------------
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Lint one source string; returns findings sorted by (line, rule).
+
+    Suppression comments are honoured (and audited: a directive with an
+    empty justification or an unknown rule id is itself a finding).  The
+    baseline is a :func:`lint_paths` concern — this function reports raw.
+
+    >>> findings = lint_source("import time\\n")
+    >>> findings
+    []
+    """
+    from repro.analysis.suppress import collect_suppressions
+
+    if rules is None:
+        rules = select_rules()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        line = exc.lineno or 1
+        return [
+            Finding(
+                rule=PARSE_ERROR,
+                path=Path(path).as_posix(),
+                line=line,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    module = ModuleUnderLint(path, source, tree)
+    findings: list[Finding] = []
+    seen: set[tuple[str, int, str]] = set()
+    for rule in rules:
+        for line, message in rule.check(module):
+            if (rule.id, line, message) in seen:
+                continue  # overlapping walks may surface a site twice
+            seen.add((rule.id, line, message))
+            findings.append(
+                Finding(
+                    rule=rule.id,
+                    path=module.path,
+                    line=line,
+                    message=message,
+                    source_line=module.source_line(line).strip(),
+                )
+            )
+    suppressions, audit = collect_suppressions(source, module.path)
+    checked: list[Finding] = []
+    for finding in findings:
+        if finding.rule not in UNSUPPRESSABLE and suppressions.covers(
+            finding.rule, finding.line
+        ):
+            finding = replace(finding, suppressed=True)
+        checked.append(finding)
+    checked.extend(audit)
+    checked.sort(key=lambda f: (f.line, f.rule))
+    return checked
+
+
+@dataclass
+class LintResult:
+    """Everything :func:`lint_paths` learned in one run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def active(self) -> list[Finding]:
+        return [finding for finding in self.findings if finding.active]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        return [finding for finding in self.findings if finding.suppressed]
+
+    @property
+    def baselined(self) -> list[Finding]:
+        return [finding for finding in self.findings if finding.baselined]
+
+    @property
+    def ok(self) -> bool:
+        return not self.active
+
+
+def iter_python_files(
+    paths: Iterable[str | Path],
+    excluded_dirs: frozenset[str] = DEFAULT_EXCLUDED_DIRS,
+) -> Iterator[Path]:
+    """Yield ``*.py`` files under ``paths``, sorted, skipping excluded dirs."""
+    seen: set[Path] = set()
+    for raw in paths:
+        root = Path(raw)
+        if root.is_file():
+            candidates: Iterable[Path] = [root]
+        elif root.is_dir():
+            candidates = sorted(root.rglob("*.py"))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {root}")
+        for candidate in candidates:
+            if candidate in seen:
+                continue
+            if any(part in excluded_dirs for part in candidate.parts):
+                continue
+            seen.add(candidate)
+            yield candidate
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    rules: Sequence[Rule] | None = None,
+    baseline_fingerprints: frozenset[str] | None = None,
+    excluded_dirs: frozenset[str] = DEFAULT_EXCLUDED_DIRS,
+    read_text: Callable[[Path], str] | None = None,
+) -> LintResult:
+    """Lint every Python file under ``paths``.
+
+    Findings whose fingerprint appears in ``baseline_fingerprints`` are
+    marked ``baselined`` (grandfathered: reported but not failing).
+    """
+    if rules is None:
+        rules = select_rules()
+    result = LintResult()
+    for file_path in iter_python_files(paths, excluded_dirs=excluded_dirs):
+        source = (
+            read_text(file_path)
+            if read_text is not None
+            else file_path.read_text(encoding="utf-8")
+        )
+        findings = lint_source(source, path=str(file_path), rules=rules)
+        if baseline_fingerprints:
+            findings = [
+                replace(finding, baselined=True)
+                if not finding.suppressed
+                and finding.fingerprint() in baseline_fingerprints
+                else finding
+                for finding in findings
+            ]
+        result.findings.extend(findings)
+        result.files_checked += 1
+    return result

@@ -1,0 +1,71 @@
+"""Text and JSON reporters for lint results."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.core import Finding, LintResult
+
+
+def _sorted(findings: list[Finding]) -> list[Finding]:
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+
+
+def render_text(
+    result: LintResult,
+    show_suppressed: bool = False,
+    show_baselined: bool = True,
+) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines: list[str] = []
+    for finding in _sorted(result.findings):
+        if finding.suppressed and not show_suppressed:
+            continue
+        if finding.baselined and not show_baselined:
+            continue
+        marker = ""
+        if finding.suppressed:
+            marker = " (suppressed)"
+        elif finding.baselined:
+            marker = " (baselined)"
+        lines.append(
+            f"{finding.path}:{finding.line}: [{finding.rule}] "
+            f"{finding.message}{marker}"
+        )
+        if finding.source_line:
+            lines.append(f"    {finding.source_line}")
+    active = len(result.active)
+    summary = (
+        f"repro-lint: {active} finding{'s' if active != 1 else ''} "
+        f"({len(result.suppressed)} suppressed, "
+        f"{len(result.baselined)} baselined) "
+        f"in {result.files_checked} file{'s' if result.files_checked != 1 else ''}"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (stable key order)."""
+    payload = {
+        "files_checked": result.files_checked,
+        "counts": {
+            "active": len(result.active),
+            "suppressed": len(result.suppressed),
+            "baselined": len(result.baselined),
+        },
+        "findings": [
+            {
+                "rule": finding.rule,
+                "path": finding.path,
+                "line": finding.line,
+                "message": finding.message,
+                "source_line": finding.source_line,
+                "suppressed": finding.suppressed,
+                "baselined": finding.baselined,
+                "fingerprint": finding.fingerprint(),
+            }
+            for finding in _sorted(result.findings)
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,123 @@
+"""determinism: kernels are seeded, clock-free, and never iterate raw sets.
+
+The differential harness (PR 2) asserts parallel ≡ sequential byte
+identity, and every benchmark gate relies on reproducible output.  Three
+classic leaks break that silently:
+
+* module-level ``random.*`` calls draw from the process-global RNG —
+  results change run to run (every generator in this repo takes a seed
+  and builds ``random.Random(seed)``);
+* wall-clock reads (``time.time``, ``datetime.now``) fold the calendar
+  into results (``perf_counter``/``monotonic`` are fine: they measure
+  durations, not dates, and only feed stats and deadlines);
+* iterating a ``set`` in an order-sensitive position depends on
+  ``PYTHONHASHSEED`` — the reason ``Graph`` stores adjacency in dicts.
+
+Scope: modules under ``matching/``, ``ranking/`` and ``graph/`` — the
+directories whose output must be byte-identical across runs and hosts.
+
+What this rule matches:
+
+* any ``random.<fn>(...)`` call except ``random.Random(seed)``;
+* calls to ``time.time``/``localtime``/``ctime``/``gmtime`` and
+  ``now``/``utcnow``/``today`` on ``datetime``/``date`` objects;
+* a ``for`` loop, list- or dict-comprehension iterating directly over a
+  set literal, set comprehension, or ``set(...)``/``frozenset(...)``
+  call (set comprehensions are exempt: feeding a set from a set is
+  order-insensitive).
+
+Known miss: a set bound to a variable and iterated later; those sites
+are covered by the seeded differential sweeps.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import ModuleUnderLint, Rule, register
+from repro.analysis.rules._util import dotted_name
+
+KERNEL_DIRS = ("matching", "ranking", "graph")
+WALL_CLOCK_CALLS = frozenset(
+    {"time.time", "time.localtime", "time.ctime", "time.gmtime"}
+)
+WALL_CLOCK_ATTRS = frozenset({"now", "utcnow", "today"})
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in {"set", "frozenset"}
+    )
+
+
+@register
+class DeterminismRule(Rule):
+    id = "determinism"
+    description = (
+        "kernel code must not use unseeded RNG, wall clocks, or "
+        "order-sensitive iteration over sets"
+    )
+
+    def check(self, module: ModuleUnderLint) -> Iterator[tuple[int, str]]:
+        if not module.has_path_part(*KERNEL_DIRS):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if (
+                    name is not None
+                    and name.startswith("random.")
+                    and name != "random.Random"
+                ):
+                    yield (
+                        node.lineno,
+                        f"{name}() draws from the process-global RNG — "
+                        "take a seed and use random.Random(seed)",
+                    )
+                elif name in WALL_CLOCK_CALLS or (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in WALL_CLOCK_ATTRS
+                    and (dotted_name(node.func.value) or "").split(".")[-1]
+                    in {"datetime", "date"}
+                ):
+                    yield (
+                        node.lineno,
+                        f"wall-clock read ({name}) in kernel code — "
+                        "results must not depend on when they run",
+                    )
+            elif isinstance(node, ast.For) and _is_set_expr(node.iter):
+                yield (
+                    node.iter.lineno,
+                    "for-loop over an unordered set — iteration order "
+                    "depends on PYTHONHASHSEED; sort it or iterate an "
+                    "insertion-ordered dict",
+                )
+            elif isinstance(node, (ast.ListComp, ast.DictComp, ast.GeneratorExp)):
+                if self._order_insensitive_consumer(module, node):
+                    continue
+                for generator in node.generators:
+                    if _is_set_expr(generator.iter):
+                        yield (
+                            generator.iter.lineno,
+                            "ordered construction iterates an unordered "
+                            "set — sort it first",
+                        )
+
+    @staticmethod
+    def _order_insensitive_consumer(
+        module: ModuleUnderLint, node: ast.AST
+    ) -> bool:
+        """True when the comprehension feeds sorted()/set()/sum()/... —
+        consumers whose result cannot depend on iteration order."""
+        parent = module.parents().get(node)
+        return (
+            isinstance(parent, ast.Call)
+            and isinstance(parent.func, ast.Name)
+            and parent.func.id
+            in {"set", "frozenset", "sorted", "sum", "min", "max", "any", "all", "len"}
+        )

@@ -1,0 +1,106 @@
+"""error-wrapping: boundary modules raise domain errors, not builtins.
+
+PR 7's lesson: ``load_relation`` once let a malformed payload escape as a
+raw ``KeyError`` — callers catching :class:`~repro.errors.StorageError`
+(the documented contract) crashed instead of degrading.  Every public
+entry point of the storage/engine boundary now wraps low-level failures
+in the :mod:`repro.errors` hierarchy.
+
+Scope: the boundary modules — ``engine/storage.py``, ``engine/engine.py``,
+``engine/cache.py``, ``graph/io.py`` and ``repro/cli.py``.
+
+What this rule matches, inside public functions/methods (no leading
+underscore, dunders exempt) of those modules:
+
+* ``raise KeyError/TypeError/ValueError/IndexError/AttributeError(...)``
+  — a builtin crossing the public boundary; raise the matching
+  ``ReproError`` subclass instead;
+* an ``except KeyError/TypeError`` handler that re-raises *bare*
+  (``raise``) — the caught builtin continues across the boundary
+  unwrapped.  Handlers that wrap (``raise StorageError(...) from exc``)
+  or genuinely handle (no raise) are fine.
+
+Known miss: builtins that propagate because nothing catches them; the
+corruption/malformed-payload suites cover those dynamically.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import ModuleUnderLint, Rule, register
+
+BOUNDARY_SUFFIXES = (
+    "engine/storage.py",
+    "engine/engine.py",
+    "engine/cache.py",
+    "graph/io.py",
+    "repro/cli.py",
+)
+BUILTIN_ERRORS = frozenset(
+    {"KeyError", "TypeError", "ValueError", "IndexError", "AttributeError"}
+)
+WRAP_TARGETS = frozenset({"KeyError", "TypeError"})
+
+
+def _public(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    name = func.name
+    if name.startswith("__") and name.endswith("__"):
+        return False
+    return not name.startswith("_")
+
+
+def _handler_names(handler: ast.ExceptHandler) -> set[str]:
+    node = handler.type
+    names: set[str] = set()
+    if node is None:
+        return names
+    for el in [node] if not isinstance(node, ast.Tuple) else node.elts:
+        if isinstance(el, ast.Name):
+            names.add(el.id)
+    return names
+
+
+@register
+class ErrorWrappingRule(Rule):
+    id = "error-wrapping"
+    description = (
+        "storage/engine boundary code must raise repro.errors classes, "
+        "never leak raw KeyError/TypeError"
+    )
+
+    def check(self, module: ModuleUnderLint) -> Iterator[tuple[int, str]]:
+        if not module.path_endswith(*BOUNDARY_SUFFIXES):
+            return
+        for func in module.functions():
+            if not _public(func):
+                continue
+            for node in ast.walk(func):
+                if isinstance(node, ast.Raise):
+                    exc = node.exc
+                    if (
+                        isinstance(exc, ast.Call)
+                        and isinstance(exc.func, ast.Name)
+                        and exc.func.id in BUILTIN_ERRORS
+                    ):
+                        yield (
+                            node.lineno,
+                            f"public boundary function {func.name}() "
+                            f"raises builtin {exc.func.id} — raise the "
+                            "matching repro.errors class so callers can "
+                            "catch one hierarchy",
+                        )
+                elif isinstance(node, ast.ExceptHandler):
+                    caught = _handler_names(node) & WRAP_TARGETS
+                    if not caught:
+                        continue
+                    for inner in ast.walk(node):
+                        if isinstance(inner, ast.Raise) and inner.exc is None:
+                            yield (
+                                inner.lineno,
+                                f"{func.name}() re-raises caught "
+                                f"{'/'.join(sorted(caught))} unwrapped "
+                                "across the public boundary — wrap it in "
+                                "a repro.errors class",
+                            )

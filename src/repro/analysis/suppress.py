@@ -1,0 +1,139 @@
+"""Per-line suppression comments with mandatory justifications.
+
+The directive grammar (one comment, same line as the finding or a
+standalone comment on the line directly above it)::
+
+    # repro-lint: disable=rule-a,rule-b -- why this exception is sound
+
+The justification after ``--`` is *mandatory*: an empty one, like an
+unknown rule id, is reported as a ``bad-suppression`` finding — which is
+itself unsuppressable.  The point is that every grandfathered exception in
+the tree carries its own reviewable argument, not a bare mute.
+
+Comments are found with :mod:`tokenize` (not regex over raw lines) so
+directive-looking text inside string literals is never honoured — a string
+cannot silence the linter.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from repro.analysis.core import BAD_SUPPRESSION, Finding
+
+# Lazy rule-list match so ``--`` reliably starts the justification even
+# though rule ids themselves contain hyphens.
+DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<rules>[A-Za-z0-9_, -]*?)"
+    r"\s*(?:--\s*(?P<why>.*))?$"
+)
+
+
+@dataclass
+class Suppressions:
+    """rule id -> set of line numbers it is disabled on."""
+
+    by_rule: dict[str, set[int]] = field(default_factory=dict)
+
+    def add(self, rule: str, line: int) -> None:
+        self.by_rule.setdefault(rule, set()).add(line)
+
+    def covers(self, rule: str, line: int) -> bool:
+        return line in self.by_rule.get(rule, ())
+
+
+def collect_suppressions(
+    source: str, path: str
+) -> tuple[Suppressions, list[Finding]]:
+    """Parse every suppression directive in ``source``.
+
+    Returns the suppression table plus the audit findings
+    (``bad-suppression``) for malformed directives.  A directive on a line
+    of its own covers the *next* line; a trailing directive covers its own
+    line.  Known rule ids are checked lazily against the registry so this
+    module does not import the rule pack at import time.
+    """
+    from repro.analysis.core import all_rules
+
+    known = set(all_rules()) | {BAD_SUPPRESSION, "parse-error"}
+    table = Suppressions()
+    audit: list[Finding] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # An unparsable file is reported by the driver as parse-error;
+        # there is nothing to suppress in it.
+        return table, audit
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = DIRECTIVE.search(token.string)
+        if match is None:
+            # Only the tool name followed by a colon marks a directive
+            # attempt; prose comments may mention the tool by name.
+            if "repro-lint" + ":" in token.string:
+                audit.append(
+                    Finding(
+                        rule=BAD_SUPPRESSION,
+                        path=path,
+                        line=token.start[0],
+                        message=(
+                            "malformed repro-lint directive (expected "
+                            "'# repro-lint: disable=<rule> -- <justification>')"
+                        ),
+                        source_line=token.string.strip(),
+                    )
+                )
+            continue
+        line = token.start[0]
+        # A comment that is the only thing on its line covers the next line
+        # as well (the directive-above-the-statement style); a trailing
+        # comment covers exactly its own line.
+        own_line_only = token.line.strip().startswith("#")
+        justification = (match.group("why") or "").strip()
+        rules = [name.strip() for name in match.group("rules").split(",")]
+        rules = [name for name in rules if name]
+        if not rules:
+            audit.append(
+                Finding(
+                    rule=BAD_SUPPRESSION,
+                    path=path,
+                    line=line,
+                    message="suppression names no rules",
+                    source_line=token.string.strip(),
+                )
+            )
+            continue
+        if not justification:
+            audit.append(
+                Finding(
+                    rule=BAD_SUPPRESSION,
+                    path=path,
+                    line=line,
+                    message=(
+                        "suppression has no justification "
+                        "(add ' -- <why this exception is sound>')"
+                    ),
+                    source_line=token.string.strip(),
+                )
+            )
+            continue
+        for name in rules:
+            if name not in known:
+                audit.append(
+                    Finding(
+                        rule=BAD_SUPPRESSION,
+                        path=path,
+                        line=line,
+                        message=f"suppression names unknown rule {name!r}",
+                        source_line=token.string.strip(),
+                    )
+                )
+                continue
+            table.add(name, line)
+            if own_line_only:
+                table.add(name, line + 1)
+    return table, audit

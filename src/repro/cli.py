@@ -42,8 +42,16 @@ from repro.viz.dot import result_to_dot
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments[:1] == ["lint"]:
+        # repro-lint owns its own flags and exit codes; forwarding before
+        # argparse keeps `expfinder lint --list-rules` working (REMAINDER
+        # would refuse a leading option).
+        from repro.analysis.cli import main as lint_main
+
+        return lint_main(arguments[1:])
     parser = _build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
     try:
         return args.handler(args)
     except ReproError as exc:
@@ -198,6 +206,15 @@ def _build_parser() -> argparse.ArgumentParser:
     snap_info.add_argument("--store", required=True, help="store root directory")
     snap_info.add_argument("--name", required=True, help="snapshot name")
     snap_info.set_defaults(handler=_cmd_snapshot_info)
+
+    # `lint` is dispatched in main() before argparse (its flags are owned
+    # by repro.analysis.cli); registered here only so it shows in --help.
+    lint = sub.add_parser(
+        "lint",
+        help="run repro-lint, the AST-based invariant checker "
+             "(see also: python -m repro.analysis)",
+    )
+    lint.set_defaults(handler=_cmd_lint)
 
     demo = sub.add_parser("demo", help="walk through the paper's Examples 1-3")
     demo.set_defaults(handler=_cmd_demo)
@@ -708,6 +725,13 @@ def _cmd_compress(args: argparse.Namespace) -> int:
         save_graph(compressed.quotient, args.out)
         print(f"wrote quotient to {args.out}")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Reached only via parse_args in tests; main() forwards earlier."""
+    from repro.analysis.cli import main as lint_main
+
+    return lint_main([])
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:

@@ -32,9 +32,16 @@ def cache_key(graph_name: str, pattern: Pattern) -> CacheKey:
 
 @dataclass
 class CacheEntry:
-    """One cached result; ``maintainer`` is set only for pinned entries."""
+    """One cached result; ``maintainer`` is set only for pinned entries.
+
+    ``graph_version`` records ``Graph.version`` at the moment the relation
+    was computed (or last refreshed, for pinned entries); reads validate
+    against it, so results can never outlive the graph state they answer
+    for — even when a mutation bypasses the engine's update path.
+    """
 
     relation: MatchRelation
+    graph_version: int
     pinned: bool = False
     maintainer: Any = None
     hits: int = 0
@@ -43,6 +50,12 @@ class CacheEntry:
 
 class QueryCache:
     """LRU cache of match relations with pin support.
+
+    Reads are validated against ``Graph.version`` exactly like the rank,
+    snapshot and oracle caches: :meth:`get` with a version other than the
+    one recorded at :meth:`put` time drops the entry (pinned or not — a
+    pinned entry's maintainer never saw the out-of-band mutation either,
+    so its relation is just as unreliable) and reports a miss.
 
     >>> cache = QueryCache(capacity=2)
     >>> cache.stats()["size"]
@@ -58,11 +71,19 @@ class QueryCache:
         self._misses = 0
         self._evictions = 0
         self._invalidations = 0
+        self._stale_drops = 0
 
     # ------------------------------------------------------------------
-    def get(self, key: CacheKey) -> CacheEntry | None:
+    def get(self, key: CacheKey, graph_version: int) -> CacheEntry | None:
         entry = self._entries.get(key)
         if entry is None:
+            self._misses += 1
+            return None
+        if entry.graph_version != graph_version:
+            # Out-of-band mutation (a write that bypassed update_graph):
+            # the relation answers for a graph that no longer exists.
+            del self._entries[key]
+            self._stale_drops += 1
             self._misses += 1
             return None
         self._entries.move_to_end(key)
@@ -70,10 +91,22 @@ class QueryCache:
         self._hits += 1
         return entry
 
+    def fresh(self, key: CacheKey, graph_version: int) -> bool:
+        """Non-mutating version-aware lookup for planning/explain paths.
+
+        Unlike :meth:`get` this neither drops a stale entry nor touches
+        the LRU order or hit counters, so ``explain`` can ask "would the
+        cache route serve this?" without perturbing the cache it is
+        describing.
+        """
+        entry = self._entries.get(key)
+        return entry is not None and entry.graph_version == graph_version
+
     def put(
         self,
         key: CacheKey,
         relation: MatchRelation,
+        graph_version: int,
         pinned: bool = False,
         maintainer: Any = None,
     ) -> CacheEntry:
@@ -81,9 +114,15 @@ class QueryCache:
         if existing is not None and existing.pinned and not pinned:
             # Refreshing a pinned entry's relation must not unpin it.
             existing.relation = relation
+            existing.graph_version = graph_version
             self._entries.move_to_end(key)
             return existing
-        entry = CacheEntry(relation=relation, pinned=pinned, maintainer=maintainer)
+        entry = CacheEntry(
+            relation=relation,
+            graph_version=graph_version,
+            pinned=pinned,
+            maintainer=maintainer,
+        )
         self._entries[key] = entry
         self._entries.move_to_end(key)
         self._evict_if_needed()
@@ -155,6 +194,7 @@ class QueryCache:
             "misses": self._misses,
             "evictions": self._evictions,
             "invalidations": self._invalidations,
+            "stale_drops": self._stale_drops,
             "pinned": sum(1 for e in self._entries.values() if e.pinned),
         }
 

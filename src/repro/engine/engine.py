@@ -294,7 +294,7 @@ class QueryEngine:
         entry = self._entry(name)
         if entry.oracle_config is None:
             return None
-        cached = self._oracles.peek(name)
+        cached = self._oracles.peek(name)  # repro-lint: disable=cache-version-guard -- read-only introspection; the next line compares graph_version explicitly and a stale entry must survive for refresh_version
         if cached is None or cached.graph_version != entry.graph.version:
             return {"state": "cold", **entry.oracle_config}
         stats = cached.oracle.stats()
@@ -371,7 +371,9 @@ class QueryEngine:
         entry = self._entry(name)
         key = cache_key(name, pattern)
         plan = self._plan_query(
-            pattern, cached=key in self._cache, available=entry.compressed()
+            pattern,
+            cached=self._cache.fresh(key, entry.graph.version),
+            available=entry.compressed(),
         )
         if plan.route == ROUTE_DIRECT:
             if not self._snapshot_serves(entry, plan):
@@ -384,7 +386,7 @@ class QueryEngine:
                     "serves bounded BFS; workers > 1 still snapshot)"
                 )
             else:
-                snapshot = self._snapshots.peek(name)
+                snapshot = self._snapshots.peek(name)  # repro-lint: disable=cache-version-guard -- explain() must not drop or fault in snapshots; version is compared explicitly below
                 if (
                     snapshot is not None
                     and snapshot.graph_version == entry.graph.version
@@ -455,7 +457,7 @@ class QueryEngine:
         if entry.oracle_config is None:
             note = "distance oracle: disabled (enable_oracle() routes selective edges)"
             return note, ()
-        cached = self._oracles.peek(entry.name)
+        cached = self._oracles.peek(entry.name)  # repro-lint: disable=cache-version-guard -- explain() reports warm/cold without side effects; version is compared explicitly on the next line
         if cached is not None and cached.graph_version == entry.graph.version:
             note = "distance oracle: warm"
             profile = cached.oracle.profile()
@@ -598,7 +600,9 @@ class QueryEngine:
         entry = self._entry(name)
         watch = Stopwatch()
         key = cache_key(name, pattern)
-        cached_entry: CacheEntry | None = self._cache.get(key) if use_cache else None
+        cached_entry: CacheEntry | None = (
+            self._cache.get(key, entry.graph.version) if use_cache else None
+        )
         available = entry.compressed()
         compressed = available if use_compression else None
         plan = self._plan_query(
@@ -646,7 +650,7 @@ class QueryEngine:
             and plan.route != ROUTE_CACHE
             and not result.stats.get("partial")
         ):
-            self._cache.put(key, result.relation)
+            self._cache.put(key, result.relation, entry.graph.version)
         return result
 
     def evaluate_many(
@@ -737,7 +741,9 @@ class QueryEngine:
         direct_predicates: dict[tuple, Any] = {}
         for pattern in patterns:
             key = cache_key(name, pattern)
-            cached_entry = self._cache.get(key) if use_cache else None
+            cached_entry = (
+                self._cache.get(key, entry.graph.version) if use_cache else None
+            )
             plan = self._plan_query(
                 pattern,
                 cached=cached_entry is not None,
@@ -870,7 +876,7 @@ class QueryEngine:
             if route != ROUTE_CACHE and not result.stats.get("partial"):
                 fresh[key] = result.relation
                 if cache_result:
-                    self._cache.put(key, result.relation)
+                    self._cache.put(key, result.relation, entry.graph.version)
             results.append(result)
         batch_info["seconds_total"] = watch.seconds()
         return results
@@ -920,7 +926,7 @@ class QueryEngine:
         graph: Graph,
         pattern: Pattern,
         plan: Plan,
-        reach_index=None,
+        reach_index: Any = None,
         index: AttributeIndex | None = None,
         candidates: dict[str, set[NodeId]] | None = None,
         frozen: FrozenGraph | None = None,
@@ -1019,7 +1025,7 @@ class QueryEngine:
         pattern.validate()
         entry = self._entry(name)
         key = cache_key(name, pattern)
-        existing = self._cache.get(key)
+        existing = self._cache.get(key, entry.graph.version)
         if existing is not None and existing.pinned:
             return
         if pattern.is_simulation_pattern:
@@ -1030,7 +1036,13 @@ class QueryEngine:
             maintainer = IncrementalBoundedSimulation(
                 entry.graph, pattern, index=entry.attr_index
             )
-        self._cache.put(key, maintainer.relation(), pinned=True, maintainer=maintainer)
+        self._cache.put(
+            key,
+            maintainer.relation(),
+            entry.graph.version,
+            pinned=True,
+            maintainer=maintainer,
+        )
 
     def unpin(self, name: str, pattern: Pattern) -> None:
         self._cache.unpin(cache_key(name, pattern))
@@ -1075,6 +1087,7 @@ class QueryEngine:
             fresh = cache_entry.maintainer.relation()
             added, removed = before[key].diff(fresh)
             cache_entry.relation = fresh
+            cache_entry.graph_version = entry.graph.version
             deltas[key[1]] = {"added": added, "removed": removed}
         rank_maintenance, refreshed_keys = self._refresh_pinned_rankings(entry, pinned)
         # Contexts of non-pinned queries are stale now; drop them eagerly
@@ -1123,7 +1136,7 @@ class QueryEngine:
         summary: dict[tuple, dict[str, int]] = {}
         refreshed: set[tuple] = set()
         for key, cache_entry in pinned:
-            rank_entry = self._rank_cache.peek(key)
+            rank_entry = self._rank_cache.peek(key)  # repro-lint: disable=cache-version-guard -- mid-update refresh: the entry is stale by definition here and is rescored then re-stamped with the new version
             if rank_entry is None:
                 continue
             maintainer = cache_entry.maintainer

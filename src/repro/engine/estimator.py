@@ -227,7 +227,7 @@ class PatternEstimate:
 
 
 def estimate_pattern(
-    frozen,
+    frozen: Any,
     pattern: Pattern,
     candidate_ids: Mapping[str, frozenset[int]],
     sample_size: int = DEFAULT_SAMPLE,

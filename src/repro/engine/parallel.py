@@ -48,7 +48,7 @@ import multiprocessing
 import time
 from array import array
 from pathlib import Path
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
 
 from repro.engine.estimator import GUARD_TIME_LIMIT, QueryBudget, QueryGuard
 from repro.errors import BudgetExceededError, EvaluationError
@@ -159,7 +159,7 @@ def _init_shared_worker(frozen: Any, oracle: Any = None) -> None:
 _shard_guard_state: "QueryGuard | tuple | None" = None
 
 
-def _set_shard_guard(state) -> None:
+def _set_shard_guard(state: "QueryGuard | tuple | None") -> None:
     global _shard_guard_state
     _shard_guard_state = state
 
@@ -249,14 +249,14 @@ def _init_guarded_worker(
     frozen: Any,
     oracle: Any,
     budget: "QueryBudget",
-    counter,
+    counter: Any,
     deadline: float | None,
 ) -> None:  # pragma: no cover - runs in spawn workers
     _set_shared_frozen(*_resolve_shipped(frozen, oracle))
     _set_shard_guard((budget, counter, deadline))
 
 
-def _init_rank_worker(context: RankingContext | None, metric) -> None:
+def _init_rank_worker(context: RankingContext | None, metric: Any) -> None:
     global _rank_context, _rank_metric
     _rank_context = context
     _rank_metric = metric
@@ -332,7 +332,7 @@ class ParallelExecutor:
     # ------------------------------------------------------------------
     # pool lifecycle
     # ------------------------------------------------------------------
-    def _query_pool(self):
+    def _query_pool(self) -> Any:
         if self._pool is None:
             self._pool = self._ctx.Pool(self.workers)
         return self._pool
@@ -721,7 +721,7 @@ class ParallelExecutor:
         frozen: FrozenGraph,
         payloads: list[ShardPayload],
         oracle: DistanceOracle | None = None,
-    ):
+    ) -> list:
         """Fan shard work out over a pool that shares the full snapshot.
 
         A dedicated pool is created per call: under the fork start method
@@ -758,7 +758,7 @@ class ParallelExecutor:
     def rank_many(
         self,
         context: RankingContext,
-        metric,
+        metric: Any,
         nodes: Sequence[NodeId],
     ) -> list:
         """Fan per-match scoring out across the pool, in input order.
@@ -922,7 +922,9 @@ class ParallelExecutor:
             frozen, cap=cap, top=top, chunk_map=self._oracle_chunk_map
         )
 
-    def _oracle_chunk_map(self, function, chunks):
+    def _oracle_chunk_map(
+        self, function: Callable[..., Any], chunks: Sequence[Any]
+    ) -> list:
         """Map phase-two chunks over a context-sharing pool.
 
         ``function`` is always :func:`repro.graph.oracle.phase_two_chunk`;
@@ -944,4 +946,4 @@ class ParallelExecutor:
                 initargs=(_build_context,),
             )
         with pool:
-            return pool.map(function, chunks)
+            return pool.map(function, chunks)  # repro-lint: disable=spawn-safety -- callers pass the module-level phase_two_chunk; asserted spawn-picklable by tests/test_parallel.py

@@ -314,7 +314,7 @@ def load_frozen_file(
         path, SNAPSHOT_KIND_FROZEN, expected_version
     )
     frozen = FrozenGraph.from_buffers(source_version, meta, views)
-    frozen.path = Path(path)
+    frozen.path = Path(path)  # repro-lint: disable=frozen-immutability -- provenance stamp before the snapshot is published; no reader exists yet
     return frozen
 
 
@@ -334,7 +334,7 @@ def load_oracle_file(
         path, SNAPSHOT_KIND_ORACLE, expected_version
     )
     oracle = DistanceOracle.from_buffers(source_version, meta, views)
-    oracle.path = Path(path)
+    oracle.path = Path(path)  # repro-lint: disable=frozen-immutability -- provenance stamp before the oracle is published; no reader exists yet
     return oracle
 
 
@@ -443,12 +443,12 @@ class GraphStore:
     # ------------------------------------------------------------------
     # result graphs (own directory — see the module docstring)
     # ------------------------------------------------------------------
-    def save_result_graph(self, name: str, result_graph) -> Path:
+    def save_result_graph(self, name: str, result_graph: Any) -> Path:
         """Persist a weighted result graph in its own namespace."""
         path = self._result_graphs / f"{_check_name(name)}.json"
         return atomic_write_text(path, json.dumps(result_graph.to_dict(), indent=2))
 
-    def load_result_graph(self, name: str, graph: Graph, pattern: Pattern):
+    def load_result_graph(self, name: str, graph: Graph, pattern: Pattern) -> Any:
         """Load a result graph back against its graph and pattern."""
         from repro.matching.result_graph import ResultGraph
 

@@ -168,7 +168,7 @@ class AttributeIndex:
         self._postings = None
         self._node_keys = {}
 
-    def on_update(self, update, prior_version: int | None = None) -> None:
+    def on_update(self, update: Any, prior_version: int | None = None) -> None:
         """Maintain postings for one engine-routed primitive update.
 
         Must be called *after* the update was applied to the graph (the

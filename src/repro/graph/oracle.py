@@ -695,7 +695,13 @@ class DistanceOracle(_LabelRows):
         distance = self.distance(source, target)
         return distance is not None and distance <= bound
 
-    def fill_rows(self, sources, edge_data, rows, adjacency) -> None:
+    def fill_rows(
+        self,
+        sources: Sequence[int],
+        edge_data: Sequence[tuple],
+        rows: dict,
+        adjacency: Sequence[frozenset[int]],
+    ) -> None:
         self.rows_filled += len(sources) * len(edge_data)
         if any(bound is None for _edge, bound, _children in edge_data):
             # Cheap reachability prefilter for '*' edges: a source whose
@@ -743,7 +749,9 @@ class DistanceOracle(_LabelRows):
         dense ids — when given), so a worker answers its pivots' pairwise
         tests without the full label arrays.
         """
-        def collect(nodes: Iterable[int], row_of) -> dict[int, tuple]:
+        def collect(
+            nodes: Iterable[int], row_of: Callable[[int], Iterable]
+        ) -> dict[int, tuple]:
             rows: dict[int, tuple] = {}
             for node in nodes:
                 key = node if remap is None else remap[node]

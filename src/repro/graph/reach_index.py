@@ -17,6 +17,8 @@ a mismatch instead of returning stale reach sets.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.errors import GraphError
 from repro.graph.digraph import Graph, NodeId
 from repro.graph.distance import bounded_ancestors, bounded_descendants
@@ -95,7 +97,7 @@ class BoundedReachIndex:
     # ------------------------------------------------------------------
     # invalidation
     # ------------------------------------------------------------------
-    def on_update(self, update) -> int:
+    def on_update(self, update: Any) -> int:
         """Invalidate entries an update can affect; returns how many.
 
         Edge updates touch the tail's bounded ancestry; attribute updates

@@ -1,0 +1,10 @@
+"""Fixture: version-blind reads of a tracked cache (both flagged)."""
+
+from repro.engine.cache import QueryCache
+
+
+def stale_read(key):
+    cache = QueryCache(capacity=4)
+    entry = cache.get(key)  # no Graph.version argument
+    peeked = cache.peek(key)  # the version-blind accessor, unjustified
+    return entry, peeked

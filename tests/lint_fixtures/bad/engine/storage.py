@@ -1,0 +1,14 @@
+"""Fixture mirroring a boundary path: builtin errors leak (flagged)."""
+
+
+def load_relation(payload):
+    try:
+        return payload["relation"]
+    except KeyError:
+        raise  # the caught builtin continues across the boundary
+
+
+def save_relation(store, name):
+    if name in store:
+        raise ValueError(f"duplicate relation {name!r}")  # builtin raise
+    store[name] = {}

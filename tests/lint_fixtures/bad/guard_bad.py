@@ -1,0 +1,24 @@
+"""Fixture: dropped guards, broken guard chains, ungated cache puts."""
+
+from repro.engine.cache import QueryCache
+
+
+def charged_kernel(graph, guard):
+    if guard is not None:
+        guard.charge(1)
+    return graph
+
+
+def dropped_guard(graph, guard):  # accepts a guard, never reads it
+    return graph
+
+
+def broken_chain(graph, guard):
+    guard.charge(1)
+    return charged_kernel(graph)  # sibling kernel called without the guard
+
+
+def cache_partial(key, result, version):
+    cache = QueryCache(capacity=2)
+    result.stats["partial"] = True
+    cache.put(key, result.relation, version)  # not gated on the partial flag

@@ -1,0 +1,19 @@
+"""Fixture (kernel-scoped path): nondeterminism sources, all flagged."""
+
+import random
+import time
+
+
+def jitter():
+    return random.random()  # process-global RNG
+
+
+def stamp():
+    return time.time()  # wall clock folded into a result
+
+
+def collect(nodes):
+    out = []
+    for node in {"b", "a"}:  # iteration order depends on PYTHONHASHSEED
+        out.append(node)
+    return out + [node for node in set(nodes)]  # ordered from unordered

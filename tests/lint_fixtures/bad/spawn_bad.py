@@ -1,0 +1,26 @@
+"""Fixture: pool payloads that cannot be pickled under spawn (flagged)."""
+
+import multiprocessing
+
+
+def lambda_payload(chunks):
+    with multiprocessing.Pool(2) as pool:
+        return pool.map(lambda chunk: chunk, chunks)
+
+
+def local_payload(chunks):
+    def helper(chunk):
+        return chunk
+
+    with multiprocessing.Pool(2) as pool:
+        return pool.map(helper, chunks)
+
+
+def module_level_work(chunk):
+    return chunk
+
+
+def closure_initializer(setup, chunks):
+    pool = multiprocessing.Pool(2, setup)  # parameter, not a module-level def
+    with pool:
+        return pool.map(module_level_work, chunks)

@@ -1,0 +1,7 @@
+"""Fixture: a suppression without a justification is itself a finding,
+and the directive it botched does not silence the original violation."""
+
+from repro.engine.cache import QueryCache
+
+cache = QueryCache(capacity=2)
+entry = cache.peek("key")  # repro-lint: disable=cache-version-guard

@@ -1,0 +1,10 @@
+"""Fixture: version-validated cache reads (clean)."""
+
+from repro.engine.cache import QueryCache
+
+
+def fresh_read(key, graph):
+    cache = QueryCache(capacity=4)
+    positional = cache.get(key, graph.version)
+    keyword = cache.get(key, graph_version=graph.version)
+    return positional, keyword

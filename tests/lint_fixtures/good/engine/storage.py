@@ -1,0 +1,17 @@
+"""Fixture mirroring a boundary path: errors wrapped (clean)."""
+
+from repro.errors import StorageError
+
+
+def load_relation(payload):
+    try:
+        return payload["relation"]
+    except KeyError as exc:
+        raise StorageError("malformed payload: no relation section") from exc
+
+
+def _peek_raw(payload):
+    # Private helpers may speak builtin: only the public boundary wraps.
+    if "relation" not in payload:
+        raise KeyError("relation")
+    return payload["relation"]

@@ -1,0 +1,21 @@
+"""Fixture: guards charged and forwarded; puts gated on partial (clean)."""
+
+from repro.engine.cache import QueryCache
+
+
+def charged_kernel(graph, guard):
+    if guard is not None:
+        guard.charge(1)
+    return graph
+
+
+def forwarding_kernel(graph, guard):
+    guard.charge(1)
+    charged_kernel(graph, guard)  # positional forward
+    return charged_kernel(graph, guard=guard)  # keyword forward
+
+
+def cache_complete(key, result, version):
+    cache = QueryCache(capacity=2)
+    if not result.stats.get("partial"):
+        cache.put(key, result.relation, version)

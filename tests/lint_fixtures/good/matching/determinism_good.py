@@ -1,0 +1,19 @@
+"""Fixture (kernel-scoped path): seeded, clock-free, ordered (clean)."""
+
+import random
+import time
+
+
+def seeded(seed):
+    rng = random.Random(seed)  # the one blessed constructor
+    return rng.random()
+
+
+def timed():
+    return time.perf_counter()  # duration, not a date
+
+
+def collect(nodes):
+    unique = sorted(set(nodes))
+    total = sum(len(node) for node in set(nodes))  # order-insensitive sink
+    return [node for node in unique], total

@@ -1,0 +1,16 @@
+"""Fixture: module-level pool payloads, picklable under spawn (clean)."""
+
+import multiprocessing
+
+
+def work(chunk):
+    return chunk
+
+
+def set_up():
+    pass
+
+
+def fan_out(chunks):
+    with multiprocessing.Pool(2, initializer=set_up) as pool:
+        return pool.map(work, chunks)

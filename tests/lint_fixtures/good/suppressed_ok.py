@@ -1,0 +1,9 @@
+"""Fixture: a real violation silenced by a justified suppression."""
+
+from repro.engine.cache import QueryCache
+
+cache = QueryCache(capacity=2)
+trailing = cache.peek("key")  # repro-lint: disable=cache-version-guard -- fixture: trailing-directive form of a justified exception
+
+# repro-lint: disable=cache-version-guard -- fixture: standalone directive covering the next line
+standalone = cache.peek("key")

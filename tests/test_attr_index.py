@@ -255,7 +255,7 @@ class TestMaintenance:
         index = AttributeIndex(graph)
         index.lookup("field", "SA")
         # Mutating the live attrs dict bypasses the version counter …
-        graph.attrs("dan")["field"] = "SA"
+        graph.attrs("dan")["field"] = "SA"  # repro-lint: disable=version-bump-discipline -- deliberately simulates an out-of-band write to exercise refresh()
         assert sorted(index.lookup("field", "SA")) == ["bob"]  # stale, by contract
         index.refresh()  # … so refresh() is the documented escape hatch.
         assert sorted(index.lookup("field", "SA")) == ["bob", "dan"]

@@ -17,6 +17,7 @@ DOC_FILES = [
     "README.md",
     "docs/architecture.md",
     "docs/performance.md",
+    "docs/development.md",
 ]
 
 

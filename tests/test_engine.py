@@ -134,6 +134,42 @@ class TestEvaluationRoutes:
             assert via_compressed.relation == direct.relation
 
 
+class TestOutOfBandStaleness:
+    """QueryCache reads validate Graph.version: a mutation that bypasses
+    ``update_graph`` (any direct write through the counting graph APIs)
+    must never let the engine serve a stale cached relation."""
+
+    def test_direct_mutation_invalidates_cached_result(self, engine):
+        engine.evaluate("fig1", paper_pattern())
+        # Write to the live graph directly, bypassing engine.update_graph:
+        # the version counter moves, so the cached relation is stale.
+        engine.graph("fig1").add_edge(*EDGE_E1)
+        second = engine.evaluate("fig1", paper_pattern())
+        assert second.stats["route"] == "direct"  # recomputed, not cached
+        assert engine.cache_stats()["stale_drops"] == 1
+        # The recomputed answer reflects the mutated graph (inserting e1
+        # promotes Bob's SA sponsorship per the paper's Example 5).
+        reference = engine.evaluate(
+            "fig1", paper_pattern(), use_cache=False, cache_result=False
+        )
+        assert second.relation == reference.relation
+
+    def test_explain_agrees_after_out_of_band_mutation(self, engine):
+        engine.evaluate("fig1", paper_pattern())
+        assert engine.explain("fig1", paper_pattern()).route == "cache"
+        engine.graph("fig1").add_edge(*EDGE_E1)
+        # explain() consults the same version-aware check evaluate() uses,
+        # so it must not promise a cache route evaluate() would miss.
+        assert engine.explain("fig1", paper_pattern()).route == "direct"
+
+    def test_attribute_write_invalidates_cached_result(self, engine):
+        engine.evaluate("fig1", paper_pattern())
+        engine.graph("fig1").set("Bob", "field", "BIO")
+        second = engine.evaluate("fig1", paper_pattern())
+        assert second.stats["route"] == "direct"
+        assert "Bob" not in second.relation.matches_of("SA")
+
+
 class TestCompressionManagement:
     def test_maintained_requires_bisimulation(self, engine):
         with pytest.raises(CompressionError, match="bisimulation"):
