@@ -7,7 +7,11 @@ entry point of the storage/engine boundary now wraps low-level failures
 in the :mod:`repro.errors` hierarchy.
 
 Scope: the boundary modules — ``engine/storage.py``, ``engine/engine.py``,
-``engine/cache.py``, ``graph/io.py`` and ``repro/cli.py``.
+``engine/cache.py``, ``graph/io.py``, ``repro/cli.py`` and the query
+service (``server/app.py``, ``server/registry.py``, ``server/wire.py``,
+``server/admission.py`` — wire decoding and the HTTP boundary must map
+malformed payloads to :class:`~repro.errors.ServerError`, never leak a
+``KeyError`` as a 500).
 
 What this rule matches, inside public functions/methods (no leading
 underscore, dunders exempt) of those modules:
@@ -37,6 +41,10 @@ BOUNDARY_SUFFIXES = (
     "engine/cache.py",
     "graph/io.py",
     "repro/cli.py",
+    "server/app.py",
+    "server/registry.py",
+    "server/wire.py",
+    "server/admission.py",
 )
 BUILTIN_ERRORS = frozenset(
     {"KeyError", "TypeError", "ValueError", "IndexError", "AttributeError"}

@@ -207,6 +207,66 @@ def _build_parser() -> argparse.ArgumentParser:
     snap_info.add_argument("--name", required=True, help="snapshot name")
     snap_info.set_defaults(handler=_cmd_snapshot_info)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-running concurrent query service "
+             "(MVCC-lite snapshot epochs over HTTP + JSON)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="TCP port (0 = ephemeral; printed at startup)")
+    serve.add_argument("--store", default=None,
+                       help="GraphStore root for --preload and persistence")
+    serve.add_argument("--preload", action="append", default=[], metavar="NAME",
+                       help="warm-start a stored graph at startup: mmap its "
+                            ".frozen.snap/.oracle.snap via the store so the "
+                            "first request never pays a freeze or label "
+                            "build; repeat per graph (needs --store)")
+    serve.add_argument("--graph", action="append", default=[],
+                       metavar="[NAME=]FILE",
+                       help="register a graph JSON file at startup "
+                            "(default name: the file's stem); repeatable")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="warm a persistent N-process evaluation pool at "
+                            "startup (default 1 = inline evaluation)")
+    serve.add_argument("--max-inflight", type=int, default=8,
+                       help="admission control: concurrent request cap")
+    serve.add_argument("--queue-depth", type=int, default=16,
+                       help="admission control: waiting-request cap beyond "
+                            "the inflight limit (excess gets HTTP 429)")
+    serve.add_argument("--admission-timeout", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="max wait for a free slot before HTTP 429")
+    serve.add_argument("--default-budget", type=int, default=None,
+                       metavar="VISITS",
+                       help="per-request node-visit budget applied when the "
+                            "request carries none (allow-partial semantics)")
+    serve.add_argument("--default-time-limit", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-request wall-clock limit applied when the "
+                            "request carries no budget")
+    serve.set_defaults(handler=_cmd_serve)
+
+    stats = sub.add_parser(
+        "stats",
+        help="surface cache/oracle/snapshot statistics for a running "
+             "service (--url) or a local engine (--graph)",
+    )
+    stats.add_argument("--url", default=None,
+                       help="base URL of a running `expfinder serve` "
+                            "instance; prints its /stats document")
+    stats.add_argument("--graph", default=None,
+                       help="graph JSON file for local-engine statistics")
+    stats.add_argument("--store", default=None,
+                       help="GraphStore root (lets the local engine fault "
+                            "persisted snapshots in, which the counters show)")
+    stats.add_argument("--name", default=None,
+                       help="store/registration name (default: file stem)")
+    stats.add_argument("--pattern", default=None, metavar="SPEC",
+                       help="run one query first so the counters show a "
+                            "live evaluation (pattern file or lib:<name>)")
+    stats.set_defaults(handler=_cmd_stats)
+
     # `lint` is dispatched in main() before argparse (its flags are owned
     # by repro.analysis.cli); registered here only so it shows in --help.
     lint = sub.add_parser(
@@ -725,6 +785,116 @@ def _cmd_compress(args: argparse.Namespace) -> int:
         save_graph(compressed.quotient, args.out)
         print(f"wrote quotient to {args.out}")
     return 0
+
+
+def _serve_config(args: argparse.Namespace):
+    """serve flags into a validated ServiceConfig (CliError on bad flags)."""
+    from repro.engine.estimator import QueryBudget
+    from repro.errors import EvaluationError, ServerError
+    from repro.server import ServiceConfig
+
+    _check_workers(args.workers)
+    default_budget = None
+    if args.default_budget is not None or args.default_time_limit is not None:
+        default_budget = QueryBudget(
+            node_visits=args.default_budget,
+            seconds=args.default_time_limit,
+            allow_partial=True,
+        )
+        try:
+            default_budget.validate()
+        except EvaluationError as exc:
+            raise CliError(
+                f"--default-budget/--default-time-limit: {exc}"
+            ) from None
+    try:
+        return ServiceConfig(
+            workers=args.workers,
+            max_inflight=args.max_inflight,
+            max_queue=args.queue_depth,
+            queue_timeout=args.admission_timeout,
+            default_budget=default_budget,
+        ).validated()
+    except ServerError as exc:
+        raise CliError(f"--max-inflight/--queue-depth: {exc}") from None
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Start the query service, preload/register graphs, serve until ^C."""
+    from repro.engine.storage import GraphStore
+    from repro.server import ExpFinderService, QueryServer
+
+    if args.preload and args.store is None:
+        raise CliError("--preload needs --store (snapshots live in a store)")
+    store = GraphStore(args.store) if args.store is not None else None
+    service = ExpFinderService(_serve_config(args), store=store)
+    try:
+        for name in args.preload:
+            info = service.preload(name)
+            print(
+                f"preloaded {name!r}: {info['nodes']} nodes / "
+                f"{info['edges']} edges, epoch {info['epoch']}, "
+                f"oracle={'yes' if info['oracle'] else 'no'} "
+                f"({info['fault_ins']} snapshot fault-ins, no freeze)"
+            )
+        for spec in args.graph:
+            name, eq, path = spec.partition("=")
+            if not eq:
+                name, path = Path(spec).stem, spec
+            if not name or not path:
+                raise CliError(f"bad graph spec {spec!r}; expected [NAME=]FILE")
+            graph = load_graph(path)
+            info = service.register_graph(name, graph)
+            print(
+                f"registered {name!r}: {info['nodes']} nodes / "
+                f"{info['edges']} edges, epoch {info['epoch']}"
+            )
+        with QueryServer(service, host=args.host, port=args.port) as server:
+            host, port = server.address
+            print(f"serving on http://{host}:{port} (Ctrl-C to stop)")
+            try:
+                server.serve_forever()
+            except KeyboardInterrupt:
+                print("shutting down")
+        return 0
+    finally:
+        service.close()
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Print cache/oracle/snapshot statistics as pretty JSON."""
+    import json
+
+    if (args.url is None) == (args.graph is None):
+        raise CliError("pass exactly one of --url (running service) "
+                       "or --graph (local engine)")
+    if args.url is not None:
+        import urllib.error
+        import urllib.request
+
+        endpoint = args.url.rstrip("/") + "/stats"
+        try:
+            with urllib.request.urlopen(endpoint, timeout=10) as response:
+                document = json.loads(response.read())
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            raise CliError(f"cannot fetch {endpoint}: {exc}") from None
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+    from repro.engine.engine import QueryEngine
+    from repro.engine.storage import GraphStore
+
+    graph = load_graph(args.graph)
+    name = args.name if args.name is not None else Path(args.graph).stem
+    store = GraphStore(args.store) if args.store is not None else None
+    engine = QueryEngine(store=store)
+    engine.register_graph(name, graph)
+    try:
+        if args.pattern is not None:
+            engine.evaluate(name, _resolve_pattern(args.pattern))
+        print(json.dumps(engine.stats(), indent=2, sort_keys=True))
+        return 0
+    finally:
+        engine.close()
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:

@@ -14,6 +14,7 @@ Those two sentences define this module:
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any
@@ -57,6 +58,11 @@ class QueryCache:
     pinned entry's maintainer never saw the out-of-band mutation either,
     so its relation is just as unreliable) and reports a miss.
 
+    Structural operations hold an internal lock: the query service shares
+    one cache per snapshot epoch across reader threads, and a check-then-
+    delete sequence (stale drop, eviction) torn between two threads would
+    raise ``KeyError`` from inside the cache.
+
     >>> cache = QueryCache(capacity=2)
     >>> cache.stats()["size"]
     0
@@ -67,6 +73,7 @@ class QueryCache:
             raise CacheError(f"capacity must be >= 1: {capacity}")
         self.capacity = capacity
         self._entries: "OrderedDict[CacheKey, CacheEntry]" = OrderedDict()
+        self._lock = threading.RLock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -75,21 +82,22 @@ class QueryCache:
 
     # ------------------------------------------------------------------
     def get(self, key: CacheKey, graph_version: int) -> CacheEntry | None:
-        entry = self._entries.get(key)
-        if entry is None:
-            self._misses += 1
-            return None
-        if entry.graph_version != graph_version:
-            # Out-of-band mutation (a write that bypassed update_graph):
-            # the relation answers for a graph that no longer exists.
-            del self._entries[key]
-            self._stale_drops += 1
-            self._misses += 1
-            return None
-        self._entries.move_to_end(key)
-        entry.hits += 1
-        self._hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            if entry.graph_version != graph_version:
+                # Out-of-band mutation (a write that bypassed update_graph):
+                # the relation answers for a graph that no longer exists.
+                del self._entries[key]
+                self._stale_drops += 1
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            entry.hits += 1
+            self._hits += 1
+            return entry
 
     def fresh(self, key: CacheKey, graph_version: int) -> bool:
         """Non-mutating version-aware lookup for planning/explain paths.
@@ -110,23 +118,24 @@ class QueryCache:
         pinned: bool = False,
         maintainer: Any = None,
     ) -> CacheEntry:
-        existing = self._entries.get(key)
-        if existing is not None and existing.pinned and not pinned:
-            # Refreshing a pinned entry's relation must not unpin it.
-            existing.relation = relation
-            existing.graph_version = graph_version
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None and existing.pinned and not pinned:
+                # Refreshing a pinned entry's relation must not unpin it.
+                existing.relation = relation
+                existing.graph_version = graph_version
+                self._entries.move_to_end(key)
+                return existing
+            entry = CacheEntry(
+                relation=relation,
+                graph_version=graph_version,
+                pinned=pinned,
+                maintainer=maintainer,
+            )
+            self._entries[key] = entry
             self._entries.move_to_end(key)
-            return existing
-        entry = CacheEntry(
-            relation=relation,
-            graph_version=graph_version,
-            pinned=pinned,
-            maintainer=maintainer,
-        )
-        self._entries[key] = entry
-        self._entries.move_to_end(key)
-        self._evict_if_needed()
-        return entry
+            self._evict_if_needed()
+            return entry
 
     def _evict_if_needed(self) -> None:
         while len(self._entries) > self.capacity:
@@ -140,44 +149,49 @@ class QueryCache:
 
     # ------------------------------------------------------------------
     def pin(self, key: CacheKey, maintainer: Any = None) -> None:
-        try:
-            entry = self._entries[key]
-        except KeyError:
-            raise CacheError("cannot pin a result that is not cached") from None
-        entry.pinned = True
-        if maintainer is not None:
-            entry.maintainer = maintainer
+        with self._lock:
+            try:
+                entry = self._entries[key]
+            except KeyError:
+                raise CacheError("cannot pin a result that is not cached") from None
+            entry.pinned = True
+            if maintainer is not None:
+                entry.maintainer = maintainer
 
     def unpin(self, key: CacheKey) -> None:
-        entry = self._entries.get(key)
-        if entry is None:
-            raise CacheError("cannot unpin a result that is not cached")
-        entry.pinned = False
-        entry.maintainer = None
-        self._evict_if_needed()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                raise CacheError("cannot unpin a result that is not cached")
+            entry.pinned = False
+            entry.maintainer = None
+            self._evict_if_needed()
 
     def pinned_entries(self, graph_name: str) -> list[tuple[CacheKey, CacheEntry]]:
         """All pinned entries for one graph (the update path walks these)."""
-        return [
-            (key, entry)
-            for key, entry in self._entries.items()
-            if entry.pinned and key[0] == graph_name
-        ]
+        with self._lock:
+            return [
+                (key, entry)
+                for key, entry in self._entries.items()
+                if entry.pinned and key[0] == graph_name
+            ]
 
     def invalidate_graph(self, graph_name: str, keep_pinned: bool = True) -> int:
         """Drop entries of a graph (pinned ones survive by default)."""
-        doomed = [
-            key
-            for key, entry in self._entries.items()
-            if key[0] == graph_name and not (keep_pinned and entry.pinned)
-        ]
-        for key in doomed:
-            del self._entries[key]
-        self._invalidations += len(doomed)
-        return len(doomed)
+        with self._lock:
+            doomed = [
+                key
+                for key, entry in self._entries.items()
+                if key[0] == graph_name and not (keep_pinned and entry.pinned)
+            ]
+            for key in doomed:
+                del self._entries[key]
+            self._invalidations += len(doomed)
+            return len(doomed)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     # ------------------------------------------------------------------
     def __contains__(self, key: object) -> bool:
@@ -489,6 +503,9 @@ class RankCache:
             raise CacheError(f"capacity must be >= 1: {capacity}")
         self.capacity = capacity
         self._entries: "OrderedDict[CacheKey, RankEntry]" = OrderedDict()
+        # Same locking rationale as QueryCache: epoch-shared across the
+        # query service's reader threads.
+        self._lock = threading.RLock()
         self._hits = 0
         self._misses = 0
         self._stale_drops = 0
@@ -496,45 +513,48 @@ class RankCache:
 
     def get(self, key: CacheKey, graph_version: int) -> RankEntry | None:
         """The entry for ``key`` iff it matches ``graph_version``."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self._misses += 1
-            return None
-        if entry.graph_version != graph_version:
-            del self._entries[key]
-            self._stale_drops += 1
-            self._misses += 1
-            return None
-        self._entries.move_to_end(key)
-        entry.hits += 1
-        self._hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            if entry.graph_version != graph_version:
+                del self._entries[key]
+                self._stale_drops += 1
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            entry.hits += 1
+            self._hits += 1
+            return entry
 
     def peek(self, key: CacheKey) -> RankEntry | None:
         """Raw access without version checks or stats (maintenance paths)."""
         return self._entries.get(key)
 
     def put(self, key: CacheKey, context: Any, graph_version: int) -> RankEntry:
-        entry = RankEntry(context=context, graph_version=graph_version)
-        self._entries[key] = entry
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-        return entry
+        with self._lock:
+            entry = RankEntry(context=context, graph_version=graph_version)
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+            return entry
 
     def invalidate_graph(
         self, graph_name: str, keep: "set[CacheKey] | None" = None
     ) -> int:
         """Drop a graph's entries, except those in ``keep`` (refreshed ones)."""
-        doomed = [
-            key
-            for key in self._entries
-            if key[0] == graph_name and (keep is None or key not in keep)
-        ]
-        for key in doomed:
-            del self._entries[key]
-        self._invalidations += len(doomed)
-        return len(doomed)
+        with self._lock:
+            doomed = [
+                key
+                for key in self._entries
+                if key[0] == graph_name and (keep is None or key not in keep)
+            ]
+            for key in doomed:
+                del self._entries[key]
+            self._invalidations += len(doomed)
+            return len(doomed)
 
     def __contains__(self, key: object) -> bool:
         return key in self._entries

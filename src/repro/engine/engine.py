@@ -1186,6 +1186,40 @@ class QueryEngine:
         stats["oracles"] = self._oracles.stats()
         return stats
 
+    def stats(self) -> dict[str, Any]:
+        """Every cache subsystem's counters in one JSON-friendly dict.
+
+        The one-stop aggregate the ``expfinder stats`` subcommand and the
+        query service's ``/stats`` endpoint surface: query/rank/snapshot/
+        oracle cache counters plus the registered graph inventory.
+        """
+        return {
+            "graphs": {
+                name: {
+                    "nodes": entry.graph.num_nodes,
+                    "edges": entry.graph.num_edges,
+                    "version": entry.graph.version,
+                    "oracle": entry.oracle_config is not None,
+                }
+                for name, entry in sorted(self._registered.items())
+            },
+            "cache": self._cache.stats(),
+            "rank_cache": self._rank_cache.stats(),
+            "snapshots": self._snapshots.stats(),
+            "oracles": self._oracles.stats(),
+        }
+
+    def warm_pool(self, workers: int | None) -> None:
+        """Pre-build the persistent worker pool for ``workers`` (> 1).
+
+        Long-running callers (the query service) invoke this at startup so
+        pool construction happens once, off the request path; with one
+        worker evaluation runs inline and there is nothing to warm.
+        """
+        count = validate_workers(workers)
+        if count > 1:
+            self._executor(count).warm()
+
     def persist_graph(self, name: str) -> None:
         """Write a registered graph to the file store."""
         if self.store is None:

@@ -45,6 +45,7 @@ measures both situations honestly.
 from __future__ import annotations
 
 import multiprocessing
+import threading
 import time
 from array import array
 from pathlib import Path
@@ -172,6 +173,64 @@ def _resolve_shard_guard() -> "QueryGuard | None":
     return QueryGuard(budget, shared_counter=counter, deadline=deadline)
 
 
+# Persistent-pool guarded state.  The shared visit counter is installed
+# once per worker at pool creation (the initializer runs under fork and
+# spawn alike), so a guarded task only needs to carry its budget — the
+# counter that aggregates visits across workers is already in place and
+# the pool never has to be rebuilt per guarded call.
+_persistent_counter: Any = None
+
+#: Worker-side memo of snapshot/oracle files already mapped in, so a
+#: long-lived pool worker pays ``load_frozen_file`` once per file rather
+#: than once per task.  Bounded: it resets rather than grows.
+_persistent_loads: dict[str, Any] = {}
+_PERSISTENT_LOAD_SLOTS = 8
+
+
+def _init_persistent_worker(counter: Any) -> None:
+    global _persistent_counter
+    _persistent_counter = counter
+
+
+def _load_memo(path: Any, loader: Callable[[Any], Any]) -> Any:
+    key = str(path)
+    obj = _persistent_loads.get(key)
+    if obj is None:
+        if len(_persistent_loads) >= _PERSISTENT_LOAD_SLOTS:
+            _persistent_loads.clear()
+        obj = _persistent_loads[key] = loader(path)
+    return obj
+
+
+def _resolve_persistent(frozen: Any, oracle: Any) -> tuple[Any, Any]:
+    """Like :func:`_resolve_shipped`, but memoized per worker process."""
+    from repro.engine.storage import load_frozen_file, load_oracle_file
+
+    if isinstance(frozen, (str, Path)):
+        frozen = _load_memo(frozen, load_frozen_file)
+    if isinstance(oracle, (str, Path)):
+        oracle = _load_memo(oracle, load_oracle_file)
+    return frozen, oracle
+
+
+def _shard_rows_guarded(
+    task: "tuple[ShardPayload, Any, Any, QueryBudget]",
+) -> tuple[dict[PatternEdge, dict[NodeId, dict[NodeId, int]]], dict[str, Any]]:
+    """One guarded shard on the *persistent* pool.
+
+    The task carries everything a long-lived worker does not already
+    hold: the shard payload, the shipped shared snapshot/oracle (a file
+    path when mmap-backed — memoized per worker — or attribute-less flat
+    buffers) and the call's budget.  The guard wraps the process-wide
+    shared counter installed at pool creation, so one node budget still
+    governs the whole fan-out exactly like the dedicated-pool path.
+    """
+    payload, shipped_frozen, shipped_oracle, budget = task
+    shared_frozen, shared_oracle = _resolve_persistent(shipped_frozen, shipped_oracle)
+    guard = QueryGuard(budget, shared_counter=_persistent_counter)
+    return _shard_rows_core(payload, shared_frozen, shared_oracle, guard)
+
+
 def validate_workers(workers: int | None) -> int:
     """Normalize a ``workers`` argument: ``None`` means sequential (1).
 
@@ -200,17 +259,28 @@ def _shard_rows(
     guard charges the *shared* visit counter, so a blown budget stops
     every sibling at its next check, not just this shard.
     """
+    return _shard_rows_core(
+        payload, _shared_frozen, _shared_oracle, _resolve_shard_guard()
+    )
+
+
+def _shard_rows_core(
+    payload: ShardPayload,
+    shared_frozen: "FrozenGraph | None",
+    shared_oracle: "DistanceOracle | None",
+    guard: "QueryGuard | None",
+) -> tuple[dict[PatternEdge, dict[NodeId, dict[NodeId, int]]], dict[str, Any]]:
+    """The shard kernel shared by the global-state and task-state entries."""
     frozen, edges_spec, pivots, candidate_arrays, oracle_slice = payload
     if frozen is None:
-        frozen = _shared_frozen
+        frozen = shared_frozen
         assert frozen is not None, "shared snapshot was not installed"
         # Shared-snapshot shards query the process-shared oracle directly
         # (full ids); materialized ball shards carry their own label slice
         # re-keyed to ball ids.
-        oracle = oracle_slice if oracle_slice is not None else _shared_oracle
+        oracle = oracle_slice if oracle_slice is not None else shared_oracle
     else:
         oracle = oracle_slice
-    guard = _resolve_shard_guard()
     candidate_ids = {u: frozenset(ids) for u, ids in candidate_arrays.items()}
     rows_ids = frozen_successor_rows(
         frozen, edges_spec, candidate_ids, sources_by_node=pivots, oracle=oracle,
@@ -328,14 +398,52 @@ class ParallelExecutor:
         self.workers = validate_workers(workers)
         self._ctx = multiprocessing.get_context(start_method)
         self._pool = None
+        #: Total worker pools this executor has created (persistent and
+        #: dedicated alike) — the regression counter the pool-churn tests
+        #: watch: steady-state guarded serving must not move it.
+        self.pools_created = 0
+        # The shared visit counter all persistent-pool guards wrap; it is
+        # allocated with the pool so every worker receives it through the
+        # initializer, and guarded calls are serialized by ``_guard_serial``
+        # (one budget at a time owns the counter).
+        self._guard_counter: Any = None
+        self._guard_serial = threading.Lock()
 
     # ------------------------------------------------------------------
     # pool lifecycle
     # ------------------------------------------------------------------
     def _query_pool(self) -> Any:
         if self._pool is None:
-            self._pool = self._ctx.Pool(self.workers)
+            if self._guard_counter is None:
+                self._guard_counter = self._ctx.Value("q", 0)
+            self._pool = self._ctx.Pool(
+                self.workers,
+                initializer=_init_persistent_worker,
+                initargs=(self._guard_counter,),
+            )
+            self.pools_created += 1
         return self._pool
+
+    def _dedicated_pool(self, **kwargs: Any) -> Any:
+        """A single-call pool (counted in :attr:`pools_created`).
+
+        Dedicated pools remain for work that cannot share the persistent
+        one: wall-clock-guarded fan-outs (termination mid-flight) and the
+        fork paths that inherit call-specific module globals.
+        """
+        self.pools_created += 1
+        return self._ctx.Pool(self.workers, **kwargs)
+
+    def warm(self) -> "ParallelExecutor":
+        """Create the persistent pool now, off any request path.
+
+        Long-running services call this at startup so the first guarded
+        or sharded query never pays pool construction.  With one worker
+        there is nothing to warm (everything runs inline).
+        """
+        if self.workers > 1:
+            self._query_pool()
+        return self
 
     def close(self) -> None:
         """Terminate the worker pool (idempotent)."""
@@ -460,10 +568,18 @@ class ParallelExecutor:
                 _set_shard_guard(None)
             if guard is not None:
                 guard_stats = guard.stats()
+        elif guarded and budget.seconds is None:
+            # Node-only budgets never need to kill workers mid-flight, so
+            # they run on the persistent pool: the shared visit counter was
+            # installed at pool creation and pool construction stays off
+            # the per-call path (the churn the serving layer cares about).
+            results, guard_stats = self._guarded_persistent_map(
+                frozen, payloads, oracle, budget
+            )
         elif guarded:
-            # Guarded fan-out always uses a dedicated pool: the shared
-            # visit counter must exist before workers fork, and a
-            # wall-clock abort terminates the pool mid-flight.
+            # A wall-clock limit may require terminating in-flight workers,
+            # which would destroy a persistent pool — only these calls pay
+            # for a dedicated pool.
             results, guard_stats = self._guarded_map(
                 frozen, payloads, oracle, budget
             )
@@ -638,6 +754,53 @@ class ParallelExecutor:
         label_slice.edges = frozenset(routed)
         return label_slice
 
+    def _guarded_persistent_map(
+        self,
+        frozen: FrozenGraph,
+        payloads: list[ShardPayload],
+        oracle: DistanceOracle | None,
+        budget: QueryBudget,
+    ) -> tuple[list, dict[str, Any]]:
+        """Fan guarded shard work out over the *persistent* pool.
+
+        For budgets without a wall-clock limit nothing ever has to be
+        terminated mid-flight, so the long-lived pool can serve guarded
+        calls too — tasks carry the shipped snapshot (a file path for
+        mmap-backed stores, memoized worker-side) and the budget, while
+        the shared visit counter installed at pool creation aggregates
+        work across workers exactly like the dedicated-pool path.  Calls
+        are serialized: one budget at a time owns the counter.
+        ``Pool.map`` waits for every task before raising the first error,
+        so no straggler outlives the call and charges a reset counter.
+        """
+        shipped_frozen, shipped_oracle = _shipment(frozen, oracle)
+        with self._guard_serial:
+            pool = self._query_pool()
+            counter = self._guard_counter
+            with counter.get_lock():
+                counter.value = 0
+            tasks = [
+                (payload, shipped_frozen, shipped_oracle, budget)
+                for payload in payloads
+            ]
+            results = pool.map(_shard_rows_guarded, tasks)
+            visits = counter.value
+        tripped = None
+        replans = 0
+        for _rows, info in results:
+            replans += info.get("replans", 0)
+            if tripped is None and info.get("guard"):
+                tripped = info["guard"]
+        guard_stats: dict[str, Any] = {
+            "partial": tripped is not None,
+            "visits": visits,
+        }
+        if tripped is not None:
+            guard_stats["guard"] = tripped
+        if replans:
+            guard_stats["replans"] = replans
+        return results, guard_stats
+
     def _guarded_map(
         self,
         frozen: FrozenGraph,
@@ -670,10 +833,9 @@ class ParallelExecutor:
         _set_shard_guard((budget, counter, deadline))
         try:
             if self._ctx.get_start_method() == "fork":
-                pool = self._ctx.Pool(self.workers)
+                pool = self._dedicated_pool()
             else:
-                pool = self._ctx.Pool(
-                    self.workers,
+                pool = self._dedicated_pool(
                     initializer=_init_guarded_worker,
                     initargs=(*_shipment(frozen, oracle), budget, counter, deadline),
                 )
@@ -734,12 +896,11 @@ class ParallelExecutor:
         _set_shared_frozen(frozen, oracle)
         try:
             if self._ctx.get_start_method() == "fork":
-                pool = self._ctx.Pool(self.workers)
+                pool = self._dedicated_pool()
             else:
                 # Workers only traverse: ship the adjacency-only twin —
                 # or just the file path when the snapshot is mmap-backed.
-                pool = self._ctx.Pool(
-                    self.workers,
+                pool = self._dedicated_pool(
                     initializer=_init_shared_worker,
                     initargs=_shipment(frozen, oracle),
                 )
@@ -793,10 +954,9 @@ class ParallelExecutor:
             _init_rank_worker(context, metric)
             try:
                 if self._ctx.get_start_method() == "fork":
-                    pool = self._ctx.Pool(self.workers)
+                    pool = self._dedicated_pool()
                 else:  # pragma: no cover - non-fork platforms
-                    pool = self._ctx.Pool(
-                        self.workers,
+                    pool = self._dedicated_pool(
                         initializer=_init_rank_worker,
                         initargs=(context, metric),
                     )
@@ -876,7 +1036,7 @@ class ParallelExecutor:
                 # the parent's module globals for free (copy-on-write);
                 # nothing to pickle.
                 _init_batch_worker(graph, table, frozen, oracle, budget)
-                pool = self._ctx.Pool(self.workers)
+                pool = self._dedicated_pool()
             else:
                 # Matchers in workers get candidates from the table, so
                 # the snapshot ships without its attribute columns (or as
@@ -885,8 +1045,7 @@ class ParallelExecutor:
                     shipped_frozen = shipped_oracle = None
                 else:
                     shipped_frozen, shipped_oracle = _shipment(frozen, oracle)
-                pool = self._ctx.Pool(
-                    self.workers,
+                pool = self._dedicated_pool(
                     initializer=_init_batch_worker,
                     initargs=(graph, table, shipped_frozen, shipped_oracle, budget),
                 )
@@ -936,12 +1095,11 @@ class ParallelExecutor:
         if len(chunks) <= 1:
             return [function(chunk) for chunk in chunks]
         if self._ctx.get_start_method() == "fork":
-            pool = self._ctx.Pool(self.workers)
+            pool = self._dedicated_pool()
         else:  # pragma: no cover - non-fork platforms
             from repro.graph.oracle import _build_context
 
-            pool = self._ctx.Pool(
-                self.workers,
+            pool = self._dedicated_pool(
                 initializer=set_build_context,
                 initargs=(_build_context,),
             )

@@ -533,6 +533,19 @@ class GraphStore:
             p.name[: -len(suffix)] for p in self._snapshots.glob(f"*{suffix}")
         )
 
+    def artifacts(self, name: str) -> dict[str, bool]:
+        """Which persisted artifacts exist for ``name``.
+
+        The query service's preload path uses this one call to decide how
+        warm a start it can offer: a graph alone means load-and-freeze, a
+        snapshot means mmap fault-in, an oracle means no label build.
+        """
+        return {
+            "graph": self.has_graph(name),
+            "snapshot": self.has_snapshot(name),
+            "oracle": self.has_oracle(name),
+        }
+
     def snapshot_info(self, name: str, kind: str = "frozen") -> dict[str, Any]:
         """Header/metadata summary of a stored snapshot or oracle file."""
         if kind not in ("frozen", "oracle"):

@@ -58,5 +58,18 @@ class CacheError(ReproError):
     """Query cache misuse (e.g. pinning a query for an unknown graph)."""
 
 
+class ServerError(ReproError):
+    """The query service received an invalid request or is misconfigured."""
+
+
+class AdmissionError(ServerError):
+    """The query service refused a request at admission control.
+
+    Raised when the bounded worker budget is exhausted and the waiting
+    queue is full (or the wait timed out); the HTTP layer maps it to a
+    ``429 Too Many Requests`` response so well-behaved clients back off.
+    """
+
+
 class CliError(ReproError):
     """Command-line front end received invalid arguments or files."""

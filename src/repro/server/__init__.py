@@ -1,0 +1,28 @@
+"""Long-running concurrent query service (MVCC-lite snapshot epochs).
+
+Public surface:
+
+* :class:`~repro.server.registry.SnapshotRegistry` /
+  :class:`~repro.server.registry.Epoch` /
+  :class:`~repro.server.registry.EpochHandle` — pinned immutable reads,
+  atomic epoch publishing;
+* :class:`~repro.server.admission.AdmissionController` — bounded
+  inflight/queue admission;
+* :class:`~repro.server.app.ExpFinderService` — the in-process facade;
+* :class:`~repro.server.app.QueryServer` — the HTTP front end
+  (``expfinder serve``).
+"""
+
+from repro.server.admission import AdmissionController
+from repro.server.app import ExpFinderService, QueryServer, ServiceConfig
+from repro.server.registry import Epoch, EpochHandle, SnapshotRegistry
+
+__all__ = [
+    "AdmissionController",
+    "Epoch",
+    "EpochHandle",
+    "ExpFinderService",
+    "QueryServer",
+    "ServiceConfig",
+    "SnapshotRegistry",
+]

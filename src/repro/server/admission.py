@@ -1,0 +1,126 @@
+"""Admission control: a bounded worker budget with a bounded wait queue.
+
+A ThreadingHTTPServer spawns one thread per connection, so without a gate
+a traffic spike turns into unbounded concurrent matcher runs — memory
+blow-up and collapsing tail latency.  The controller caps *executing*
+requests at ``max_inflight``; up to ``max_queue`` more may wait at most
+``queue_timeout`` seconds for a slot, and everything beyond that is
+refused immediately with :class:`~repro.errors.AdmissionError` (HTTP
+429).  Waiters are served in semaphore order; the counters expose how
+often the service ran hot.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.errors import AdmissionError, ServerError
+
+
+class AdmissionController:
+    """Gate work behind ``max_inflight`` slots and a bounded wait queue.
+
+    >>> controller = AdmissionController(max_inflight=2, max_queue=0)
+    >>> with controller.slot():
+    ...     controller.stats()["inflight"]
+    1
+    """
+
+    def __init__(
+        self,
+        max_inflight: int = 8,
+        max_queue: int = 16,
+        queue_timeout: float = 5.0,
+    ) -> None:
+        if max_inflight < 1:
+            raise ServerError(f"max_inflight must be >= 1: {max_inflight}")
+        if max_queue < 0:
+            raise ServerError(f"max_queue must be >= 0: {max_queue}")
+        if queue_timeout < 0:
+            raise ServerError(f"queue_timeout must be >= 0: {queue_timeout}")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.queue_timeout = queue_timeout
+        self._slots = threading.Semaphore(max_inflight)
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._waiting = 0
+        self._admitted = 0
+        self._rejected_full = 0
+        self._rejected_timeout = 0
+        self._peak_inflight = 0
+        self._peak_waiting = 0
+
+    # ------------------------------------------------------------------
+    def acquire(self) -> None:
+        """Take a slot or raise :class:`AdmissionError`.
+
+        Fast path: a free slot admits immediately.  Otherwise the caller
+        joins the wait queue if it has room — a full queue refuses on the
+        spot — and is refused if no slot frees within ``queue_timeout``.
+        """
+        if self._slots.acquire(blocking=False):
+            self._admitted_one(waited=False)
+            return
+        with self._lock:
+            if self._waiting >= self.max_queue:
+                self._rejected_full += 1
+                raise AdmissionError(
+                    f"service saturated: {self.max_inflight} in flight and "
+                    f"{self._waiting} already queued (queue depth "
+                    f"{self.max_queue}); retry with backoff"
+                )
+            self._waiting += 1
+            self._peak_waiting = max(self._peak_waiting, self._waiting)
+        try:
+            admitted = self._slots.acquire(timeout=self.queue_timeout)
+        finally:
+            with self._lock:
+                self._waiting -= 1
+        if not admitted:
+            with self._lock:
+                self._rejected_timeout += 1
+            raise AdmissionError(
+                f"service saturated: no worker slot freed within "
+                f"{self.queue_timeout}s (inflight cap {self.max_inflight}); "
+                "retry with backoff"
+            )
+        self._admitted_one(waited=True)
+
+    def release(self) -> None:
+        with self._lock:
+            self._inflight -= 1
+        self._slots.release()
+
+    @contextmanager
+    def slot(self) -> Iterator[None]:
+        """``with controller.slot():`` — acquire around one request."""
+        self.acquire()
+        try:
+            yield
+        finally:
+            self.release()
+
+    def _admitted_one(self, waited: bool) -> None:
+        with self._lock:
+            self._inflight += 1
+            self._admitted += 1
+            self._peak_inflight = max(self._peak_inflight, self._inflight)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "max_inflight": self.max_inflight,
+                "max_queue": self.max_queue,
+                "queue_timeout": self.queue_timeout,
+                "inflight": self._inflight,
+                "waiting": self._waiting,
+                "admitted": self._admitted,
+                "rejected_full": self._rejected_full,
+                "rejected_timeout": self._rejected_timeout,
+                "peak_inflight": self._peak_inflight,
+                "peak_waiting": self._peak_waiting,
+            }

@@ -1,0 +1,441 @@
+"""The query service: epochs + admission + a stdlib HTTP front end.
+
+Layering (each usable on its own):
+
+* :class:`ExpFinderService` — the in-process facade: graph registration,
+  epoch-pinned reads, atomic update publishing, admission control and a
+  warm :class:`~repro.engine.parallel.ParallelExecutor` pool built at
+  startup.  Tests and benchmarks drive this object directly; its read
+  path is byte-identical to :class:`~repro.engine.engine.QueryEngine`.
+* :class:`QueryServer` — ``ThreadingHTTPServer`` + JSON around the
+  service; one daemon thread per connection, HTTP/1.1 keep-alive.
+
+Endpoints::
+
+    GET  /health                          liveness + graph inventory
+    GET  /stats                           registry/admission/request counters
+    POST /graphs                          {"name", "graph"} register a graph
+    POST /graphs/<name>/evaluate          {"pattern", "budget"?}
+    POST /graphs/<name>/batch             {"patterns": [...], "budget"?}
+    POST /graphs/<name>/topk              {"pattern", "k", "budget"?}
+    POST /graphs/<name>/explain           {"pattern"}
+    POST /graphs/<name>/update            {"updates": [...]}
+
+Error mapping: :class:`~repro.errors.AdmissionError` → 429,
+:class:`~repro.errors.BudgetExceededError` → 408, any other
+:class:`~repro.errors.ReproError` → 400, everything else → 500.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.engine.estimator import QueryBudget
+from repro.engine.parallel import ParallelExecutor, validate_workers
+from repro.errors import ReproError, ServerError
+from repro.graph.digraph import Graph
+from repro.graph.io import graph_from_dict
+from repro.server.admission import AdmissionController
+from repro.server.registry import SnapshotRegistry
+from repro.server.wire import (
+    decode_budget,
+    decode_pattern,
+    decode_updates,
+    encode_ranked,
+    encode_relation,
+    error_payload,
+    error_status,
+)
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of one service instance (all have serving-safe defaults)."""
+
+    workers: int = 1
+    max_inflight: int = 8
+    max_queue: int = 16
+    queue_timeout: float = 5.0
+    cache_capacity: int = 64
+    default_budget: QueryBudget | None = None
+    oracle: dict[str, Any] | None = field(default=None)
+
+    def validated(self) -> "ServiceConfig":
+        validate_workers(self.workers)
+        # the same checks the controller applies, surfaced at config time
+        # so the CLI can name the offending flag
+        AdmissionController(
+            max_inflight=self.max_inflight,
+            max_queue=self.max_queue,
+            queue_timeout=self.queue_timeout,
+        )
+        if self.default_budget is not None:
+            self.default_budget.validate()
+        return self
+
+
+class ExpFinderService:
+    """Registry + admission + warm pool behind one facade.
+
+    The executor pool (``workers > 1``) is built once at construction —
+    :meth:`ParallelExecutor.warm` — so no request ever pays pool
+    construction; executor use is serialized because the sharded path
+    installs module globals (per-call pools would race otherwise).
+    """
+
+    def __init__(self, config: ServiceConfig | None = None, store: Any = None) -> None:
+        self.config = (config or ServiceConfig()).validated()
+        self.registry = SnapshotRegistry(
+            store=store, cache_capacity=self.config.cache_capacity
+        )
+        self.admission = AdmissionController(
+            max_inflight=self.config.max_inflight,
+            max_queue=self.config.max_queue,
+            queue_timeout=self.config.queue_timeout,
+        )
+        self._executor: ParallelExecutor | None = None
+        if self.config.workers > 1:
+            self._executor = ParallelExecutor(self.config.workers).warm()
+        self._requests_lock = threading.Lock()
+        self._requests: dict[str, int] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            if self._executor is not None:
+                self._executor.close()
+
+    def __enter__(self) -> "ExpFinderService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _count(self, endpoint: str) -> None:
+        with self._requests_lock:
+            self._requests[endpoint] = self._requests.get(endpoint, 0) + 1
+
+    # ------------------------------------------------------------------
+    # graph management
+    # ------------------------------------------------------------------
+    def register_graph(
+        self,
+        name: str,
+        graph: Graph,
+        oracle: dict[str, Any] | None = None,
+        replace: bool = False,
+    ) -> dict[str, Any]:
+        self._count("register")
+        epoch = self.registry.register(
+            name, graph, oracle=oracle or self.config.oracle, replace=replace
+        )
+        return {
+            "graph": name,
+            "epoch": epoch.epoch_id,
+            "nodes": epoch.graph.num_nodes,
+            "edges": epoch.graph.num_edges,
+            "oracle": epoch.oracle is not None,
+        }
+
+    def preload(self, name: str) -> dict[str, Any]:
+        """Warm-start ``name`` from the store (mmap snapshots, no freeze)."""
+        self._count("preload")
+        epoch = self.registry.preload(name, oracle=self.config.oracle)
+        return {
+            "graph": name,
+            "epoch": epoch.epoch_id,
+            "nodes": epoch.graph.num_nodes,
+            "edges": epoch.graph.num_edges,
+            "oracle": epoch.oracle is not None,
+            "fault_ins": self.registry.counters["fault_ins"],
+        }
+
+    def update_graph(self, name: str, payload: dict[str, Any]) -> dict[str, Any]:
+        """Apply a wire-format update batch; publish the next epoch."""
+        self._count("update")
+        updates = decode_updates(payload)
+        epoch = self.registry.publish(name, updates)
+        return {
+            "graph": name,
+            "epoch": epoch.epoch_id,
+            "graph_version": epoch.graph.version,
+            "applied": len(updates),
+        }
+
+    # ------------------------------------------------------------------
+    # reads (admission-gated, epoch-pinned)
+    # ------------------------------------------------------------------
+    def evaluate(self, name: str, payload: dict[str, Any]) -> dict[str, Any]:
+        self._count("evaluate")
+        pattern = decode_pattern(payload)
+        budget = decode_budget(payload, default=self.config.default_budget)
+        with self.admission.slot():
+            with self.registry.pin(name) as epoch:
+                result = epoch.evaluate(pattern, budget=budget)
+                return {
+                    "graph": name,
+                    "epoch": epoch.epoch_id,
+                    "graph_version": epoch.graph.version,
+                    "relation": encode_relation(result.relation),
+                    "stats": _json_stats(result.stats),
+                }
+
+    def batch(self, name: str, payload: dict[str, Any]) -> dict[str, Any]:
+        """Evaluate several patterns against ONE pinned epoch.
+
+        The whole batch sees a single consistent graph version even if
+        updates publish mid-batch — that is the point of the pin.
+        """
+        self._count("batch")
+        raw = payload.get("patterns")
+        if not isinstance(raw, list) or not raw:
+            raise ServerError("request needs a non-empty 'patterns' array")
+        patterns = [
+            decode_pattern({"pattern": text}, field="pattern") for text in raw
+        ]
+        budget = decode_budget(payload, default=self.config.default_budget)
+        with self.admission.slot():
+            with self.registry.pin(name) as epoch:
+                results = [
+                    epoch.evaluate(pattern, budget=budget) for pattern in patterns
+                ]
+                return {
+                    "graph": name,
+                    "epoch": epoch.epoch_id,
+                    "graph_version": epoch.graph.version,
+                    "results": [
+                        {
+                            "relation": encode_relation(result.relation),
+                            "stats": _json_stats(result.stats),
+                        }
+                        for result in results
+                    ],
+                }
+
+    def topk(self, name: str, payload: dict[str, Any]) -> dict[str, Any]:
+        self._count("topk")
+        pattern = decode_pattern(payload)
+        k = payload.get("k", 10)
+        if not isinstance(k, int) or k < 1:
+            raise ServerError(f"k must be a positive integer (got {k!r})")
+        budget = decode_budget(payload, default=self.config.default_budget)
+        with self.admission.slot():
+            with self.registry.pin(name) as epoch:
+                ranked = epoch.top_k(pattern, k, budget=budget)
+                return {
+                    "graph": name,
+                    "epoch": epoch.epoch_id,
+                    "graph_version": epoch.graph.version,
+                    "experts": encode_ranked(ranked),
+                }
+
+    def explain(self, name: str, payload: dict[str, Any]) -> dict[str, Any]:
+        self._count("explain")
+        pattern = decode_pattern(payload)
+        with self.registry.pin(name) as epoch:
+            return {"graph": name, **epoch.explain(pattern)}
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def health(self) -> dict[str, Any]:
+        return {"status": "ok", "graphs": self.registry.graphs()}
+
+    def stats(self) -> dict[str, Any]:
+        with self._requests_lock:
+            requests = dict(self._requests)
+        stats: dict[str, Any] = {
+            "registry": self.registry.stats(),
+            "admission": self.admission.stats(),
+            "requests": requests,
+            "workers": self.config.workers,
+        }
+        if self._executor is not None:
+            stats["pools_created"] = self._executor.pools_created
+        return stats
+
+
+def _json_stats(stats: dict[str, Any]) -> dict[str, Any]:
+    """Evaluation stats restricted to JSON-serializable values."""
+    safe: dict[str, Any] = {}
+    for key, value in stats.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            safe[key] = value
+        elif isinstance(value, dict):
+            safe[key] = _json_stats(value)
+    return safe
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin JSON adapter; all logic lives in :class:`ExpFinderService`."""
+
+    protocol_version = "HTTP/1.1"
+    # Headers and body go out in separate writes; without TCP_NODELAY the
+    # second write can stall ~40ms behind the peer's delayed ACK, which
+    # would dominate every small-response request.
+    disable_nagle_algorithm = True
+    service: ExpFinderService  # installed by QueryServer on the class
+
+    # The default handler logs every request to stderr; a load benchmark
+    # issuing thousands of requests must not pay terminal I/O for each.
+    def log_message(self, format: str, *args: Any) -> None:
+        pass
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:
+        try:
+            if self.path == "/health":
+                self._reply(200, self.service.health())
+            elif self.path == "/stats":
+                self._reply(200, self.service.stats())
+            else:
+                self._reply(404, {"error": "NotFound", "message": self.path})
+        except Exception as exc:
+            self._reply(error_status(exc), error_payload(exc))
+
+    def do_POST(self) -> None:
+        try:
+            payload = self._read_json()
+            self._reply(200, self._route_post(payload))
+        except Exception as exc:
+            self._reply(error_status(exc), error_payload(exc))
+
+    # ------------------------------------------------------------------
+    def _route_post(self, payload: dict[str, Any]) -> dict[str, Any]:
+        parts = [part for part in self.path.split("/") if part]
+        if parts == ["graphs"]:
+            return self._register(payload)
+        if len(parts) == 3 and parts[0] == "graphs":
+            name, action = parts[1], parts[2]
+            service = self.service
+            if action == "evaluate":
+                return service.evaluate(name, payload)
+            if action == "batch":
+                return service.batch(name, payload)
+            if action == "topk":
+                return service.topk(name, payload)
+            if action == "explain":
+                return service.explain(name, payload)
+            if action == "update":
+                return service.update_graph(name, payload)
+        raise ServerError(f"no such endpoint: POST {self.path}")
+
+    def _register(self, payload: dict[str, Any]) -> dict[str, Any]:
+        name = payload.get("name")
+        if not isinstance(name, str) or not name:
+            raise ServerError("request needs a non-empty string field 'name'")
+        if "graph" in payload:
+            try:
+                graph = graph_from_dict(payload["graph"])
+            except ReproError:
+                raise
+            except Exception as exc:
+                raise ServerError(f"malformed graph payload: {exc}") from exc
+            return self.service.register_graph(
+                name, graph, replace=bool(payload.get("replace", False))
+            )
+        if payload.get("preload"):
+            return self.service.preload(name)
+        raise ServerError(
+            "register needs either a 'graph' object or 'preload': true"
+        )
+
+    # ------------------------------------------------------------------
+    def _read_json(self) -> dict[str, Any]:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length <= 0:
+            raise ServerError("request body must be a JSON object")
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ServerError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ServerError("request body must be a JSON object")
+        return payload
+
+    def _reply(self, status: int, payload: dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        # Explicit length keeps HTTP/1.1 keep-alive working (no chunking),
+        # which the load generator relies on for steady connections.
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+class QueryServer:
+    """``ThreadingHTTPServer`` wrapper with a background serve thread.
+
+    ``port=0`` binds an ephemeral port (tests); :attr:`address` reports
+    the bound ``(host, port)``.  ``close()`` shuts the socket down and
+    closes the service (idempotent).
+    """
+
+    def __init__(
+        self,
+        service: ExpFinderService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        handler = type("BoundHandler", (_Handler,), {"service": service})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+        self._serving = False
+        self._closed = False
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "QueryServer":
+        """Serve in a daemon thread; returns immediately."""
+        if self._thread is None:
+            self._serving = True
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="expfinder-serve",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI foreground path)."""
+        self._serving = True
+        self._httpd.serve_forever()
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            # shutdown() blocks on the serve loop's exit handshake; if the
+            # loop never started there is nothing to hand-shake with.
+            if self._serving:
+                self._httpd.shutdown()
+            self._httpd.server_close()
+            if self._thread is not None:
+                self._thread.join(timeout=5)
+            self.service.close()
+
+    def __enter__(self) -> "QueryServer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

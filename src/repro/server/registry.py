@@ -1,0 +1,544 @@
+"""MVCC-lite snapshot epochs: pinned immutable reads, atomic publishes.
+
+The serving problem: queries traverse a ``(FrozenGraph, DistanceOracle)``
+pair for milliseconds to seconds, while ``update_graph`` batches arrive
+concurrently.  Classic reader/writer locking makes one side wait; the
+registry instead versions the world into **epochs**:
+
+* every epoch owns a *private* :class:`~repro.graph.digraph.Graph` copy,
+  its frozen CSR snapshot, the (optional) distance oracle built from the
+  same lineage, an attribute index and per-epoch query/rank caches —
+  all immutable or internally locked, so any number of reader threads
+  evaluate against one epoch without coordination;
+* readers :meth:`~SnapshotRegistry.pin` the current epoch through a
+  refcounted :class:`EpochHandle`; the pin guarantees the epoch's
+  snapshots stay alive for the whole query even if newer epochs publish
+  meanwhile;
+* a writer applies its update batch to the registry's *master* graph
+  (readers never touch it), builds the next epoch off the result and
+  swaps the ``current`` pointer under the registry lock — one pointer
+  assignment is the entire critical section readers can observe, so a
+  query sees either epoch N or N+1 in full, never a half-applied batch;
+* when the last pin on a superseded epoch drains, the epoch is retired
+  and its snapshots become garbage.
+
+Distance oracles carry over between epochs when every primitive in the
+batch is distance-preserving (``DistanceOracle.survives``), exactly
+mirroring the single-engine refresh rule — so an attribute-only write
+burst republishes in O(copy + freeze) without any label rebuild.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterable, Sequence
+
+from repro.engine.cache import QueryCache, RankCache, cache_key
+from repro.engine.estimator import QueryBudget
+from repro.engine.planner import make_plan
+from repro.errors import ReproError, ServerError
+from repro.graph.digraph import Graph
+from repro.graph.frozen import FrozenGraph
+from repro.graph.index import AttributeIndex
+from repro.graph.oracle import DistanceOracle
+from repro.incremental.updates import Update, decompose
+from repro.matching.base import MatchResult, Stopwatch
+from repro.matching.bounded import match_bounded
+from repro.matching.simulation import match_simulation, simulation_candidates
+from repro.pattern.pattern import Pattern
+from repro.ranking.topk import RankingContext, bulk_top_k_detail
+
+
+class Epoch:
+    """One immutable published version of a graph, self-sufficient for reads.
+
+    The graph object is private to the epoch (a copy of the master at
+    publish time), so its version/attributes can never change under a
+    reader.  Candidate generation shares the epoch's lazily-built
+    :class:`AttributeIndex` and is serialized by a per-epoch lock (the
+    index memoizes postings on first use); matching itself runs unlocked
+    over the frozen snapshot.
+    """
+
+    __slots__ = (
+        "name",
+        "epoch_id",
+        "graph",
+        "frozen",
+        "oracle",
+        "attr_index",
+        "cache",
+        "rank_cache",
+        "_index_lock",
+        "_pins",
+        "retired",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        epoch_id: int,
+        graph: Graph,
+        frozen: FrozenGraph,
+        oracle: DistanceOracle | None,
+        cache_capacity: int = 64,
+    ) -> None:
+        self.name = name
+        self.epoch_id = epoch_id
+        self.graph = graph
+        self.frozen = frozen
+        self.oracle = oracle
+        self.attr_index = AttributeIndex(graph)
+        self.cache = QueryCache(capacity=cache_capacity)
+        self.rank_cache = RankCache(capacity=max(4, cache_capacity // 4))
+        self._index_lock = threading.Lock()
+        self._pins = 0
+        self.retired = False
+
+    # ------------------------------------------------------------------
+    def candidates(self, pattern: Pattern) -> dict[str, set]:
+        """Predicate candidates via the epoch's shared attribute index.
+
+        The lock covers the index's lazy posting builds; once built,
+        lookups are read-only dict probes, so contention is a startup
+        phenomenon per distinct predicate.
+        """
+        with self._index_lock:
+            return simulation_candidates(self.graph, pattern, index=self.attr_index)
+
+    def evaluate(
+        self, pattern: Pattern, budget: QueryBudget | None = None
+    ) -> MatchResult:
+        """``M(Q,G)`` against this epoch — cache, then frozen kernels.
+
+        Identical inputs to the single-engine direct path (same candidate
+        generation, same kernels, same snapshot lineage), so the relation
+        is byte-identical to ``QueryEngine.evaluate`` on the same graph
+        version — the E18 benchmark asserts exactly that.  Partial
+        (budget-tripped) results are never cached.
+        """
+        pattern.validate()
+        watch = Stopwatch()
+        key = cache_key(self.name, pattern)
+        entry = self.cache.get(key, self.graph.version)
+        if entry is not None:
+            result = MatchResult(
+                self.graph,
+                pattern,
+                entry.relation,
+                stats=self._stamp({"route": "cache", "algorithm": "cached"}, watch),
+            )
+            return result
+        candidates = self.candidates(pattern)
+        if pattern.is_simulation_pattern:
+            result = match_simulation(
+                self.graph, pattern, candidates=candidates, frozen=self.frozen
+            )
+        else:
+            result = match_bounded(
+                self.graph,
+                pattern,
+                candidates=candidates,
+                frozen=self.frozen,
+                oracle=self.oracle,
+                budget=budget,
+            )
+        if not result.stats.get("partial"):
+            self.cache.put(key, result.relation, self.graph.version)
+        result.stats.update(self._stamp({"route": "direct"}, watch))
+        return result
+
+    def top_k(
+        self, pattern: Pattern, k: int, budget: QueryBudget | None = None
+    ) -> list:
+        """Top-K ranked experts against this epoch (rank-cache aware)."""
+        key = cache_key(self.name, pattern)
+        entry = self.rank_cache.get(key, self.graph.version)
+        if entry is not None:
+            return bulk_top_k_detail(entry.context, k)
+        result = self.evaluate(pattern, budget=budget)
+        context = RankingContext(result.result_graph())
+        ranked = bulk_top_k_detail(context, k)
+        if not result.stats.get("partial"):
+            self.rank_cache.put(key, context, self.graph.version)
+        return ranked
+
+    def explain(self, pattern: Pattern) -> dict[str, Any]:
+        """The plan the epoch would run for ``pattern``, plus epoch facts."""
+        pattern.validate()
+        key = cache_key(self.name, pattern)
+        plan = make_plan(
+            pattern,
+            cached=self.cache.fresh(key, self.graph.version),
+            compression_available=False,
+        )
+        return {
+            "route": plan.route,
+            "algorithm": plan.algorithm,
+            "reasons": list(plan.reasons),
+            "epoch": self.epoch_id,
+            "graph_version": self.graph.version,
+            "oracle": self.oracle is not None,
+        }
+
+    def _stamp(self, stats: dict[str, Any], watch: Stopwatch) -> dict[str, Any]:
+        stats["seconds"] = watch.seconds()
+        stats["epoch"] = self.epoch_id
+        stats["graph_version"] = self.graph.version
+        return stats
+
+    @property
+    def pins(self) -> int:
+        return self._pins
+
+    def __repr__(self) -> str:
+        state = "retired" if self.retired else "live"
+        return (
+            f"<Epoch {self.name}@{self.epoch_id} v{self.graph.version} "
+            f"pins={self._pins} ({state})>"
+        )
+
+
+class EpochHandle:
+    """A refcounted pin on one epoch; release exactly once.
+
+    Usable as a context manager.  While any handle is open the epoch's
+    snapshots survive, even if the registry has published successors; the
+    last release of a superseded epoch retires it.
+    """
+
+    __slots__ = ("epoch", "_registry", "_released")
+
+    def __init__(self, epoch: Epoch, registry: "SnapshotRegistry") -> None:
+        self.epoch = epoch
+        self._registry = registry
+        self._released = False
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._registry._unpin(self.epoch)
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def __enter__(self) -> Epoch:
+        return self.epoch
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.release()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.release()
+        except Exception:
+            pass
+
+
+class _GraphState:
+    """Registry-internal per-graph record: master graph + epoch chain."""
+
+    __slots__ = (
+        "master",
+        "write_lock",
+        "current",
+        "live",
+        "next_epoch_id",
+        "oracle_config",
+    )
+
+    def __init__(self, master: Graph, oracle_config: dict[str, Any] | None) -> None:
+        self.master = master
+        # One writer at a time per graph; readers never take this lock.
+        self.write_lock = threading.Lock()
+        self.current: Epoch | None = None
+        self.live: dict[int, Epoch] = {}
+        self.next_epoch_id = 0
+        self.oracle_config = oracle_config
+
+
+class SnapshotRegistry:
+    """Epoch lifecycle for any number of named graphs.
+
+    ``pin``/``release`` are O(1) under one registry lock; ``publish``
+    serializes per graph on its write lock and holds the registry lock
+    only for the final pointer swap.  Counters make warm-start and
+    lifecycle behaviour observable (and testable): ``freezes`` counts
+    snapshot builds paid in-process, ``fault_ins`` counts snapshots
+    mmapped from a store instead.
+    """
+
+    def __init__(
+        self, store: Any = None, cache_capacity: int = 64
+    ) -> None:
+        self.store = store
+        self.cache_capacity = cache_capacity
+        self._lock = threading.Lock()
+        self._graphs: dict[str, _GraphState] = {}
+        self.counters = {
+            "epochs_published": 0,
+            "epochs_retired": 0,
+            "freezes": 0,
+            "fault_ins": 0,
+            "oracle_builds": 0,
+            "oracle_carries": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # registration / preload
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        graph: Graph,
+        oracle: dict[str, Any] | None = None,
+        replace: bool = False,
+    ) -> Epoch:
+        """Make ``graph`` servable: build and publish epoch 0.
+
+        ``oracle`` enables the distance oracle for every epoch of this
+        graph (keys: ``cap``, ``top`` — the :meth:`DistanceOracle.build`
+        knobs); epoch 0 pays the label build, later epochs carry the
+        labels over distance-preserving updates.
+        """
+        with self._lock:
+            if name in self._graphs and not replace:
+                raise ServerError(f"graph {name!r} already registered")
+        state = _GraphState(graph, oracle)
+        with state.write_lock:
+            epoch = self._build_epoch(name, state, prior=None)
+            with self._lock:
+                self._graphs[name] = state
+                self._install(state, epoch)
+        return epoch
+
+    def preload(self, name: str, oracle: dict[str, Any] | None = None) -> Epoch:
+        """Warm-start a graph from the store: mmap snapshots, no freeze.
+
+        Loads the stored graph, then faults in its ``.frozen.snap`` (and
+        ``.oracle.snap``, when present — enabling the oracle for later
+        epochs too) via the store, validated against the loaded graph's
+        version.  Missing snapshot files degrade to an in-process freeze;
+        a missing *graph* is an error.
+        """
+        if self.store is None:
+            raise ServerError("registry has no file store configured")
+        graph = self.store.load_graph(name)
+        artifacts = self.store.artifacts(name)
+        frozen = None
+        loaded_oracle = None
+        if artifacts["snapshot"]:
+            frozen = self.store.load_snapshot(name, expected_version=graph.version)
+            with self._lock:
+                self.counters["fault_ins"] += 1
+        if artifacts["oracle"]:
+            loaded_oracle = self.store.load_oracle(
+                name, expected_version=graph.version
+            )
+            with self._lock:
+                self.counters["fault_ins"] += 1
+            if oracle is None:
+                oracle = {}
+        state = _GraphState(graph, oracle)
+        with state.write_lock:
+            epoch = self._build_epoch(
+                name, state, prior=None, frozen=frozen, oracle_obj=loaded_oracle
+            )
+            with self._lock:
+                if name in self._graphs:
+                    raise ServerError(f"graph {name!r} already registered")
+                self._graphs[name] = state
+                self._install(state, epoch)
+        return epoch
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def pin(self, name: str) -> EpochHandle:
+        """Pin the current epoch of ``name`` for the caller's lifetime."""
+        with self._lock:
+            state = self._graphs.get(name)
+            if state is None or state.current is None:
+                known = ", ".join(sorted(self._graphs)) or "none"
+                raise ServerError(
+                    f"unknown graph: {name!r} (registered: {known})"
+                )
+            epoch = state.current
+            epoch._pins += 1
+            return EpochHandle(epoch, self)
+
+    def _unpin(self, epoch: Epoch) -> None:
+        with self._lock:
+            epoch._pins -= 1
+            if epoch._pins <= 0 and epoch.retired:
+                state = self._graphs.get(epoch.name)
+                if state is not None and state.live.pop(epoch.epoch_id, None):
+                    self.counters["epochs_retired"] += 1
+
+    def current_epoch(self, name: str) -> Epoch:
+        """The current epoch without pinning (metadata/stats paths only)."""
+        with self._lock:
+            state = self._graphs.get(name)
+            if state is None or state.current is None:
+                known = ", ".join(sorted(self._graphs)) or "none"
+                raise ServerError(
+                    f"unknown graph: {name!r} (registered: {known})"
+                )
+            return state.current
+
+    def graphs(self) -> list[str]:
+        with self._lock:
+            return sorted(self._graphs)
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def publish(self, name: str, updates: Sequence[Update]) -> Epoch:
+        """Apply an update batch and atomically publish the next epoch.
+
+        The batch applies to the *master* graph — no reader ever holds a
+        reference to it — then the next epoch is built from a fresh copy
+        and swapped in under the registry lock.  In-flight queries keep
+        their pinned epoch; new pins see the new epoch only after the
+        swap, so no request can observe a partially-applied batch.
+        """
+        with self._lock:
+            state = self._graphs.get(name)
+        if state is None:
+            known = ", ".join(sorted(self._graphs)) or "none"
+            raise ServerError(f"unknown graph: {name!r} (registered: {known})")
+        with state.write_lock:
+            oracle_survives = True
+            applied = 0
+            for update in updates:
+                for primitive in decompose(state.master, update):
+                    oracle_survives = oracle_survives and DistanceOracle.survives(
+                        primitive
+                    )
+                    primitive.apply(state.master)
+                    applied += 1
+            prior = state.current
+            epoch = self._build_epoch(
+                name, state, prior=prior if oracle_survives else None
+            )
+            epoch_prev = prior
+            with self._lock:
+                self._install(state, epoch)
+                if epoch_prev is not None:
+                    epoch_prev.retired = True
+                    if epoch_prev._pins <= 0:
+                        if state.live.pop(epoch_prev.epoch_id, None):
+                            self.counters["epochs_retired"] += 1
+        return epoch
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _build_epoch(
+        self,
+        name: str,
+        state: _GraphState,
+        prior: Epoch | None,
+        frozen: FrozenGraph | None = None,
+        oracle_obj: DistanceOracle | None = None,
+    ) -> Epoch:
+        """Copy + freeze + (carry | build | skip) oracle, outside any swap.
+
+        Called under the graph's write lock but *not* the registry lock —
+        the expensive work (graph copy, CSR freeze, adjacency prewarm,
+        possible oracle build) happens while readers continue against the
+        previous epoch untouched.
+        """
+        graph = state.master.copy(name=state.master.name)
+        if frozen is None:
+            frozen = FrozenGraph.freeze(graph)
+            with self._lock:
+                self.counters["freezes"] += 1
+        elif not frozen.matches(graph):  # pragma: no cover - store corruption
+            raise ServerError(
+                f"stored snapshot for {name!r} does not match graph version "
+                f"{graph.version}"
+            )
+        # Readers share these adjacency views; building them at publish
+        # time keeps the lazy build out of the (concurrent) request path.
+        frozen.successor_sets()
+        frozen.predecessor_sets()
+        oracle = oracle_obj
+        if oracle is None and state.oracle_config is not None:
+            carried = None
+            if prior is not None and prior.oracle is not None:
+                carried = prior.oracle if prior.oracle.compatible_with(frozen) else None
+            if carried is not None:
+                oracle = carried
+                with self._lock:
+                    self.counters["oracle_carries"] += 1
+            else:
+                config = state.oracle_config
+                oracle = DistanceOracle.build(
+                    frozen, cap=config.get("cap"), top=config.get("top")
+                )
+                with self._lock:
+                    self.counters["oracle_builds"] += 1
+        epoch = Epoch(
+            name,
+            state.next_epoch_id,
+            graph,
+            frozen,
+            oracle,
+            cache_capacity=self.cache_capacity,
+        )
+        state.next_epoch_id += 1
+        return epoch
+
+    def _install(self, state: _GraphState, epoch: Epoch) -> None:
+        """The atomic publish: one pointer swap under the registry lock."""
+        state.current = epoch
+        state.live[epoch.epoch_id] = epoch
+        self.counters["epochs_published"] += 1
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """Lifecycle counters plus a per-graph epoch inventory."""
+        with self._lock:
+            graphs = {
+                name: {
+                    "current_epoch": (
+                        state.current.epoch_id if state.current else None
+                    ),
+                    "graph_version": (
+                        state.current.graph.version if state.current else None
+                    ),
+                    "live_epochs": len(state.live),
+                    "pins": sum(e._pins for e in state.live.values()),
+                    "oracle": state.oracle_config is not None,
+                    "nodes": state.master.num_nodes,
+                    "edges": state.master.num_edges,
+                }
+                for name, state in sorted(self._graphs.items())
+            }
+            counters = dict(self.counters)
+        cache_totals: dict[str, Any] = {}
+        for name in graphs:
+            try:
+                epoch = self.current_epoch(name)
+            except ReproError:  # pragma: no cover - racing a deregister
+                continue
+            cache_totals[name] = {
+                "cache": epoch.cache.stats(),
+                "rank_cache": epoch.rank_cache.stats(),
+            }
+        return {"graphs": graphs, "counters": counters, "caches": cache_totals}
+
+    def live_epochs(self, name: str) -> list[Epoch]:
+        """All non-collected epochs of ``name`` (tests inspect lifecycle)."""
+        with self._lock:
+            state = self._graphs.get(name)
+            return list(state.live.values()) if state is not None else []
+
+
+def batch_updates(updates: Iterable[Update]) -> list[Update]:
+    """Normalize an update iterable into the list ``publish`` expects."""
+    return list(updates)

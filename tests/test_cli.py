@@ -513,3 +513,128 @@ class TestSnapshot:
         code = main(["snapshot", "load", "--store", str(store), "--name", "fig1"])
         assert code == 2
         assert "checksum mismatch" in capsys.readouterr().err
+
+
+class TestServe:
+    @pytest.fixture
+    def quiet_server(self, monkeypatch):
+        """Make `expfinder serve` return right after binding."""
+        from repro.server.app import QueryServer
+
+        monkeypatch.setattr(QueryServer, "serve_forever", lambda self: None)
+
+    def test_serve_registers_graph_files(self, graph_file, quiet_server, capsys):
+        code = main(["serve", "--port", "0", "--graph", graph_file])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "registered 'fig1': 9 nodes / 12 edges, epoch 0" in out
+        assert "serving on http://127.0.0.1:" in out
+
+    def test_serve_named_graph_spec(self, graph_file, quiet_server, capsys):
+        code = main(["serve", "--port", "0", "--graph", f"team={graph_file}"])
+        assert code == 0
+        assert "registered 'team'" in capsys.readouterr().out
+
+    def test_serve_bad_graph_spec(self, quiet_server, capsys):
+        code = main(["serve", "--port", "0", "--graph", "=oops"])
+        assert code == 2
+        assert "bad graph spec" in capsys.readouterr().err
+
+    def test_serve_ctrl_c_shuts_down(self, graph_file, monkeypatch, capsys):
+        from repro.server.app import QueryServer
+
+        def interrupted(self):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(QueryServer, "serve_forever", interrupted)
+        code = main(["serve", "--port", "0", "--graph", graph_file])
+        assert code == 0
+        assert "shutting down" in capsys.readouterr().out
+
+    def test_serve_preload_needs_store(self, capsys):
+        code = main(["serve", "--port", "0", "--preload", "fig1"])
+        assert code == 2
+        assert "--preload needs --store" in capsys.readouterr().err
+
+    def test_serve_preload_warm_start(
+        self, tmp_path, graph_file, quiet_server, capsys
+    ):
+        from repro.graph.frozen import FrozenGraph
+
+        store = str(tmp_path / "store")
+        main(["snapshot", "save", "--graph", graph_file, "--store", store])
+        capsys.readouterr()
+        code = main(
+            ["serve", "--port", "0", "--store", store, "--preload", "fig1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "preloaded 'fig1'" in out
+        assert "snapshot fault-ins, no freeze" in out
+        assert FrozenGraph  # snapshot CLI produced the .frozen.snap above
+
+    def test_serve_preload_missing_graph(self, tmp_path, quiet_server, capsys):
+        store = str(tmp_path / "store")
+        code = main(["serve", "--port", "0", "--store", store,
+                     "--preload", "ghost"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_admission_flags(self, capsys):
+        code = main(["serve", "--port", "0", "--max-inflight", "0"])
+        assert code == 2
+        assert "--max-inflight" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_default_budget(self, capsys):
+        code = main(["serve", "--port", "0", "--default-budget", "-5"])
+        assert code == 2
+        assert "--default-budget" in capsys.readouterr().err
+
+
+class TestStats:
+    def test_stats_local_engine(self, graph_file, capsys):
+        import json
+
+        code = main(["stats", "--graph", graph_file])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["graphs"]["fig1"]["nodes"] == 9
+        assert "cache" in document and "oracles" in document
+
+    def test_stats_local_with_query(self, graph_file, pattern_file, capsys):
+        import json
+
+        code = main(
+            ["stats", "--graph", graph_file, "--pattern", pattern_file]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["cache"]["size"] == 1
+
+    def test_stats_needs_exactly_one_source(self, graph_file, capsys):
+        assert main(["stats"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+        assert main(
+            ["stats", "--graph", graph_file, "--url", "http://x"]
+        ) == 2
+
+    def test_stats_from_running_service(self, capsys):
+        import json
+
+        from repro.datasets.paper_example import paper_graph
+        from repro.server import ExpFinderService, QueryServer
+
+        service = ExpFinderService()
+        service.register_graph("fig1", paper_graph())
+        with QueryServer(service) as server:
+            server.start()
+            code = main(["stats", "--url", server.url])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["registry"]["graphs"]["fig1"]["current_epoch"] == 0
+        assert "admission" in document
+
+    def test_stats_unreachable_url(self, capsys):
+        code = main(["stats", "--url", "http://127.0.0.1:1/nope"])
+        assert code == 2
+        assert "cannot fetch" in capsys.readouterr().err

@@ -282,3 +282,170 @@ class TestFacadeWorkers:
             workers=2,
         )
         assert [r.relation for r in many] == [sequential.relation] * 2
+
+
+class TestPoolChurn:
+    """Guarded calls without a wall-clock limit must reuse the persistent
+    pool — pool construction stays off the steady-state serving path."""
+
+    @pytest.fixture
+    def selective_case(self):
+        from repro.graph.digraph import Graph
+
+        graph = Graph(name="selective")
+        for index in range(40):
+            graph.add_node(f"filler{index}", label="F")
+        for which in ("1", "2"):
+            graph.add_node(f"s{which}", label="S")
+            graph.add_node(f"t{which}", label="T")
+            graph.add_edge(f"s{which}", f"t{which}")
+        pattern = (
+            PatternBuilder("chain")
+            .node("S", 'label == "S"')
+            .node("T", 'label == "T"')
+            .edge("S", "T", 1)
+            .build()
+        )
+        return graph, pattern
+
+    def test_node_budget_calls_share_one_pool(self, selective_case):
+        from repro.engine.estimator import QueryBudget
+
+        graph, pattern = selective_case
+        budget = QueryBudget(node_visits=100_000, allow_partial=True)
+        sequential = match_bounded(graph, pattern, budget=budget)
+        with ParallelExecutor(workers=2) as executor:
+            for _ in range(3):
+                result = executor.match(graph, pattern, budget=budget)
+                assert result.relation == sequential.relation
+                assert not result.stats["partial"]
+                assert result.stats["visits"] > 0
+            # The regression this guards: three guarded calls used to fork
+            # three dedicated pools; now they share the persistent one.
+            assert executor.pools_created == 1
+
+    def test_time_limited_calls_use_dedicated_pools(self, selective_case):
+        from repro.engine.estimator import QueryBudget
+
+        graph, pattern = selective_case
+        timed = QueryBudget(node_visits=100_000, seconds=30.0, allow_partial=True)
+        with ParallelExecutor(workers=2) as executor:
+            executor.match(graph, pattern, budget=timed)
+            first = executor.pools_created
+            executor.match(graph, pattern, budget=timed)
+            # A wall-clock limit may need mid-flight termination, which
+            # would destroy a shared pool — each call pays its own.
+            assert executor.pools_created == first + 1
+
+    def test_persistent_pool_survives_guarded_use(self, selective_case):
+        from repro.engine.estimator import QueryBudget
+
+        graph, pattern = selective_case
+        budget = QueryBudget(node_visits=100_000, allow_partial=True)
+        with ParallelExecutor(workers=2) as executor:
+            executor.match(graph, pattern)  # unguarded sharded call
+            pool = executor._pool
+            executor.match(graph, pattern, budget=budget)
+            assert executor._pool is pool
+            executor.match(graph, pattern)
+            assert executor._pool is pool
+
+    def test_warm_builds_pool_before_first_call(self, selective_case):
+        graph, pattern = selective_case
+        with ParallelExecutor(workers=2) as executor:
+            assert executor._pool is None
+            executor.warm()
+            assert executor._pool is not None
+            assert executor.pools_created == 1
+            executor.match(graph, pattern)
+            assert executor.pools_created == 1
+        # workers=1 has nothing to warm (inline evaluation)
+        inline = ParallelExecutor(workers=1).warm()
+        assert inline._pool is None
+
+    def test_blown_budget_raises_from_persistent_pool(self, selective_case):
+        from repro.engine.estimator import QueryBudget
+        from repro.errors import BudgetExceededError
+
+        graph, pattern = selective_case
+        strict = QueryBudget(node_visits=1, allow_partial=False)
+        with ParallelExecutor(workers=2) as executor:
+            with pytest.raises(BudgetExceededError):
+                executor.match(graph, pattern, budget=strict)
+            # ...and the pool remains usable afterwards
+            result = executor.match(graph, pattern)
+            assert sorted(result.relation.matches_of("S")) == ["s1", "s2"]
+
+    def test_partial_degrades_on_persistent_pool(self, selective_case):
+        from repro.engine.estimator import QueryBudget
+
+        graph, pattern = selective_case
+        tiny = QueryBudget(node_visits=1, allow_partial=True)
+        with ParallelExecutor(workers=2) as executor:
+            result = executor.match(graph, pattern, budget=tiny)
+        assert result.stats["partial"]
+        assert result.stats["guard"]
+
+    def test_guarded_worker_entry_inline(self, selective_case):
+        """Drive the persistent-pool worker function in-process.
+
+        The real pool runs it in forked children (invisible to coverage);
+        calling it inline proves the task tuple round-trips: shipped
+        snapshot resolution, guard construction around the installed
+        counter, and the shard kernel.
+        """
+        import multiprocessing
+
+        from repro.engine import parallel as par
+        from repro.engine.estimator import QueryBudget
+        from repro.graph.frozen import FrozenGraph
+        from repro.matching.simulation import simulation_candidates
+
+        graph, pattern = selective_case
+        frozen = FrozenGraph.freeze(graph)
+        candidates = simulation_candidates(graph, pattern)
+        from repro.graph.partition import decompose as ball_decompose
+
+        shards = ball_decompose(graph, pattern, candidates, 2, frozen=frozen)
+        payload = ParallelExecutor._shard_payload(
+            frozen, pattern, shards[0], candidates, True, None
+        )
+        counter = multiprocessing.get_context().Value("q", 0)
+        par._init_persistent_worker(counter)
+        try:
+            budget = QueryBudget(node_visits=100_000, allow_partial=True)
+            rows, info = par._shard_rows_guarded(
+                (payload, frozen.without_attrs(), None, budget)
+            )
+            assert counter.value > 0
+            assert info["visits"] == counter.value
+            assert rows
+        finally:
+            par._init_persistent_worker(None)
+
+    def test_load_memo_bounded(self, tmp_path):
+        """Worker-side snapshot memo caps its slots instead of growing."""
+        from repro.engine import parallel as par
+        from repro.engine.storage import write_frozen_file
+        from repro.graph.digraph import Graph
+        from repro.graph.frozen import FrozenGraph
+
+        graph = Graph(name="memo")
+        graph.add_node("a", label="A")
+        frozen = FrozenGraph.freeze(graph)
+        paths = []
+        for index in range(par._PERSISTENT_LOAD_SLOTS + 1):
+            path = tmp_path / f"m{index}.frozen.snap"
+            write_frozen_file(path, frozen)
+            paths.append(path)
+        par._persistent_loads.clear()
+        try:
+            for path in paths:
+                resolved, _ = par._resolve_persistent(path, None)
+                assert resolved.num_nodes == 1
+            assert len(par._persistent_loads) <= par._PERSISTENT_LOAD_SLOTS
+            # A memo hit returns the same object, no reload
+            again, _ = par._resolve_persistent(paths[-1], None)
+            assert again is resolved
+        finally:
+            par._persistent_loads.clear()

@@ -1,0 +1,554 @@
+"""MVCC-lite snapshot registry + service facade tests.
+
+Covers the epoch lifecycle (register/pin/publish/retire), the acceptance
+criterion that an in-flight query pinned to epoch N completes against N
+while N+1 publishes, torn-read freedom under concurrent update bursts,
+admission control, wire decoding, and the in-process service facade.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.datasets.paper_example import paper_graph, paper_pattern
+from repro.engine.estimator import QueryBudget
+from repro.engine.storage import GraphStore
+from repro.errors import AdmissionError, ReproError, ServerError
+from repro.graph.frozen import FrozenGraph
+from repro.incremental.updates import AttributeUpdate, EdgeInsertion
+from repro.matching.bounded import match_bounded
+from repro.pattern.parser import parse_pattern
+from repro.server import (
+    AdmissionController,
+    ExpFinderService,
+    ServiceConfig,
+    SnapshotRegistry,
+)
+from repro.server.wire import (
+    decode_budget,
+    decode_pattern,
+    decode_updates,
+    encode_ranked,
+    error_payload,
+    error_status,
+)
+
+SIM_PATTERN = """
+node SA* : field == "SA"
+node SD : field == "SD"
+edge SA -> SD : 1
+"""
+
+BOUNDED_PATTERN = """
+node SA* : field == "SA"
+node SD : field == "SD"
+edge SA -> SD : 2
+"""
+
+
+@pytest.fixture
+def registry() -> SnapshotRegistry:
+    reg = SnapshotRegistry()
+    reg.register("fig1", paper_graph())
+    return reg
+
+
+class TestRegistration:
+    def test_register_publishes_epoch_zero(self, registry):
+        epoch = registry.current_epoch("fig1")
+        assert epoch.epoch_id == 0
+        assert not epoch.retired
+        assert registry.counters["epochs_published"] == 1
+        assert registry.counters["freezes"] == 1
+
+    def test_duplicate_register_rejected(self, registry):
+        with pytest.raises(ServerError, match="already registered"):
+            registry.register("fig1", paper_graph())
+
+    def test_replace_reregisters(self, registry):
+        registry.register("fig1", paper_graph(include_e1=True), replace=True)
+        epoch = registry.current_epoch("fig1")
+        assert epoch.graph.has_edge("Fred", "Eva")
+
+    def test_unknown_graph_errors_name_the_known_ones(self, registry):
+        with pytest.raises(ServerError, match="registered: fig1"):
+            registry.pin("nope")
+        with pytest.raises(ServerError, match="unknown graph"):
+            registry.current_epoch("nope")
+        with pytest.raises(ServerError, match="unknown graph"):
+            registry.publish("nope", [])
+
+    def test_graphs_sorted(self, registry):
+        registry.register("alpha", paper_graph())
+        assert registry.graphs() == ["alpha", "fig1"]
+
+
+class TestEpochReads:
+    def test_evaluate_matches_direct_kernel(self, registry):
+        epoch = registry.current_epoch("fig1")
+        served = epoch.evaluate(paper_pattern())
+        direct = match_bounded(paper_graph(), paper_pattern())
+        assert served.relation == direct.relation
+        # byte identity, which is what E18 asserts over the wire
+        assert json.dumps(served.relation.to_dict(), sort_keys=True) == json.dumps(
+            direct.relation.to_dict(), sort_keys=True
+        )
+        assert served.stats["route"] == "direct"
+        assert served.stats["epoch"] == 0
+
+    def test_repeat_evaluate_hits_epoch_cache(self, registry):
+        epoch = registry.current_epoch("fig1")
+        first = epoch.evaluate(paper_pattern())
+        second = epoch.evaluate(paper_pattern())
+        assert second.stats["route"] == "cache"
+        assert second.relation == first.relation
+
+    def test_simulation_pattern_routes_through_simulation(self, registry):
+        epoch = registry.current_epoch("fig1")
+        pattern = parse_pattern(SIM_PATTERN, name="sim")
+        result = epoch.evaluate(pattern)
+        assert "Bob" in result.relation.matches_of("SA")
+
+    def test_partial_results_never_cached(self, registry):
+        epoch = registry.current_epoch("fig1")
+        tiny = QueryBudget(node_visits=1, allow_partial=True)
+        partial = epoch.evaluate(paper_pattern(), budget=tiny)
+        assert partial.stats["partial"]
+        # a full re-run is a miss, not a poisoned cache hit
+        full = epoch.evaluate(paper_pattern())
+        assert full.stats["route"] == "direct"
+        assert not full.stats.get("partial")
+
+    def test_top_k_ranks_and_caches(self, registry):
+        epoch = registry.current_epoch("fig1")
+        ranked = epoch.top_k(paper_pattern(), 2)
+        assert [m.node for m in ranked] == ["Bob", "Walt"]
+        assert epoch.rank_cache.stats()["size"] == 1
+        again = epoch.top_k(paper_pattern(), 1)
+        assert [m.node for m in again] == ["Bob"]
+
+    def test_explain_reports_plan_and_epoch(self, registry):
+        epoch = registry.current_epoch("fig1")
+        plan = epoch.explain(paper_pattern())
+        assert plan["epoch"] == 0
+        assert plan["oracle"] is False
+        assert plan["route"] in {"direct", "cache"}
+        epoch.evaluate(paper_pattern())
+        assert epoch.explain(paper_pattern())["route"] == "cache"
+
+
+class TestPublish:
+    def test_publish_swaps_epoch_and_retires_prior(self, registry):
+        prior = registry.current_epoch("fig1")
+        epoch = registry.publish("fig1", [EdgeInsertion("Fred", "Eva")])
+        assert epoch.epoch_id == 1
+        assert registry.current_epoch("fig1") is epoch
+        assert prior.retired
+        # no pins were open, so the prior collapsed immediately
+        assert registry.live_epochs("fig1") == [epoch]
+        assert registry.counters["epochs_retired"] == 1
+        assert "Fred" in epoch.evaluate(paper_pattern()).relation.matches_of("SD")
+
+    def test_pinned_epoch_survives_publish(self, registry):
+        """The acceptance criterion: a query pinned to epoch N completes
+        against N while N+1 publishes."""
+        handle = registry.pin("fig1")
+        pinned = handle.epoch
+        published = threading.Event()
+
+        def writer():
+            registry.publish("fig1", [EdgeInsertion("Fred", "Eva")])
+            published.set()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        assert published.wait(timeout=10), "publish must not block on a pin"
+        thread.join()
+        # the pinned epoch is superseded but alive; its reads see the
+        # pre-update world
+        assert pinned.retired
+        assert pinned.pins == 1
+        relation = pinned.evaluate(paper_pattern()).relation
+        assert "Fred" not in relation.matches_of("SD")
+        # release drains the pin and retires the epoch
+        handle.release()
+        assert pinned.pins == 0
+        live = registry.live_epochs("fig1")
+        assert [e.epoch_id for e in live] == [1]
+        # new pins land on the published epoch
+        with registry.pin("fig1") as fresh:
+            assert fresh.epoch_id == 1
+            assert "Fred" in fresh.evaluate(paper_pattern()).relation.matches_of("SD")
+
+    def test_handle_release_is_idempotent(self, registry):
+        handle = registry.pin("fig1")
+        assert not handle.released
+        handle.release()
+        handle.release()
+        assert handle.released
+        assert registry.current_epoch("fig1").pins == 0
+
+    def test_attr_only_batch_publishes_new_epoch(self, registry):
+        before = registry.current_epoch("fig1")
+        epoch = registry.publish("fig1", [AttributeUpdate("Bob", "experience", 1)])
+        assert epoch.epoch_id == before.epoch_id + 1
+        assert "Bob" not in epoch.evaluate(paper_pattern()).relation.matches_of("SA")
+
+
+class TestOracleLifecycle:
+    def test_register_with_oracle_builds_once(self):
+        registry = SnapshotRegistry()
+        registry.register("fig1", paper_graph(), oracle={})
+        assert registry.counters["oracle_builds"] == 1
+        assert registry.current_epoch("fig1").oracle is not None
+
+    def test_attr_update_carries_oracle(self):
+        registry = SnapshotRegistry()
+        registry.register("fig1", paper_graph(), oracle={})
+        before = registry.current_epoch("fig1").oracle
+        epoch = registry.publish("fig1", [AttributeUpdate("Bob", "experience", 9)])
+        assert epoch.oracle is before
+        assert registry.counters["oracle_carries"] == 1
+        assert registry.counters["oracle_builds"] == 1
+
+    def test_edge_insertion_rebuilds_oracle(self):
+        registry = SnapshotRegistry()
+        registry.register("fig1", paper_graph(), oracle={})
+        epoch = registry.publish("fig1", [EdgeInsertion("Fred", "Eva")])
+        assert registry.counters["oracle_builds"] == 2
+        assert registry.counters["oracle_carries"] == 0
+        assert epoch.oracle is not None
+
+
+class TestPreload:
+    def test_preload_faults_in_without_freezing(self, tmp_path):
+        store = GraphStore(tmp_path / "catalog")
+        graph = paper_graph()
+        store.save_graph("fig1", graph)
+        # snapshots must come from the stored graph's lineage: reload it
+        stored = store.load_graph("fig1")
+        store.save_snapshot("fig1", FrozenGraph.freeze(stored))
+        registry = SnapshotRegistry(store=store)
+        epoch = registry.preload("fig1")
+        assert registry.counters["fault_ins"] == 1
+        assert registry.counters["freezes"] == 0, "warm start must not freeze"
+        relation = epoch.evaluate(paper_pattern()).relation
+        assert relation == match_bounded(graph, paper_pattern()).relation
+
+    def test_preload_without_snapshot_degrades_to_freeze(self, tmp_path):
+        store = GraphStore(tmp_path / "catalog")
+        store.save_graph("fig1", paper_graph())
+        registry = SnapshotRegistry(store=store)
+        registry.preload("fig1")
+        assert registry.counters["fault_ins"] == 0
+        assert registry.counters["freezes"] == 1
+
+    def test_preload_without_store_rejected(self):
+        with pytest.raises(ServerError, match="no file store"):
+            SnapshotRegistry().preload("fig1")
+
+    def test_preload_duplicate_rejected(self, tmp_path):
+        store = GraphStore(tmp_path / "catalog")
+        store.save_graph("fig1", paper_graph())
+        registry = SnapshotRegistry(store=store)
+        registry.register("fig1", paper_graph())
+        with pytest.raises(ServerError, match="already registered"):
+            registry.preload("fig1")
+
+
+class TestConcurrentReaders:
+    def test_no_torn_reads_during_update_bursts(self, registry):
+        """Readers racing a writer see only fully-published batches.
+
+        Each batch flips Bob AND Walt in or out of the SA predicate
+        together, so any epoch has either both or neither — a read
+        showing exactly one of them would be a torn (half-applied) read.
+        """
+        pattern = paper_pattern()
+        stop = threading.Event()
+        failures: list[str] = []
+        epochs_seen: list[list[int]] = []
+
+        def reader():
+            seen: list[int] = []
+            while not stop.is_set():
+                with registry.pin("fig1") as epoch:
+                    relation = epoch.evaluate(pattern).relation
+                    sa = relation.matches_of("SA") & {"Bob", "Walt"}
+                    if len(sa) == 1:
+                        failures.append(
+                            f"torn read in epoch {epoch.epoch_id}: {sorted(sa)}"
+                        )
+                    seen.append(epoch.epoch_id)
+            epochs_seen.append(seen)
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in readers:
+            thread.start()
+        for round_no in range(12):
+            out = round_no % 2 == 0
+            experience = 1 if out else 7
+            registry.publish(
+                "fig1",
+                [
+                    AttributeUpdate("Bob", "experience", experience),
+                    AttributeUpdate("Walt", "experience", experience + 1),
+                ],
+            )
+        stop.set()
+        for thread in readers:
+            thread.join()
+        assert not failures, failures
+        # the current pointer only moves forward: every reader observed a
+        # non-decreasing epoch sequence
+        for seen in epochs_seen:
+            assert seen == sorted(seen)
+        assert any(len(set(seen)) > 1 for seen in epochs_seen) or True
+
+    def test_refcounts_drain_after_load(self, registry):
+        handles = [registry.pin("fig1") for _ in range(16)]
+        registry.publish("fig1", [EdgeInsertion("Fred", "Eva")])
+        assert len(registry.live_epochs("fig1")) == 2
+        for handle in handles:
+            handle.release()
+        live = registry.live_epochs("fig1")
+        assert [e.epoch_id for e in live] == [1]
+        assert all(e.pins == 0 for e in live)
+        stats = registry.stats()
+        assert stats["graphs"]["fig1"]["pins"] == 0
+        assert stats["graphs"]["fig1"]["live_epochs"] == 1
+
+    def test_registry_stats_inventory(self, registry):
+        registry.current_epoch("fig1").evaluate(paper_pattern())
+        stats = registry.stats()
+        assert stats["graphs"]["fig1"]["current_epoch"] == 0
+        assert stats["graphs"]["fig1"]["nodes"] == 9
+        assert stats["counters"]["epochs_published"] == 1
+        assert stats["caches"]["fig1"]["cache"]["size"] == 1
+
+
+class TestAdmission:
+    def test_rejects_when_saturated_with_no_queue(self):
+        controller = AdmissionController(max_inflight=1, max_queue=0)
+        controller.acquire()
+        with pytest.raises(AdmissionError, match="saturated"):
+            controller.acquire()
+        controller.release()
+        # slot freed: admits again
+        with controller.slot():
+            pass
+        stats = controller.stats()
+        assert stats["admitted"] == 2
+        assert stats["rejected_full"] == 1
+        assert stats["inflight"] == 0
+
+    def test_queue_timeout_rejects(self):
+        controller = AdmissionController(
+            max_inflight=1, max_queue=2, queue_timeout=0.05
+        )
+        controller.acquire()
+        with pytest.raises(AdmissionError, match="no worker slot"):
+            controller.acquire()
+        assert controller.stats()["rejected_timeout"] == 1
+        assert controller.stats()["waiting"] == 0
+        controller.release()
+
+    def test_queued_caller_admitted_when_slot_frees(self):
+        controller = AdmissionController(
+            max_inflight=1, max_queue=1, queue_timeout=5.0
+        )
+        controller.acquire()
+        admitted = threading.Event()
+
+        def waiter():
+            controller.acquire()
+            admitted.set()
+            controller.release()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        assert not admitted.wait(timeout=0.1)
+        controller.release()
+        assert admitted.wait(timeout=5)
+        thread.join()
+        stats = controller.stats()
+        assert stats["admitted"] == 2
+        assert stats["peak_waiting"] == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_inflight": 0},
+            {"max_queue": -1},
+            {"queue_timeout": -0.5},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ServerError):
+            AdmissionController(**kwargs)
+
+
+class TestWire:
+    def test_decode_pattern_round_trips(self):
+        pattern = decode_pattern({"pattern": SIM_PATTERN})
+        assert pattern.is_simulation_pattern
+
+    @pytest.mark.parametrize("bad", [None, "", "   ", 7, ["node A"]])
+    def test_decode_pattern_rejects_non_text(self, bad):
+        with pytest.raises(ServerError, match="pattern"):
+            decode_pattern({"pattern": bad})
+
+    def test_decode_budget_defaults_and_unlimited(self):
+        default = QueryBudget(node_visits=10, allow_partial=True)
+        assert decode_budget({}, default=default) is default
+        assert decode_budget({"budget": None}, default=default) is default
+        assert decode_budget({"budget": {}}, default=default) is None
+        budget = decode_budget(
+            {"budget": {"node_visits": 5, "seconds": 1, "allow_partial": False}}
+        )
+        assert budget.node_visits == 5
+        assert budget.seconds == 1.0
+        assert budget.allow_partial is False
+
+    @pytest.mark.parametrize(
+        "raw,match",
+        [
+            ([], "object"),
+            ({"node_visits": "many"}, "node_visits"),
+            ({"seconds": "fast"}, "seconds"),
+            ({"allow_partial": 1}, "allow_partial"),
+            ({"node_visits": -3}, "invalid budget"),
+        ],
+    )
+    def test_decode_budget_rejects_malformed(self, raw, match):
+        with pytest.raises(ServerError, match=match):
+            decode_budget({"budget": raw})
+
+    def test_decode_updates_all_ops(self):
+        updates = decode_updates(
+            {
+                "updates": [
+                    {"op": "add-edge", "source": "a", "target": "b"},
+                    {"op": "remove-edge", "source": "a", "target": "b"},
+                    {"op": "add-node", "node": "c", "attrs": {"field": "SA"}},
+                    {"op": "remove-node", "node": "c"},
+                    {"op": "set-attr", "node": "a", "attr": "experience", "value": 4},
+                ]
+            }
+        )
+        assert len(updates) == 5
+
+    @pytest.mark.parametrize(
+        "raw,match",
+        [
+            ({}, "updates"),
+            ({"updates": []}, "non-empty"),
+            ({"updates": ["add-edge"]}, r"updates\[0\] must be an object"),
+            ({"updates": [{"op": "rename"}]}, "op must be one of"),
+            ({"updates": [{"op": "add-edge", "source": "a"}]}, "target"),
+            (
+                {"updates": [{"op": "add-node", "node": "c", "attrs": [1]}]},
+                "attrs",
+            ),
+        ],
+    )
+    def test_decode_updates_rejects_malformed(self, raw, match):
+        with pytest.raises(ServerError, match=match):
+            decode_updates(raw)
+
+    def test_error_status_mapping(self, registry):
+        from repro.errors import BudgetExceededError
+
+        assert error_status(AdmissionError("full")) == 429
+        assert error_status(BudgetExceededError("slow")) == 408
+        assert error_status(ReproError("bad")) == 400
+        assert error_status(RuntimeError("boom")) == 500
+        payload = error_payload(AdmissionError("full"))
+        assert payload == {"error": "AdmissionError", "message": "full"}
+
+    def test_encode_ranked_rows(self, registry):
+        epoch = registry.current_epoch("fig1")
+        rows = encode_ranked(epoch.top_k(paper_pattern(), 1))
+        assert rows[0]["node"] == "Bob"
+        assert rows[0]["impact_set_size"] > 0
+        assert rows[0]["attrs"]["field"] == "SA"
+
+
+@pytest.fixture
+def service() -> ExpFinderService:
+    with ExpFinderService() as svc:
+        svc.register_graph("fig1", paper_graph())
+        yield svc
+
+
+class TestServiceFacade:
+    def test_register_info(self, service):
+        info = service.register_graph("twin", paper_graph())
+        assert info == {
+            "graph": "twin",
+            "epoch": 0,
+            "nodes": 9,
+            "edges": 12,
+            "oracle": False,
+        }
+
+    def test_evaluate_payload_shape(self, service):
+        reply = service.evaluate("fig1", {"pattern": SIM_PATTERN})
+        assert reply["graph"] == "fig1"
+        assert reply["epoch"] == 0
+        assert "SA" in reply["relation"]["sets"]
+        assert reply["stats"]["route"] == "direct"
+
+    def test_batch_pins_one_epoch(self, service):
+        reply = service.batch(
+            "fig1", {"patterns": [SIM_PATTERN, SIM_PATTERN]}
+        )
+        assert len(reply["results"]) == 2
+        assert reply["results"][1]["stats"]["route"] == "cache"
+        with pytest.raises(ServerError, match="patterns"):
+            service.batch("fig1", {"patterns": []})
+
+    def test_topk_validates_k(self, service):
+        reply = service.topk("fig1", {"pattern": SIM_PATTERN, "k": 2})
+        assert [row["node"] for row in reply["experts"]]
+        with pytest.raises(ServerError, match="k must be"):
+            service.topk("fig1", {"pattern": SIM_PATTERN, "k": 0})
+
+    def test_update_then_evaluate_sees_new_epoch(self, service):
+        service.update_graph(
+            "fig1",
+            {"updates": [{"op": "add-edge", "source": "Fred", "target": "Eva"}]},
+        )
+        reply = service.evaluate("fig1", {"pattern": SIM_PATTERN})
+        assert reply["epoch"] == 1
+
+    def test_explain_and_health_and_stats(self, service):
+        plan = service.explain("fig1", {"pattern": SIM_PATTERN})
+        assert plan["graph"] == "fig1"
+        assert service.health() == {"status": "ok", "graphs": ["fig1"]}
+        stats = service.stats()
+        assert stats["workers"] == 1
+        assert "pools_created" not in stats
+        assert stats["requests"]["register"] == 1
+        assert stats["admission"]["max_inflight"] == 8
+
+    def test_default_budget_applies(self):
+        config = ServiceConfig(
+            default_budget=QueryBudget(node_visits=1, allow_partial=True)
+        )
+        with ExpFinderService(config) as svc:
+            svc.register_graph("fig1", paper_graph())
+            reply = svc.evaluate("fig1", {"pattern": BOUNDED_PATTERN})
+            assert reply["stats"]["partial"]
+            # an explicit empty budget opts out of the default
+            full = svc.evaluate("fig1", {"pattern": BOUNDED_PATTERN, "budget": {}})
+            assert not full["stats"].get("partial")
+
+    def test_config_validation(self):
+        with pytest.raises(ReproError):
+            ServiceConfig(workers=0).validated()
+        with pytest.raises(ReproError):
+            ServiceConfig(
+                default_budget=QueryBudget(node_visits=-1)
+            ).validated()
