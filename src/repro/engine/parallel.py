@@ -213,6 +213,21 @@ def _resolve_persistent(frozen: Any, oracle: Any) -> tuple[Any, Any]:
     return frozen, oracle
 
 
+def _shard_rows_shipped(
+    task: "tuple[ShardPayload, Any, Any]",
+) -> tuple[dict[PatternEdge, dict[NodeId, dict[NodeId, int]]], dict[str, Any]]:
+    """One unguarded shard on the *persistent* pool.
+
+    The shared snapshot/oracle travel inside the task (a file path when
+    mmap-backed — memoized per worker — or attribute-less flat buffers)
+    instead of through module globals, so a long-running service can fan
+    broad-cover queries out over the warm pool without rebuilding it.
+    """
+    payload, shipped_frozen, shipped_oracle = task
+    shared_frozen, shared_oracle = _resolve_persistent(shipped_frozen, shipped_oracle)
+    return _shard_rows_core(payload, shared_frozen, shared_oracle, None)
+
+
 def _shard_rows_guarded(
     task: "tuple[ShardPayload, Any, Any, QueryBudget]",
 ) -> tuple[dict[PatternEdge, dict[NodeId, dict[NodeId, int]]], dict[str, Any]]:
@@ -408,6 +423,12 @@ class ParallelExecutor:
         # (one budget at a time owns the counter).
         self._guard_counter: Any = None
         self._guard_serial = threading.Lock()
+        # Serializes the fan-out section of :meth:`match`: sharded
+        # evaluation installs process-wide module globals (the shared
+        # snapshot and guard state), so concurrent calls from service
+        # threads must take turns.  Candidate generation and the merge
+        # run outside this lock.
+        self._match_serial = threading.Lock()
 
     # ------------------------------------------------------------------
     # pool lifecycle
@@ -480,11 +501,14 @@ class ParallelExecutor:
         frozen: FrozenGraph | None = None,
         oracle: DistanceOracle | None = None,
         budget: QueryBudget | None = None,
+        candidates: dict[str, set[NodeId]] | None = None,
     ) -> MatchResult:
         """``M(Q,G)`` via sharded evaluation: partition, fan out, merge.
 
         Candidate generation runs once in the calling process (through
-        ``index`` when given); the graph is decomposed into
+        ``index`` when given, or skipped entirely when the caller passes
+        precomputed ``candidates`` — the serving layer computes them
+        under its per-epoch index lock); the graph is decomposed into
         ``num_shards`` (default: one per worker) ball shards whose
         successor rows the pool computes; the merged state then runs the
         standard removal fixpoint.  The result carries full refinement
@@ -508,6 +532,11 @@ class ParallelExecutor:
         wall-clock limit aborts in-flight workers via pool termination,
         and shards that never reported merge as empty rows — a sound
         under-approximation flagged ``stats["partial"] = True``.
+
+        Thread-safe: concurrent calls serialize on an instance lock for
+        the fan-out itself (the sharded machinery installs process-wide
+        module globals), which is what lets a threaded query service
+        share one executor across requests.
         """
         pattern.validate()
         watch = Stopwatch()
@@ -516,7 +545,8 @@ class ParallelExecutor:
                 f"stale frozen snapshot: {frozen!r} does not match "
                 f"graph version {graph.version}"
             )
-        candidates = candidates_from_index(graph, pattern, index)
+        if candidates is None:
+            candidates = candidates_from_index(graph, pattern, index)
         if frozen is None:
             frozen = FrozenGraph.freeze(graph)
         if oracle is not None and not oracle.compatible_with(frozen):
@@ -557,36 +587,50 @@ class ParallelExecutor:
         if guarded:
             budget.validate()
         guard_stats: dict[str, Any] = {}
-        if inline:
-            guard = QueryGuard(budget) if guarded else None
-            _set_shared_frozen(frozen, oracle)
-            _set_shard_guard(guard)
-            try:
-                results = [_shard_rows(payload) for payload in payloads]
-            finally:
-                _set_shared_frozen(None)
-                _set_shard_guard(None)
-            if guard is not None:
-                guard_stats = guard.stats()
-        elif guarded and budget.seconds is None:
-            # Node-only budgets never need to kill workers mid-flight, so
-            # they run on the persistent pool: the shared visit counter was
-            # installed at pool creation and pool construction stays off
-            # the per-call path (the churn the serving layer cares about).
-            results, guard_stats = self._guarded_persistent_map(
-                frozen, payloads, oracle, budget
-            )
-        elif guarded:
-            # A wall-clock limit may require terminating in-flight workers,
-            # which would destroy a persistent pool — only these calls pay
-            # for a dedicated pool.
-            results, guard_stats = self._guarded_map(
-                frozen, payloads, oracle, budget
-            )
-        elif materialize:
-            results = self._query_pool().map(_shard_rows, payloads)
-        else:
-            results = self._shared_frozen_map(frozen, payloads, oracle=oracle)
+        with self._match_serial:
+            if inline:
+                guard = QueryGuard(budget) if guarded else None
+                _set_shared_frozen(frozen, oracle)
+                _set_shard_guard(guard)
+                try:
+                    results = [_shard_rows(payload) for payload in payloads]
+                finally:
+                    _set_shared_frozen(None)
+                    _set_shard_guard(None)
+                if guard is not None:
+                    guard_stats = guard.stats()
+            elif guarded and budget.seconds is None:
+                # Node-only budgets never need to kill workers mid-flight,
+                # so they run on the persistent pool: the shared visit
+                # counter was installed at pool creation and pool
+                # construction stays off the per-call path (the churn the
+                # serving layer cares about).
+                results, guard_stats = self._guarded_persistent_map(
+                    frozen, payloads, oracle, budget
+                )
+            elif guarded:
+                # A wall-clock limit may require terminating in-flight
+                # workers, which would destroy a persistent pool — only
+                # these calls pay for a dedicated pool.
+                results, guard_stats = self._guarded_map(
+                    frozen, payloads, oracle, budget
+                )
+            elif materialize:
+                results = self._query_pool().map(_shard_rows, payloads)
+            elif self._pool is not None:
+                # A warm persistent pool exists (a long-running service):
+                # ship the shared snapshot inside the tasks — a file path
+                # when mmap-backed, memoized per worker — instead of
+                # forking a dedicated pool per broad-cover call, keeping
+                # pool construction off the request path entirely.
+                shipped_frozen, shipped_oracle = _shipment(frozen, oracle)
+                tasks = [
+                    (payload, shipped_frozen, shipped_oracle)
+                    for payload in payloads
+                ]
+                results = self._pool.map(_shard_rows_shipped, tasks)
+            else:
+                results = self._shared_frozen_map(frozen, payloads, oracle=oracle)
         merged: dict[PatternEdge, dict[NodeId, dict[NodeId, int]]] = {}
         for rows, _info in results:
             for edge, row in rows.items():

@@ -5,8 +5,10 @@ Layering (each usable on its own):
 * :class:`ExpFinderService` — the in-process facade: graph registration,
   epoch-pinned reads, atomic update publishing, admission control and a
   warm :class:`~repro.engine.parallel.ParallelExecutor` pool built at
-  startup.  Tests and benchmarks drive this object directly; its read
-  path is byte-identical to :class:`~repro.engine.engine.QueryEngine`.
+  startup, through which ``evaluate``/``batch``/``topk`` fan sharded
+  evaluation out when ``workers > 1``.  Tests and benchmarks drive this
+  object directly; its read path is relation-identical to
+  :class:`~repro.engine.engine.QueryEngine`.
 * :class:`QueryServer` — ``ThreadingHTTPServer`` + JSON around the
   service; one daemon thread per connection, HTTP/1.1 keep-alive.
 
@@ -82,9 +84,11 @@ class ExpFinderService:
     """Registry + admission + warm pool behind one facade.
 
     The executor pool (``workers > 1``) is built once at construction —
-    :meth:`ParallelExecutor.warm` — so no request ever pays pool
-    construction; executor use is serialized because the sharded path
-    installs module globals (per-call pools would race otherwise).
+    :meth:`ParallelExecutor.warm` — and every cache-miss ``evaluate`` /
+    ``batch`` / ``topk`` evaluation routes through it
+    (:meth:`Epoch.evaluate` with ``executor=``), so no request ever pays
+    pool construction; the executor serializes its own fan-out section
+    internally because the sharded path installs module globals.
     """
 
     def __init__(self, config: ServiceConfig | None = None, store: Any = None) -> None:
@@ -179,7 +183,9 @@ class ExpFinderService:
         budget = decode_budget(payload, default=self.config.default_budget)
         with self.admission.slot():
             with self.registry.pin(name) as epoch:
-                result = epoch.evaluate(pattern, budget=budget)
+                result = epoch.evaluate(
+                    pattern, budget=budget, executor=self._executor
+                )
                 return {
                     "graph": name,
                     "epoch": epoch.epoch_id,
@@ -205,7 +211,10 @@ class ExpFinderService:
         with self.admission.slot():
             with self.registry.pin(name) as epoch:
                 results = [
-                    epoch.evaluate(pattern, budget=budget) for pattern in patterns
+                    epoch.evaluate(
+                        pattern, budget=budget, executor=self._executor
+                    )
+                    for pattern in patterns
                 ]
                 return {
                     "graph": name,
@@ -229,7 +238,9 @@ class ExpFinderService:
         budget = decode_budget(payload, default=self.config.default_budget)
         with self.admission.slot():
             with self.registry.pin(name) as epoch:
-                ranked = epoch.top_k(pattern, k, budget=budget)
+                ranked = epoch.top_k(
+                    pattern, k, budget=budget, executor=self._executor
+                )
                 return {
                     "graph": name,
                     "epoch": epoch.epoch_id,

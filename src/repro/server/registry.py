@@ -14,11 +14,14 @@ registry instead versions the world into **epochs**:
   refcounted :class:`EpochHandle`; the pin guarantees the epoch's
   snapshots stay alive for the whole query even if newer epochs publish
   meanwhile;
-* a writer applies its update batch to the registry's *master* graph
-  (readers never touch it), builds the next epoch off the result and
-  swaps the ``current`` pointer under the registry lock — one pointer
-  assignment is the entire critical section readers can observe, so a
-  query sees either epoch N or N+1 in full, never a half-applied batch;
+* a writer applies its update batch to a *scratch copy* of the
+  registry's master graph (readers never touch either) which replaces
+  the master only once the whole batch has succeeded — a primitive that
+  raises mid-batch leaves the served state untouched — then builds the
+  next epoch off the result and swaps the ``current`` pointer under the
+  registry lock: one pointer assignment is the entire critical section
+  readers can observe, so a query sees either epoch N or N+1 in full,
+  never a half-applied batch;
 * when the last pin on a superseded epoch drains, the epoch is retired
   and its snapshots become garbage.
 
@@ -107,7 +110,10 @@ class Epoch:
             return simulation_candidates(self.graph, pattern, index=self.attr_index)
 
     def evaluate(
-        self, pattern: Pattern, budget: QueryBudget | None = None
+        self,
+        pattern: Pattern,
+        budget: QueryBudget | None = None,
+        executor: Any = None,
     ) -> MatchResult:
         """``M(Q,G)`` against this epoch — cache, then frozen kernels.
 
@@ -116,6 +122,13 @@ class Epoch:
         is byte-identical to ``QueryEngine.evaluate`` on the same graph
         version — the E18 benchmark asserts exactly that.  Partial
         (budget-tripped) results are never cached.
+
+        An ``executor`` (a :class:`~repro.engine.parallel.ParallelExecutor`
+        with ``workers > 1``) fans cache-miss evaluation out across its
+        worker pool instead of running the kernels inline; the sharded
+        result is relation-identical to the inline one (asserted by the
+        differential suite), so the cache and byte-identity contracts are
+        unchanged.
         """
         pattern.validate()
         watch = Stopwatch()
@@ -130,7 +143,16 @@ class Epoch:
             )
             return result
         candidates = self.candidates(pattern)
-        if pattern.is_simulation_pattern:
+        if executor is not None and executor.workers > 1:
+            result = executor.match(
+                self.graph,
+                pattern,
+                candidates=candidates,
+                frozen=self.frozen,
+                oracle=self.oracle,
+                budget=budget,
+            )
+        elif pattern.is_simulation_pattern:
             result = match_simulation(
                 self.graph, pattern, candidates=candidates, frozen=self.frozen
             )
@@ -149,14 +171,18 @@ class Epoch:
         return result
 
     def top_k(
-        self, pattern: Pattern, k: int, budget: QueryBudget | None = None
+        self,
+        pattern: Pattern,
+        k: int,
+        budget: QueryBudget | None = None,
+        executor: Any = None,
     ) -> list:
         """Top-K ranked experts against this epoch (rank-cache aware)."""
         key = cache_key(self.name, pattern)
         entry = self.rank_cache.get(key, self.graph.version)
         if entry is not None:
             return bulk_top_k_detail(entry.context, k)
-        result = self.evaluate(pattern, budget=budget)
+        result = self.evaluate(pattern, budget=budget, executor=executor)
         context = RankingContext(result.result_graph())
         ranked = bulk_top_k_detail(context, k)
         if not result.stats.get("partial"):
@@ -229,11 +255,18 @@ class EpochHandle:
     def __exit__(self, *exc_info: Any) -> None:
         self.release()
 
-    def __del__(self) -> None:  # pragma: no cover - GC safety net
-        try:
-            self.release()
-        except Exception:
-            pass
+    def __del__(self) -> None:
+        # GC can run this finalizer on a thread that already holds the
+        # registry lock (any allocation inside pin()/stats() may trigger a
+        # collection), so it must never take that lock: the leaked pin is
+        # parked on a lock-free list the registry drains during its next
+        # locked operation.
+        if not self._released:
+            self._released = True
+            try:
+                self._registry._defer_unpin(self.epoch)
+            except Exception:  # pragma: no cover - interpreter teardown
+                pass
 
 
 class _GraphState:
@@ -276,6 +309,11 @@ class SnapshotRegistry:
         self.cache_capacity = cache_capacity
         self._lock = threading.Lock()
         self._graphs: dict[str, _GraphState] = {}
+        # Pins leaked by garbage-collected handles.  Finalizers may run on
+        # a thread that holds the registry lock, so they append here
+        # without taking it (list.append/pop are atomic under the GIL) and
+        # the next locked registry operation drains the backlog.
+        self._leaked_pins: list[Epoch] = []
         self.counters = {
             "epochs_published": 0,
             "epochs_retired": 0,
@@ -309,6 +347,13 @@ class SnapshotRegistry:
         with state.write_lock:
             epoch = self._build_epoch(name, state, prior=None)
             with self._lock:
+                self._drain_leaked_locked()
+                # Re-check under the installing lock: a concurrent
+                # register() may have won the name while this one was
+                # building its epoch off-lock, and overwriting would
+                # silently drop the winner's published epoch.
+                if name in self._graphs and not replace:
+                    raise ServerError(f"graph {name!r} already registered")
                 self._graphs[name] = state
                 self._install(state, epoch)
         return epoch
@@ -346,6 +391,7 @@ class SnapshotRegistry:
                 name, state, prior=None, frozen=frozen, oracle_obj=loaded_oracle
             )
             with self._lock:
+                self._drain_leaked_locked()
                 if name in self._graphs:
                     raise ServerError(f"graph {name!r} already registered")
                 self._graphs[name] = state
@@ -358,6 +404,7 @@ class SnapshotRegistry:
     def pin(self, name: str) -> EpochHandle:
         """Pin the current epoch of ``name`` for the caller's lifetime."""
         with self._lock:
+            self._drain_leaked_locked()
             state = self._graphs.get(name)
             if state is None or state.current is None:
                 known = ", ".join(sorted(self._graphs)) or "none"
@@ -370,11 +417,28 @@ class SnapshotRegistry:
 
     def _unpin(self, epoch: Epoch) -> None:
         with self._lock:
-            epoch._pins -= 1
-            if epoch._pins <= 0 and epoch.retired:
-                state = self._graphs.get(epoch.name)
-                if state is not None and state.live.pop(epoch.epoch_id, None):
-                    self.counters["epochs_retired"] += 1
+            self._drain_leaked_locked()
+            self._unpin_locked(epoch)
+
+    def _unpin_locked(self, epoch: Epoch) -> None:
+        epoch._pins -= 1
+        if epoch._pins <= 0 and epoch.retired:
+            state = self._graphs.get(epoch.name)
+            if state is not None and state.live.pop(epoch.epoch_id, None):
+                self.counters["epochs_retired"] += 1
+
+    def _defer_unpin(self, epoch: Epoch) -> None:
+        """Finalizer-safe unpin: park the epoch for the next locked drain.
+
+        Called from ``EpochHandle.__del__`` — possibly on a thread that
+        already holds the registry lock — so it must not acquire it.
+        """
+        self._leaked_pins.append(epoch)
+
+    def _drain_leaked_locked(self) -> None:
+        """Apply parked finalizer unpins.  Caller holds the registry lock."""
+        while self._leaked_pins:
+            self._unpin_locked(self._leaked_pins.pop())
 
     def current_epoch(self, name: str) -> Epoch:
         """The current epoch without pinning (metadata/stats paths only)."""
@@ -397,38 +461,45 @@ class SnapshotRegistry:
     def publish(self, name: str, updates: Sequence[Update]) -> Epoch:
         """Apply an update batch and atomically publish the next epoch.
 
-        The batch applies to the *master* graph — no reader ever holds a
-        reference to it — then the next epoch is built from a fresh copy
-        and swapped in under the registry lock.  In-flight queries keep
-        their pinned epoch; new pins see the new epoch only after the
-        swap, so no request can observe a partially-applied batch.
+        The batch is all-or-nothing: primitives apply to a *scratch* copy
+        of the master graph, which becomes the new master only once every
+        primitive has succeeded.  A primitive that raises mid-batch (e.g.
+        removing a missing edge — any HTTP client can send one and gets a
+        400 back) therefore leaves the served state exactly as it was; no
+        later publish can build an epoch from a half-applied prefix.
+        In-flight queries keep their pinned epoch; new pins see the new
+        epoch only after the pointer swap, so no request can observe a
+        partially-applied batch.
         """
         with self._lock:
             state = self._graphs.get(name)
+            known = "" if state is not None else (
+                ", ".join(sorted(self._graphs)) or "none"
+            )
         if state is None:
-            known = ", ".join(sorted(self._graphs)) or "none"
             raise ServerError(f"unknown graph: {name!r} (registered: {known})")
         with state.write_lock:
+            scratch = state.master.copy(name=state.master.name)
             oracle_survives = True
-            applied = 0
             for update in updates:
-                for primitive in decompose(state.master, update):
+                for primitive in decompose(scratch, update):
                     oracle_survives = oracle_survives and DistanceOracle.survives(
                         primitive
                     )
-                    primitive.apply(state.master)
-                    applied += 1
+                    primitive.apply(scratch)
+            # Every primitive succeeded: adopt the batch in one assignment.
+            state.master = scratch
             prior = state.current
             epoch = self._build_epoch(
                 name, state, prior=prior if oracle_survives else None
             )
-            epoch_prev = prior
             with self._lock:
+                self._drain_leaked_locked()
                 self._install(state, epoch)
-                if epoch_prev is not None:
-                    epoch_prev.retired = True
-                    if epoch_prev._pins <= 0:
-                        if state.live.pop(epoch_prev.epoch_id, None):
+                if prior is not None:
+                    prior.retired = True
+                    if prior._pins <= 0:
+                        if state.live.pop(prior.epoch_id, None):
                             self.counters["epochs_retired"] += 1
         return epoch
 
@@ -503,6 +574,7 @@ class SnapshotRegistry:
     def stats(self) -> dict[str, Any]:
         """Lifecycle counters plus a per-graph epoch inventory."""
         with self._lock:
+            self._drain_leaked_locked()
             graphs = {
                 name: {
                     "current_epoch": (

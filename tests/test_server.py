@@ -16,7 +16,7 @@ from repro.engine.estimator import QueryBudget
 from repro.engine.storage import GraphStore
 from repro.errors import AdmissionError, ReproError, ServerError
 from repro.graph.frozen import FrozenGraph
-from repro.incremental.updates import AttributeUpdate, EdgeInsertion
+from repro.incremental.updates import AttributeUpdate, EdgeDeletion, EdgeInsertion
 from repro.matching.bounded import match_bounded
 from repro.pattern.parser import parse_pattern
 from repro.server import (
@@ -194,6 +194,98 @@ class TestPublish:
         epoch = registry.publish("fig1", [AttributeUpdate("Bob", "experience", 1)])
         assert epoch.epoch_id == before.epoch_id + 1
         assert "Bob" not in epoch.evaluate(paper_pattern()).relation.matches_of("SA")
+
+    def test_failed_batch_is_all_or_nothing(self, registry):
+        """A primitive raising mid-batch must not corrupt the master: the
+        batch prefix is rolled back, and the next successful publish
+        builds an epoch WITHOUT the failed batch's prefix applied."""
+        before = registry.current_epoch("fig1")
+        bad_batch = [
+            EdgeInsertion("Fred", "Eva"),  # valid prefix...
+            EdgeDeletion("Fred", "Pat"),  # ...then a missing edge: raises
+        ]
+        with pytest.raises(ReproError, match="not present"):
+            registry.publish("fig1", bad_batch)
+        # served state untouched: same current epoch, nothing published
+        assert registry.current_epoch("fig1") is before
+        assert registry.counters["epochs_published"] == 1
+        # the next publish builds from the unprefixed master: the failed
+        # batch's EdgeInsertion must NOT leak into the new epoch
+        epoch = registry.publish("fig1", [AttributeUpdate("Bob", "skill", "db")])
+        assert not epoch.graph.has_edge("Fred", "Eva")
+        assert "Fred" not in epoch.evaluate(paper_pattern()).relation.matches_of("SD")
+
+    def test_failed_batch_leaves_reads_consistent(self, registry):
+        expected = registry.current_epoch("fig1").evaluate(paper_pattern()).relation
+        with pytest.raises(ReproError):
+            registry.publish(
+                "fig1", [EdgeInsertion("Fred", "Eva"), EdgeInsertion("Fred", "Eva")]
+            )
+        with registry.pin("fig1") as epoch:
+            assert epoch.evaluate(paper_pattern()).relation == expected
+
+
+class TestRegistryRaces:
+    def test_register_race_does_not_overwrite_winner(self):
+        """Two concurrent register() calls for one name: the loser must
+        raise instead of silently replacing the winner's state (the
+        duplicate check is re-applied under the installing lock)."""
+        registry = SnapshotRegistry()
+        original = registry._build_epoch
+        raced = []
+
+        def racing_build(name, state, prior=None, **kwargs):
+            epoch = original(name, state, prior=prior, **kwargs)
+            if not raced:
+                # Simulate a competing register() landing in the window
+                # between the duplicate pre-check and the install.
+                raced.append(True)
+                registry.register("dup", paper_graph())
+            return epoch
+
+        registry._build_epoch = racing_build
+        with pytest.raises(ServerError, match="already registered"):
+            registry.register("dup", paper_graph())
+        # the winner's published epoch survives and still serves
+        epoch = registry.current_epoch("dup")
+        assert epoch.epoch_id == 0
+        assert registry.counters["epochs_published"] == 1
+        with registry.pin("dup") as pinned:
+            assert pinned is epoch
+
+    def test_gc_leaked_handle_unpins_via_deferred_drain(self, registry):
+        handle = registry.pin("fig1")
+        epoch = handle.epoch
+        assert epoch.pins == 1
+        # a dropped handle parks its unpin instead of taking the lock
+        handle.__del__()
+        assert epoch.pins == 1  # not applied yet: no lock from a finalizer
+        registry.stats()  # any locked registry operation drains the backlog
+        assert epoch.pins == 0
+        # the real release is now a no-op (the finalizer marked it released)
+        handle.release()
+        assert epoch.pins == 0
+
+    def test_finalizer_is_safe_while_registry_lock_is_held(self, registry):
+        """GC may finalize a handle on a thread holding the registry lock;
+        the finalizer must not try to take it (this test deadlocks on
+        regression)."""
+        handle = registry.pin("fig1")
+        with registry._lock:
+            handle.__del__()
+        with registry.pin("fig1") as epoch:  # drains the parked unpin
+            assert epoch.pins == 1  # only this pin is left
+        assert registry.current_epoch("fig1").pins == 0
+
+    def test_leaked_pin_on_retired_epoch_still_collects(self, registry):
+        handle = registry.pin("fig1")
+        old = handle.epoch
+        registry.publish("fig1", [EdgeInsertion("Fred", "Eva")])
+        assert old.retired and old.pins == 1
+        handle.__del__()  # leak the pin instead of releasing
+        registry.stats()  # drain retires the superseded epoch
+        assert [e.epoch_id for e in registry.live_epochs("fig1")] == [1]
+        assert registry.counters["epochs_retired"] == 1
 
 
 class TestOracleLifecycle:
@@ -552,3 +644,41 @@ class TestServiceFacade:
             ServiceConfig(
                 default_budget=QueryBudget(node_visits=-1)
             ).validated()
+
+
+class TestServiceExecutorRouting:
+    """``workers > 1`` must actually serve evaluation from the warm pool
+    (not spawn idle processes), with relations identical to inline."""
+
+    def test_workers_route_evaluation_through_warm_pool(self):
+        with ExpFinderService(ServiceConfig(workers=2)) as parallel_svc, \
+                ExpFinderService(ServiceConfig(workers=1)) as inline_svc:
+            for svc in (parallel_svc, inline_svc):
+                svc.register_graph("fig1", paper_graph())
+            for pattern in (SIM_PATTERN, BOUNDED_PATTERN):
+                sharded = parallel_svc.evaluate("fig1", {"pattern": pattern})
+                inline = inline_svc.evaluate("fig1", {"pattern": pattern})
+                # the fan-out is visible in the stats...
+                assert sharded["stats"]["parallel"]["workers"] == 2
+                assert sharded["stats"]["parallel"]["mode"] == "sharded-query"
+                # ...and the relation is identical to the inline kernels
+                assert sharded["relation"] == inline["relation"]
+            # steady-state serving never builds a pool on the request path
+            assert parallel_svc.stats()["pools_created"] == 1
+
+    def test_workers_route_batch_and_topk(self):
+        with ExpFinderService(ServiceConfig(workers=2)) as svc:
+            svc.register_graph("fig1", paper_graph())
+            reply = svc.batch("fig1", {"patterns": [BOUNDED_PATTERN, SIM_PATTERN]})
+            assert reply["results"][0]["stats"]["parallel"]["workers"] == 2
+            ranked = svc.topk("fig1", {"pattern": SIM_PATTERN, "k": 3})
+            assert [row["node"] for row in ranked["experts"]]
+            assert svc.stats()["pools_created"] == 1
+
+    def test_cached_repeat_skips_the_pool(self):
+        with ExpFinderService(ServiceConfig(workers=2)) as svc:
+            svc.register_graph("fig1", paper_graph())
+            first = svc.evaluate("fig1", {"pattern": SIM_PATTERN})
+            again = svc.evaluate("fig1", {"pattern": SIM_PATTERN})
+            assert again["stats"]["route"] == "cache"
+            assert again["relation"] == first["relation"]
