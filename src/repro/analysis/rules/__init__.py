@@ -9,6 +9,7 @@ from repro.analysis.rules import (  # noqa: F401  (import-for-effect)
     cache_guard,
     determinism,
     error_wrapping,
+    fault_registry,
     frozen_immutability,
     guard_threading,
     spawn_safety,

@@ -1,0 +1,83 @@
+"""fault-point-registered: every injection site is in the central registry.
+
+The crash-recovery sweep (``repro.testing.chaos``) enumerates
+:data:`repro.testing.faults.FAULT_POINTS` and kills the process at every
+registered point.  That guarantee inverts into a requirement: a
+``fault_point("...")`` call whose name is *not* in the registry is an
+injection site the sweep silently never exercises — exactly the kind of
+quiet coverage hole fault injection exists to eliminate.
+
+What this rule matches (only in modules that reference ``fault_point``):
+
+* ``fault_point("name")`` where the string literal is not a member of
+  ``FAULT_POINTS`` — including typos, since the runtime check in
+  :func:`repro.testing.faults.fault_point` only fires on paths a test
+  actually reaches;
+* ``fault_point(expr)`` with a non-literal argument — a computed name
+  cannot be enumerated statically, so the sweep could not prove it is
+  covered; fault point names are part of the crash-safety contract and
+  must be spelled out.
+
+The definition site itself (``repro/testing/faults.py``) is exempt: its
+``fault_point`` *is* the function, not a call site of interest.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import ModuleUnderLint, Rule, register
+
+
+def _registry() -> frozenset[str]:
+    # Imported lazily so linting a tree never requires the whole library
+    # import graph at rule-registration time.
+    from repro.testing.faults import FAULT_POINTS
+
+    return FAULT_POINTS
+
+
+@register
+class FaultRegistryRule(Rule):
+    id = "fault-point-registered"
+    description = (
+        "every fault_point(\"name\") literal must appear in "
+        "repro.testing.faults.FAULT_POINTS so the crash sweep covers it"
+    )
+
+    def check(self, module: ModuleUnderLint) -> Iterator[tuple[int, str]]:
+        if module.path_endswith("testing/faults.py"):
+            return
+        registry = None
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else None
+            )
+            if name != "fault_point":
+                continue
+            if registry is None:
+                registry = _registry()
+            if not node.args:
+                yield node.lineno, "fault_point() called without a name"
+                continue
+            arg = node.args[0]
+            if not (isinstance(arg, ast.Constant) and isinstance(arg.value, str)):
+                yield (
+                    node.lineno,
+                    "fault_point() argument must be a string literal — a "
+                    "computed name cannot be enumerated by the crash sweep",
+                )
+                continue
+            if arg.value not in registry:
+                yield (
+                    node.lineno,
+                    f"fault point {arg.value!r} is not registered in "
+                    "repro.testing.faults.FAULT_POINTS — the crash sweep "
+                    "would silently skip it",
+                )

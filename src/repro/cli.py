@@ -245,6 +245,22 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="per-request wall-clock limit applied when the "
                             "request carries no budget")
+    serve.add_argument("--wal-dir", default=None, metavar="DIR",
+                       help="enable the durable write-ahead changelog: every "
+                            "update batch is appended (and CRC-framed) here "
+                            "before it applies, and startup replays any "
+                            "unapplied suffix over the last checkpoint")
+    serve.add_argument("--fsync", default="batch",
+                       choices=("always", "batch", "none"),
+                       help="WAL fsync policy: 'always' syncs every batch, "
+                            "'batch' amortizes (process crashes lose nothing "
+                            "either way; only power loss differs), 'none' "
+                            "trusts the OS page cache (default: batch)")
+    serve.add_argument("--checkpoint-every", type=int, default=64,
+                       metavar="BATCHES",
+                       help="persist a snapshot checkpoint and truncate "
+                            "sealed WAL segments every N published batches "
+                            "(default: 64)")
     serve.set_defaults(handler=_cmd_serve)
 
     stats = sub.add_parser(
@@ -814,21 +830,49 @@ def _serve_config(args: argparse.Namespace):
             max_queue=args.queue_depth,
             queue_timeout=args.admission_timeout,
             default_budget=default_budget,
+            wal_dir=getattr(args, "wal_dir", None),
+            fsync=getattr(args, "fsync", "batch"),
+            checkpoint_every=getattr(args, "checkpoint_every", 64),
         ).validated()
     except ServerError as exc:
-        raise CliError(f"--max-inflight/--queue-depth: {exc}") from None
+        raise CliError(f"--max-inflight/--queue-depth/--fsync/"
+                       f"--checkpoint-every: {exc}") from None
+
+
+class _GracefulExit(Exception):
+    """Raised out of the serve loop by the SIGTERM handler (drain path)."""
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    """Start the query service, preload/register graphs, serve until ^C."""
+    """Start the query service, preload/register graphs, serve until ^C.
+
+    SIGTERM (and Ctrl-C) triggers a *drain*: stop accepting work, wait
+    for in-flight requests to finish, write a final checkpoint and seal
+    the WAL — so a supervised restart recovers instantly with an empty
+    replay suffix.
+    """
+    import signal
+
     from repro.engine.storage import GraphStore
     from repro.server import ExpFinderService, QueryServer
+    from repro.testing.faults import install_from_env
 
     if args.preload and args.store is None:
         raise CliError("--preload needs --store (snapshots live in a store)")
     store = GraphStore(args.store) if args.store is not None else None
+    # Staging rehearsal hook: REPRO_FAULTS="wal.fsync=crash@3" arms the
+    # registered fault points in a real serve process.
+    if install_from_env():
+        print("fault injection armed from $REPRO_FAULTS")
     service = ExpFinderService(_serve_config(args), store=store)
     try:
+        for name, report in sorted(service.recovered.items()):
+            if report.get("status") == "recovered":
+                print(
+                    f"recovered {name!r}: replayed {report['replayed']} "
+                    f"batch(es), skipped {report['skipped']}, "
+                    f"lsn {report['lsn']}"
+                )
         for name in args.preload:
             info = service.preload(name)
             print(
@@ -843,19 +887,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 name, path = Path(spec).stem, spec
             if not name or not path:
                 raise CliError(f"bad graph spec {spec!r}; expected [NAME=]FILE")
+            if service.recovered.get(name, {}).get("status") == "recovered":
+                # The same command line across restarts must just work:
+                # the WAL already rebuilt this graph *with* every batch
+                # published since the seed file was written, so the file
+                # is strictly staler than what recovery installed.
+                print(f"skipped {name!r}: already recovered from the WAL")
+                continue
             graph = load_graph(path)
             info = service.register_graph(name, graph)
             print(
                 f"registered {name!r}: {info['nodes']} nodes / "
                 f"{info['edges']} edges, epoch {info['epoch']}"
             )
+
+        def _on_sigterm(signum: int, frame: object) -> None:
+            raise _GracefulExit()
+
+        previous = signal.signal(signal.SIGTERM, _on_sigterm)
         with QueryServer(service, host=args.host, port=args.port) as server:
             host, port = server.address
             print(f"serving on http://{host}:{port} (Ctrl-C to stop)")
             try:
                 server.serve_forever()
-            except KeyboardInterrupt:
-                print("shutting down")
+            except (KeyboardInterrupt, _GracefulExit):
+                print("shutting down: draining in-flight requests")
+                drained = service.drain()
+                tail = ", sealing WAL" if service.wal is not None else ""
+                print(("drained" if drained else "drain timed out") + tail)
+            finally:
+                signal.signal(signal.SIGTERM, previous)
         return 0
     finally:
         service.close()

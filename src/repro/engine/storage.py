@@ -169,8 +169,8 @@ def write_snapshot_file(
 def _read_header(raw: bytes, path: Path, kind: int | None) -> tuple:
     if len(raw) < _HEADER.size:
         raise StorageError(
-            f"truncated snapshot file {path}: {len(raw)} bytes is smaller "
-            f"than the {_HEADER.size}-byte header"
+            f"truncated header in snapshot file {path}: {len(raw)} bytes is "
+            f"smaller than the {_HEADER.size}-byte header"
         )
     magic, version, file_kind, _flags, source_version, meta_length, checksum = (
         _HEADER.unpack_from(raw)
@@ -209,10 +209,20 @@ def load_snapshot_file(
     path = Path(path)
     if not path.exists():
         raise StorageError(f"snapshot file not found: {path}")
+    # Checked up front: a zero-length file would otherwise surface as
+    # mmap's own ValueError ("cannot mmap an empty file") and a sub-header
+    # file would fail only at header unpack — both are the same defect (a
+    # torn write of the header) and deserve the same distinct error.
+    size = path.stat().st_size
+    if size < _HEADER.size:
+        raise StorageError(
+            f"truncated header in snapshot file {path}: {size} bytes is "
+            f"smaller than the {_HEADER.size}-byte header"
+        )
     with open(path, "rb") as handle:
         try:
             mapping = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
-        except ValueError as exc:
+        except ValueError as exc:  # pragma: no cover - raced truncation
             raise StorageError(f"truncated snapshot file {path}: {exc}") from exc
     view = memoryview(mapping)
     _file_kind, source_version, meta_length, checksum = _read_header(

@@ -54,6 +54,15 @@ class StorageError(ReproError):
     """File-backed graph/query/result storage failed or is inconsistent."""
 
 
+class WalError(StorageError):
+    """The write-ahead changelog is corrupt, misconfigured or misused.
+
+    Subclasses :class:`StorageError`: a broken WAL is a broken durability
+    artefact, and callers guarding persistence with ``except
+    StorageError`` must see WAL failures through the same funnel.
+    """
+
+
 class CacheError(ReproError):
     """Query cache misuse (e.g. pinning a query for an unknown graph)."""
 
@@ -69,6 +78,31 @@ class AdmissionError(ServerError):
     queue is full (or the wait timed out); the HTTP layer maps it to a
     ``429 Too Many Requests`` response so well-behaved clients back off.
     """
+
+
+class AdmissionTimeoutError(AdmissionError):
+    """A queued request waited ``queue_timeout`` without getting a slot.
+
+    Distinct from the capacity refusal (queue full on arrival, HTTP 429):
+    the request *was* admitted to the queue and then timed out, which the
+    HTTP layer reports as ``408 Request Timeout`` so clients and
+    dashboards can tell sustained saturation (429s) from slow drains
+    (408s) apart.
+    """
+
+
+class ServiceDegradedError(ServerError):
+    """An update was durably logged but the new epoch could not be built.
+
+    The service keeps serving the last good epoch; ``/health`` reports
+    ``degraded`` with the WAL replay lag, and the HTTP layer maps this to
+    ``503 Service Unavailable`` (the write is preserved — recovery or the
+    next successful publish will surface it).
+    """
+
+
+class FaultError(ReproError):
+    """Fault-injection misuse (unknown fault point, malformed arming spec)."""
 
 
 class CliError(ReproError):

@@ -8,6 +8,10 @@ Public surface:
   atomic epoch publishing;
 * :class:`~repro.server.admission.AdmissionController` — bounded
   inflight/queue admission;
+* :class:`~repro.server.wal.WriteAheadLog` /
+  :class:`~repro.server.wal.Checkpointer` — the durable changelog every
+  acknowledged publish is framed into, and the debounced snapshotter
+  that bounds its replay suffix;
 * :class:`~repro.server.app.ExpFinderService` — the in-process facade;
 * :class:`~repro.server.app.QueryServer` — the HTTP front end
   (``expfinder serve``).
@@ -16,13 +20,16 @@ Public surface:
 from repro.server.admission import AdmissionController
 from repro.server.app import ExpFinderService, QueryServer, ServiceConfig
 from repro.server.registry import Epoch, EpochHandle, SnapshotRegistry
+from repro.server.wal import Checkpointer, WriteAheadLog
 
 __all__ = [
     "AdmissionController",
+    "Checkpointer",
     "Epoch",
     "EpochHandle",
     "ExpFinderService",
     "QueryServer",
     "ServiceConfig",
     "SnapshotRegistry",
+    "WriteAheadLog",
 ]

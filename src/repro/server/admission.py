@@ -4,10 +4,19 @@ A ThreadingHTTPServer spawns one thread per connection, so without a gate
 a traffic spike turns into unbounded concurrent matcher runs — memory
 blow-up and collapsing tail latency.  The controller caps *executing*
 requests at ``max_inflight``; up to ``max_queue`` more may wait at most
-``queue_timeout`` seconds for a slot, and everything beyond that is
-refused immediately with :class:`~repro.errors.AdmissionError` (HTTP
-429).  Waiters are served in semaphore order; the counters expose how
-often the service ran hot.
+``queue_timeout`` seconds for a slot.
+
+The two refusals are distinct failures and carry distinct errors:
+
+* queue full on arrival → :class:`~repro.errors.AdmissionError`
+  (HTTP 429) — the service is saturated *right now*, back off;
+* queued but no slot freed in time →
+  :class:`~repro.errors.AdmissionTimeoutError` (HTTP 408) — capacity
+  exists but drains too slowly, a latency problem, not a load problem.
+
+``stats()`` counts them separately (``rejected_full`` /
+``rejected_timeout``) plus a combined ``rejected`` total, so dashboards
+can tell sustained saturation from slow drains at a glance.
 """
 
 from __future__ import annotations
@@ -16,7 +25,7 @@ import threading
 from contextlib import contextmanager
 from typing import Any, Iterator
 
-from repro.errors import AdmissionError, ServerError
+from repro.errors import AdmissionError, AdmissionTimeoutError, ServerError
 
 
 class AdmissionController:
@@ -82,8 +91,8 @@ class AdmissionController:
         if not admitted:
             with self._lock:
                 self._rejected_timeout += 1
-            raise AdmissionError(
-                f"service saturated: no worker slot freed within "
+            raise AdmissionTimeoutError(
+                f"queued request timed out: no worker slot freed within "
                 f"{self.queue_timeout}s (inflight cap {self.max_inflight}); "
                 "retry with backoff"
             )
@@ -119,6 +128,7 @@ class AdmissionController:
                 "inflight": self._inflight,
                 "waiting": self._waiting,
                 "admitted": self._admitted,
+                "rejected": self._rejected_full + self._rejected_timeout,
                 "rejected_full": self._rejected_full,
                 "rejected_timeout": self._rejected_timeout,
                 "peak_inflight": self._peak_inflight,

@@ -24,16 +24,27 @@ Endpoints::
     POST /graphs/<name>/update            {"updates": [...]}
 
 Error mapping: :class:`~repro.errors.AdmissionError` → 429,
-:class:`~repro.errors.BudgetExceededError` → 408, any other
+:class:`~repro.errors.AdmissionTimeoutError` and
+:class:`~repro.errors.BudgetExceededError` → 408,
+:class:`~repro.errors.ServiceDegradedError` → 503, any other
 :class:`~repro.errors.ReproError` → 400, everything else → 500.
+
+With ``wal_dir`` configured the service is **durable**: every update
+batch is appended to a :class:`~repro.server.wal.WriteAheadLog` before
+it applies, a debounced :class:`~repro.server.wal.Checkpointer` persists
+snapshots behind the publish path, and construction replays any
+unapplied WAL suffix over the last checkpoint
+(:meth:`SnapshotRegistry.recover`) before the first request is accepted.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
 from typing import Any
 
 from repro.engine.estimator import QueryBudget
@@ -43,6 +54,7 @@ from repro.graph.digraph import Graph
 from repro.graph.io import graph_from_dict
 from repro.server.admission import AdmissionController
 from repro.server.registry import SnapshotRegistry
+from repro.server.wal import Checkpointer, WriteAheadLog
 from repro.server.wire import (
     decode_budget,
     decode_pattern,
@@ -65,6 +77,14 @@ class ServiceConfig:
     cache_capacity: int = 64
     default_budget: QueryBudget | None = None
     oracle: dict[str, Any] | None = field(default=None)
+    # Durability plane (all inert while wal_dir is None):
+    wal_dir: str | None = None
+    fsync: str = "batch"
+    checkpoint_every: int = 64
+    wal_segment_bytes: int = 4 * 1024 * 1024
+    # Inline (synchronous) checkpointing for deterministic tests/sweeps;
+    # production keeps the background thread so publishes never block.
+    checkpoint_background: bool = True
 
     def validated(self) -> "ServiceConfig":
         validate_workers(self.workers)
@@ -77,6 +97,14 @@ class ServiceConfig:
         )
         if self.default_budget is not None:
             self.default_budget.validate()
+        if self.fsync not in ("always", "batch", "none"):
+            raise ServerError(
+                f"fsync policy must be always, batch or none: {self.fsync!r}"
+            )
+        if self.checkpoint_every < 1:
+            raise ServerError(
+                f"checkpoint_every must be >= 1: {self.checkpoint_every}"
+            )
         return self
 
 
@@ -93,9 +121,37 @@ class ExpFinderService:
 
     def __init__(self, config: ServiceConfig | None = None, store: Any = None) -> None:
         self.config = (config or ServiceConfig()).validated()
+        self.wal: WriteAheadLog | None = None
+        self.checkpointer: Checkpointer | None = None
+        self.recovered: dict[str, dict[str, Any]] = {}
+        if self.config.wal_dir is not None:
+            if store is None:
+                # Checkpoints need somewhere to live; co-locate a store
+                # under the WAL directory unless the caller brought one.
+                from repro.engine.storage import GraphStore
+
+                store = GraphStore(Path(self.config.wal_dir) / "store")
+            self.wal = WriteAheadLog(
+                self.config.wal_dir,
+                fsync=self.config.fsync,
+                segment_bytes=self.config.wal_segment_bytes,
+            )
         self.registry = SnapshotRegistry(
-            store=store, cache_capacity=self.config.cache_capacity
+            store=store, cache_capacity=self.config.cache_capacity, wal=self.wal
         )
+        if self.wal is not None:
+            self.checkpointer = Checkpointer(
+                self.registry,
+                self.wal,
+                store,
+                every_batches=self.config.checkpoint_every,
+                background=self.config.checkpoint_background,
+            )
+            self.registry.attach_checkpointer(self.checkpointer)
+            # Crash recovery happens *before* the first request can pin an
+            # epoch: replay the unapplied WAL suffix over the last
+            # checkpoint of every graph the previous process served.
+            self.recovered = self.registry.recover()
         self.admission = AdmissionController(
             max_inflight=self.config.max_inflight,
             max_queue=self.config.max_queue,
@@ -111,9 +167,31 @@ class ExpFinderService:
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Wait for in-flight and queued requests to finish (SIGTERM path).
+
+        Returns whether the service went quiet within ``timeout``; either
+        way the caller proceeds to :meth:`close`, which checkpoints and
+        seals the WAL — nothing acknowledged is lost even on a hard exit.
+        """
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            stats = self.admission.stats()
+            if stats["inflight"] == 0 and stats["waiting"] == 0:
+                return True
+            time.sleep(0.02)
+        stats = self.admission.stats()
+        return stats["inflight"] == 0 and stats["waiting"] == 0
+
     def close(self) -> None:
         if not self._closed:
             self._closed = True
+            if self.checkpointer is not None:
+                # Final checkpoint: recovery after a clean shutdown replays
+                # nothing (the WAL suffix past the checkpoint is empty).
+                self.checkpointer.close(final_checkpoint=True)
+            if self.wal is not None:
+                self.wal.close()
             if self._executor is not None:
                 self._executor.close()
 
@@ -258,7 +336,25 @@ class ExpFinderService:
     # observability
     # ------------------------------------------------------------------
     def health(self) -> dict[str, Any]:
-        return {"status": "ok", "graphs": self.registry.graphs()}
+        """Liveness + durability posture.
+
+        ``status`` flips to ``"degraded"`` when any graph serves a stale
+        epoch after a failed rebuild; with a WAL attached the payload
+        carries per-graph replay lag (``appended_lsn - applied_lsn``) so
+        operators can see exactly how far serving trails durability.
+        """
+        degraded = self.registry.degraded
+        payload: dict[str, Any] = {
+            "status": "degraded" if degraded else "ok",
+            "graphs": self.registry.graphs(),
+        }
+        if self.wal is not None:
+            wal_status = self.registry.wal_status()
+            payload["wal"] = {
+                "last_lsn": wal_status["wal"]["last_lsn"],
+                "graphs": wal_status["graphs"],
+            }
+        return payload
 
     def stats(self) -> dict[str, Any]:
         with self._requests_lock:
@@ -269,6 +365,8 @@ class ExpFinderService:
             "requests": requests,
             "workers": self.config.workers,
         }
+        if self.wal is not None:
+            stats["wal"] = self.registry.wal_status()
         if self._executor is not None:
             stats["pools_created"] = self._executor.pools_created
         return stats

@@ -39,7 +39,12 @@ from typing import Any, Iterable, Sequence
 from repro.engine.cache import QueryCache, RankCache, cache_key
 from repro.engine.estimator import QueryBudget
 from repro.engine.planner import make_plan
-from repro.errors import ReproError, ServerError
+from repro.errors import (
+    ReproError,
+    ServerError,
+    ServiceDegradedError,
+    StorageError,
+)
 from repro.graph.digraph import Graph
 from repro.graph.frozen import FrozenGraph
 from repro.graph.index import AttributeIndex
@@ -50,6 +55,7 @@ from repro.matching.bounded import match_bounded
 from repro.matching.simulation import match_simulation, simulation_candidates
 from repro.pattern.pattern import Pattern
 from repro.ranking.topk import RankingContext, bulk_top_k_detail
+from repro.testing.faults import fault_point
 
 
 class Epoch:
@@ -279,6 +285,10 @@ class _GraphState:
         "live",
         "next_epoch_id",
         "oracle_config",
+        "appended_lsn",
+        "applied_lsn",
+        "degraded",
+        "degraded_reason",
     )
 
     def __init__(self, master: Graph, oracle_config: dict[str, Any] | None) -> None:
@@ -289,6 +299,13 @@ class _GraphState:
         self.live: dict[int, Epoch] = {}
         self.next_epoch_id = 0
         self.oracle_config = oracle_config
+        # WAL bookkeeping: LSN of the last batch durably appended for this
+        # graph vs the last one whose outcome is reflected in an installed
+        # epoch.  `appended - applied` is the replay lag /health reports.
+        self.appended_lsn = 0
+        self.applied_lsn = 0
+        self.degraded = False
+        self.degraded_reason: str | None = None
 
 
 class SnapshotRegistry:
@@ -303,10 +320,16 @@ class SnapshotRegistry:
     """
 
     def __init__(
-        self, store: Any = None, cache_capacity: int = 64
+        self, store: Any = None, cache_capacity: int = 64, wal: Any = None
     ) -> None:
         self.store = store
         self.cache_capacity = cache_capacity
+        # Optional durability plane: a WriteAheadLog every publish appends
+        # to before applying, and a Checkpointer (attached by the service
+        # after construction — it needs the registry) that persists
+        # epochs and truncates the log behind the publish path.
+        self.wal = wal
+        self._checkpointer: Any = None
         self._lock = threading.Lock()
         self._graphs: dict[str, _GraphState] = {}
         # Pins leaked by garbage-collected handles.  Finalizers may run on
@@ -356,6 +379,11 @@ class SnapshotRegistry:
                     raise ServerError(f"graph {name!r} already registered")
                 self._graphs[name] = state
                 self._install(state, epoch)
+        # A synchronous baseline checkpoint: once register() returns, the
+        # graph is recoverable — every later WAL record replays over this
+        # artifact, so acknowledgement implies durability from batch one.
+        if self._checkpointer is not None:
+            self._checkpointer.checkpoint(name)
         return epoch
 
     def preload(self, name: str, oracle: dict[str, Any] | None = None) -> Epoch:
@@ -396,7 +424,13 @@ class SnapshotRegistry:
                     raise ServerError(f"graph {name!r} already registered")
                 self._graphs[name] = state
                 self._install(state, epoch)
+        if self._checkpointer is not None:
+            self._checkpointer.checkpoint(name)
         return epoch
+
+    def attach_checkpointer(self, checkpointer: Any) -> None:
+        """Wire the (service-owned) checkpointer into the publish path."""
+        self._checkpointer = checkpointer
 
     # ------------------------------------------------------------------
     # reads
@@ -470,6 +504,14 @@ class SnapshotRegistry:
         In-flight queries keep their pinned epoch; new pins see the new
         epoch only after the pointer swap, so no request can observe a
         partially-applied batch.
+
+        With a WAL attached, the batch is appended to the changelog
+        **before** any primitive applies (write-ahead): an acknowledged
+        publish is on disk even if the process dies during apply or epoch
+        build.  A batch that fails validation mid-apply is *not* marked
+        in the log — replay re-runs it against the identical base content
+        at recovery, where it deterministically fails again and is
+        skipped, so the log needs no commit/abort records.
         """
         with self._lock:
             state = self._graphs.get(name)
@@ -479,29 +521,205 @@ class SnapshotRegistry:
         if state is None:
             raise ServerError(f"unknown graph: {name!r} (registered: {known})")
         with state.write_lock:
+            lsn: int | None = None
+            if self.wal is not None:
+                # Local import: wire depends on repro.incremental, not on
+                # this module, but keeping the codec import here avoids a
+                # module-level cycle through repro.server.__init__.
+                from repro.server.wire import encode_update
+
+                wire_batch = [encode_update(update) for update in updates]
+                lsn = self.wal.append(name, wire_batch, state.master.version)
+                state.appended_lsn = lsn
             scratch = state.master.copy(name=state.master.name)
             oracle_survives = True
-            for update in updates:
-                for primitive in decompose(scratch, update):
-                    oracle_survives = oracle_survives and DistanceOracle.survives(
-                        primitive
-                    )
-                    primitive.apply(scratch)
+            try:
+                for update in updates:
+                    for primitive in decompose(scratch, update):
+                        oracle_survives = oracle_survives and DistanceOracle.survives(
+                            primitive
+                        )
+                        primitive.apply(scratch)
+                        fault_point("registry.apply")
+            except ReproError:
+                # The batch is invalid against this base: its WAL record
+                # will fail identically at replay and be skipped, so its
+                # outcome ("no state change") is already fully applied.
+                if lsn is not None:
+                    state.applied_lsn = lsn
+                raise
             # Every primitive succeeded: adopt the batch in one assignment.
             state.master = scratch
+            fault_point("registry.publish")
             prior = state.current
-            epoch = self._build_epoch(
-                name, state, prior=prior if oracle_survives else None
-            )
+            try:
+                epoch = self._build_epoch(
+                    name, state, prior=prior if oracle_survives else None
+                )
+            except (StorageError, MemoryError) as exc:
+                # Graceful degradation: the master has the batch (and the
+                # WAL has it durably), only the servable epoch is missing.
+                # Keep serving the last good epoch, surface the lag.
+                with self._lock:
+                    state.degraded = True
+                    state.degraded_reason = f"{type(exc).__name__}: {exc}"
+                durability = (
+                    f"durably logged (lsn {lsn})" if lsn is not None else "applied"
+                )
+                raise ServiceDegradedError(
+                    f"update batch for {name!r} was {durability} but the new "
+                    f"epoch failed to build: {exc}; serving the last good epoch"
+                ) from exc
             with self._lock:
                 self._drain_leaked_locked()
                 self._install(state, epoch)
+                if lsn is not None:
+                    state.applied_lsn = lsn
+                state.degraded = False
+                state.degraded_reason = None
                 if prior is not None:
                     prior.retired = True
                     if prior._pins <= 0:
                         if state.live.pop(prior.epoch_id, None):
                             self.counters["epochs_retired"] += 1
+        if self._checkpointer is not None:
+            self._checkpointer.notify(
+                name, appended_bytes=self.wal.last_frame_bytes if self.wal else 0
+            )
         return epoch
+
+    # ------------------------------------------------------------------
+    # durability: recovery + checkpoint support
+    # ------------------------------------------------------------------
+    def recover(self) -> dict[str, dict[str, Any]]:
+        """Rebuild every checkpointed graph + replay its WAL suffix.
+
+        Startup path (before the service accepts traffic).  Per graph:
+        load the checkpoint artifacts from the store, then re-apply every
+        batch record with ``lsn > checkpoint.lsn`` through the same
+        decode → decompose → apply pipeline as live publishes.  Each
+        batch replays all-or-nothing on a scratch copy; a batch that
+        fails (it failed identically when first published — see
+        :meth:`publish`) is skipped, never half-applied.  Returns a
+        per-graph report (``replayed``/``skipped``/``lsn``).
+
+        Records for graphs without a checkpoint are reported and ignored:
+        registration writes its baseline checkpoint *before* returning,
+        so such records belong to a registration that was never
+        acknowledged.
+        """
+        if self.wal is None or self.store is None:
+            raise ServerError("recovery needs both a WAL and a file store")
+        from repro.server.wire import decode_updates
+
+        checkpoints = self.wal.read_checkpoints()
+        pending: dict[str, list[Any]] = {}
+        for record in self.wal.records():
+            pending.setdefault(record.graph, []).append(record)
+        report: dict[str, dict[str, Any]] = {}
+        for name in sorted(set(checkpoints) | set(pending)):
+            checkpoint = checkpoints.get(name)
+            if checkpoint is None:
+                report[name] = {
+                    "status": "skipped",
+                    "reason": "records without a checkpoint (unacknowledged "
+                    "registration)",
+                    "records": len(pending.get(name, [])),
+                }
+                continue
+            artifact = checkpoint["artifact"]
+            graph = self.store.load_graph(artifact)
+            if graph.version != checkpoint["graph_version"]:
+                raise ServerError(
+                    f"checkpoint artifact {artifact!r} has version "
+                    f"{graph.version}, metadata says "
+                    f"{checkpoint['graph_version']} — checkpoint is corrupt"
+                )
+            graph = graph.copy(name=name)
+            frozen = None
+            if self.store.artifacts(artifact)["snapshot"]:
+                frozen = self.store.load_snapshot(
+                    artifact, expected_version=graph.version
+                )
+                with self._lock:
+                    self.counters["fault_ins"] += 1
+            replayed = skipped = 0
+            last_lsn = checkpoint["lsn"]
+            for record in pending.get(name, []):
+                if record.lsn <= checkpoint["lsn"]:
+                    continue
+                updates = decode_updates({"updates": record.updates})
+                scratch = graph.copy(name=name)
+                try:
+                    for update in updates:
+                        for primitive in decompose(scratch, update):
+                            primitive.apply(scratch)
+                except ReproError:
+                    skipped += 1
+                else:
+                    graph = scratch
+                    frozen = None  # the stored snapshot is now stale
+                    replayed += 1
+                last_lsn = record.lsn
+            state = _GraphState(graph, None)
+            state.appended_lsn = last_lsn
+            state.applied_lsn = last_lsn
+            with state.write_lock:
+                epoch = self._build_epoch(name, state, prior=None, frozen=frozen)
+                with self._lock:
+                    self._drain_leaked_locked()
+                    if name in self._graphs:
+                        raise ServerError(f"graph {name!r} already registered")
+                    self._graphs[name] = state
+                    self._install(state, epoch)
+            report[name] = {
+                "status": "recovered",
+                "replayed": replayed,
+                "skipped": skipped,
+                "lsn": last_lsn,
+                "epoch": epoch.epoch_id,
+                "graph_version": epoch.graph.version,
+            }
+        return report
+
+    def checkpoint_capture(self, name: str) -> tuple[Epoch, int] | None:
+        """The current epoch + its applied LSN, atomically (checkpointer).
+
+        ``applied_lsn`` only advances when an epoch installs (or a batch
+        deterministically fails, changing nothing), so the pair is always
+        consistent: the epoch's graph *is* the state as of that LSN.
+        """
+        with self._lock:
+            state = self._graphs.get(name)
+            if state is None or state.current is None:
+                return None
+            return state.current, state.applied_lsn
+
+    def wal_status(self) -> dict[str, Any]:
+        """Durability status: per-graph replay lag + WAL/checkpoint stats."""
+        with self._lock:
+            graphs = {
+                name: {
+                    "appended_lsn": state.appended_lsn,
+                    "applied_lsn": state.applied_lsn,
+                    "replay_lag": state.appended_lsn - state.applied_lsn,
+                    "degraded": state.degraded,
+                    "degraded_reason": state.degraded_reason,
+                }
+                for name, state in sorted(self._graphs.items())
+            }
+        out: dict[str, Any] = {"enabled": self.wal is not None, "graphs": graphs}
+        if self.wal is not None:
+            out["wal"] = self.wal.stats()
+        if self._checkpointer is not None:
+            out["checkpointer"] = self._checkpointer.stats()
+        return out
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any graph is serving a stale epoch after a failed build."""
+        with self._lock:
+            return any(state.degraded for state in self._graphs.values())
 
     # ------------------------------------------------------------------
     # internals
@@ -521,6 +739,7 @@ class SnapshotRegistry:
         possible oracle build) happens while readers continue against the
         previous epoch untouched.
         """
+        fault_point("registry.rebuild")
         graph = state.master.copy(name=state.master.name)
         if frozen is None:
             frozen = FrozenGraph.freeze(graph)

@@ -17,7 +17,14 @@ from __future__ import annotations
 from typing import Any
 
 from repro.engine.estimator import QueryBudget
-from repro.errors import AdmissionError, BudgetExceededError, ReproError, ServerError
+from repro.errors import (
+    AdmissionError,
+    AdmissionTimeoutError,
+    BudgetExceededError,
+    ReproError,
+    ServerError,
+    ServiceDegradedError,
+)
 from repro.incremental.updates import (
     AttributeUpdate,
     EdgeDeletion,
@@ -126,6 +133,31 @@ def _decode_one_update(op: str, item: dict[str, Any], position: int) -> Update:
     return AttributeUpdate(need("node"), need("attr"), need("value"))
 
 
+def encode_update(update: Update) -> dict[str, Any]:
+    """An update object → its wire form (inverse of :func:`decode_updates`).
+
+    The WAL stores batches in exactly this shape, so a record replayed at
+    recovery goes through the same ``decode_updates`` → ``decompose`` →
+    ``apply`` path as the original request — one codec, no drift.
+    """
+    if isinstance(update, EdgeInsertion):
+        return {"op": "add-edge", "source": update.source, "target": update.target}
+    if isinstance(update, EdgeDeletion):
+        return {"op": "remove-edge", "source": update.source, "target": update.target}
+    if isinstance(update, NodeInsertion):
+        return {"op": "add-node", "node": update.node, "attrs": dict(update.attrs)}
+    if isinstance(update, NodeDeletion):
+        return {"op": "remove-node", "node": update.node}
+    if isinstance(update, AttributeUpdate):
+        return {
+            "op": "set-attr",
+            "node": update.node,
+            "attr": update.attr,
+            "value": update.value,
+        }
+    raise ServerError(f"cannot encode update of type {type(update).__name__}")
+
+
 def encode_relation(relation: MatchRelation) -> dict[str, Any]:
     """The deterministic persisted form (sorted sets, stable keys)."""
     return relation.to_dict()
@@ -146,8 +178,12 @@ def encode_ranked(ranked: list) -> list[dict[str, Any]]:
 
 def error_status(exc: Exception) -> int:
     """HTTP status for one error of the ``repro.errors`` hierarchy."""
+    if isinstance(exc, AdmissionTimeoutError):
+        return 408  # queued, then timed out — before the broader 429 check
     if isinstance(exc, AdmissionError):
         return 429
+    if isinstance(exc, ServiceDegradedError):
+        return 503  # write durably logged; epoch rebuild failed
     if isinstance(exc, BudgetExceededError):
         return 408
     if isinstance(exc, ReproError):

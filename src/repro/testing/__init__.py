@@ -1,0 +1,39 @@
+"""Deterministic test instrumentation shipped with the library.
+
+:mod:`repro.testing.faults` is the fault-injection subsystem: named
+fault points compiled into the durability-critical paths (WAL append,
+fsync, epoch publish, checkpointing), armed from config or environment,
+inert by default.  :mod:`repro.testing.chaos` drives the
+crash-at-every-fault-point recovery sweep built on top of it.
+
+The package lives under ``src`` (not ``tests/``) on purpose: fault
+points are *production code* — the sweep can only prove crash-safety of
+the code that actually ships — and operators can arm them in a staging
+deployment via ``REPRO_FAULTS`` to rehearse recovery.
+"""
+
+from repro.testing.faults import (
+    FAULT_POINTS,
+    FaultError,
+    FaultSpec,
+    InjectedCrash,
+    armed,
+    arm_faults,
+    disarm_faults,
+    fault_point,
+    fault_stats,
+    install_from_env,
+)
+
+__all__ = [
+    "FAULT_POINTS",
+    "FaultError",
+    "FaultSpec",
+    "InjectedCrash",
+    "armed",
+    "arm_faults",
+    "disarm_faults",
+    "fault_point",
+    "fault_stats",
+    "install_from_env",
+]

@@ -1,0 +1,236 @@
+"""Deterministic fault injection: named points, armed on demand.
+
+Durability code is only as trustworthy as the crashes it has survived.
+This module compiles **fault points** — named, registered call sites —
+into the write-ahead/publish/checkpoint paths::
+
+    fault_point("wal.fsync")        # in WriteAheadLog, before fsync
+    fault_point("registry.apply")   # between primitives of a batch
+
+Disarmed (the default), a fault point is a set lookup and a counter
+bump.  Armed — programmatically via :func:`arm_faults` / :func:`armed`
+or from the ``REPRO_FAULTS`` environment variable — the point performs
+its configured action on exactly the configured hit, which is what makes
+the crash sweep deterministic: *crash at hit k of point p* names one
+reproducible execution.
+
+Actions:
+
+* ``crash`` — raise :class:`InjectedCrash`.  It derives from
+  ``BaseException`` so no ``except Exception`` recovery handler on the
+  way out can accidentally swallow the simulated process death.
+* ``storage-error`` — raise :class:`~repro.errors.StorageError`, the
+  shape of a failed snapshot write (degradation paths).
+* ``memory-error`` — raise ``MemoryError``, the shape of an epoch
+  rebuild blowing the heap (degradation paths).
+
+Every name passed to :func:`fault_point` must appear in
+:data:`FAULT_POINTS`; an unknown name raises :class:`FaultError` at the
+call site *and* is flagged statically by the ``fault-point-registered``
+repro-lint rule, so the sweep can enumerate every injection site from
+the registry alone and can never silently miss one.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.errors import FaultError, StorageError
+
+#: The central registry: every fault point compiled into the library.
+#: The crash sweep iterates this set; the ``fault-point-registered``
+#: lint rule rejects any ``fault_point("...")`` literal not listed here.
+FAULT_POINTS = frozenset(
+    {
+        # write-ahead log (repro.server.wal)
+        "wal.append",          # frame buffered, before flush to the OS
+        "wal.fsync",           # before fdatasync/fsync of the segment
+        "wal.rotate",          # sealed segment closed, next not yet open
+        "wal.seal",            # before the seal record of a segment
+        # epoch publishing (repro.server.registry)
+        "registry.apply",      # between primitives applying to scratch
+        "registry.publish",    # master adopted, epoch not yet built
+        "registry.rebuild",    # inside the epoch build (freeze/oracle)
+        # checkpointing (repro.server.wal.Checkpointer)
+        "checkpoint.snapshot", # snapshot artifacts persisted, meta not
+        "checkpoint.meta",     # checkpoint meta written, not truncated
+        "checkpoint.truncate", # before sealed segments are deleted
+    }
+)
+
+_ACTIONS = ("crash", "storage-error", "memory-error")
+
+#: Environment variable holding an arming spec, e.g.
+#: ``REPRO_FAULTS="wal.fsync=crash@2,registry.rebuild=storage-error"``.
+ENV_VAR = "REPRO_FAULTS"
+
+
+class InjectedCrash(BaseException):
+    """A simulated process death raised by an armed ``crash`` fault.
+
+    Deliberately **not** a :class:`~repro.errors.ReproError` (nor even an
+    ``Exception``): recovery code legitimately catches broad exception
+    classes, and a simulated crash that such a handler absorbs would turn
+    the sweep into a test of the handler instead of a test of recovery.
+    """
+
+    def __init__(self, point: str, hit: int) -> None:
+        super().__init__(f"injected crash at fault point {point!r} (hit {hit})")
+        self.point = point
+        self.hit = hit
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """How one armed fault point behaves.
+
+    ``after`` is the 1-based hit number that triggers the action;
+    ``count`` is how many consecutive hits (starting there) trigger it —
+    the default of 1 fires exactly once, ``count=None`` keeps firing on
+    every hit from ``after`` on (degradation soak tests).
+    """
+
+    action: str = "crash"
+    after: int = 1
+    count: int | None = 1
+
+    def validate(self) -> "FaultSpec":
+        if self.action not in _ACTIONS:
+            raise FaultError(
+                f"unknown fault action {self.action!r} (one of {', '.join(_ACTIONS)})"
+            )
+        if self.after < 1:
+            raise FaultError(f"fault 'after' must be >= 1: {self.after}")
+        if self.count is not None and self.count < 1:
+            raise FaultError(f"fault 'count' must be >= 1 or None: {self.count}")
+        return self
+
+    def fires_on(self, hit: int) -> bool:
+        if hit < self.after:
+            return False
+        if self.count is None:
+            return True
+        return hit < self.after + self.count
+
+
+class _FaultState:
+    """Process-global arming table + hit counters (thread-safe)."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.armed: dict[str, FaultSpec] = {}
+        self.hits: dict[str, int] = {}
+        self.fired: dict[str, int] = {}
+
+
+_STATE = _FaultState()
+
+
+def fault_point(name: str) -> None:
+    """One injection site; a no-op unless ``name`` is armed.
+
+    Counts the hit either way (the sweep's dry run uses the counters to
+    learn how many kill points a scenario exposes), then performs the
+    armed action when the spec's hit window covers this hit.
+    """
+    if name not in FAULT_POINTS:
+        raise FaultError(
+            f"fault point {name!r} is not in the central registry "
+            f"(repro.testing.faults.FAULT_POINTS)"
+        )
+    with _STATE.lock:
+        hit = _STATE.hits.get(name, 0) + 1
+        _STATE.hits[name] = hit
+        spec = _STATE.armed.get(name)
+        fires = spec is not None and spec.fires_on(hit)
+        if fires:
+            _STATE.fired[name] = _STATE.fired.get(name, 0) + 1
+    if not fires:
+        return
+    assert spec is not None
+    if spec.action == "crash":
+        raise InjectedCrash(name, hit)
+    if spec.action == "storage-error":
+        raise StorageError(f"injected storage fault at {name!r} (hit {hit})")
+    raise MemoryError(f"injected memory fault at {name!r} (hit {hit})")
+
+
+def arm_faults(specs: Mapping[str, FaultSpec]) -> None:
+    """Replace the arming table (and reset hit counters) atomically."""
+    checked: dict[str, FaultSpec] = {}
+    for name, spec in specs.items():
+        if name not in FAULT_POINTS:
+            raise FaultError(f"cannot arm unknown fault point {name!r}")
+        checked[name] = spec.validate()
+    with _STATE.lock:
+        _STATE.armed = checked
+        _STATE.hits = {}
+        _STATE.fired = {}
+
+
+def disarm_faults() -> None:
+    """Disarm everything and clear the counters (test teardown)."""
+    arm_faults({})
+
+
+@contextmanager
+def armed(
+    name: str, action: str = "crash", after: int = 1, count: int | None = 1
+) -> Iterator[FaultSpec]:
+    """``with armed("wal.fsync", after=2):`` — arm one point, then disarm."""
+    spec = FaultSpec(action=action, after=after, count=count)
+    arm_faults({name: spec})
+    try:
+        yield spec
+    finally:
+        disarm_faults()
+
+
+def fault_stats() -> dict[str, dict[str, int]]:
+    """Hit/fire counters since the last (dis)arm — observability + sweeps."""
+    with _STATE.lock:
+        return {
+            "hits": dict(_STATE.hits),
+            "fired": dict(_STATE.fired),
+            "armed": {name: spec.after for name, spec in _STATE.armed.items()},
+        }
+
+
+def parse_fault_env(value: str) -> dict[str, FaultSpec]:
+    """``"wal.fsync=crash@2,registry.rebuild=storage-error"`` → specs.
+
+    Grammar per entry: ``<point>=<action>[@<after>]``.  Raises
+    :class:`FaultError` on unknown points/actions or malformed entries.
+    """
+    specs: dict[str, FaultSpec] = {}
+    for entry in value.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        point, eq, rest = entry.partition("=")
+        if not eq or not rest:
+            raise FaultError(f"malformed fault spec {entry!r}; expected point=action[@N]")
+        action, at, after_text = rest.partition("@")
+        after = 1
+        if at:
+            try:
+                after = int(after_text)
+            except ValueError:
+                raise FaultError(
+                    f"malformed fault hit number {after_text!r} in {entry!r}"
+                ) from None
+        specs[point.strip()] = FaultSpec(action=action.strip(), after=after)
+    return specs
+
+
+def install_from_env(environ: Mapping[str, str] | None = None) -> bool:
+    """Arm from ``$REPRO_FAULTS`` if set; returns whether anything armed."""
+    value = (environ if environ is not None else os.environ).get(ENV_VAR, "")
+    if not value.strip():
+        return False
+    arm_faults(parse_fault_env(value))
+    return True

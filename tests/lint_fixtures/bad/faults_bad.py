@@ -1,0 +1,15 @@
+"""Fixture: fault_point call sites the fault-point-registered rule flags."""
+
+from repro.testing.faults import fault_point
+
+
+def publish_with_typo() -> None:
+    fault_point("wal.fysnc")  # typo: not in FAULT_POINTS
+
+
+def computed_name(stage: str) -> None:
+    fault_point("registry." + stage)  # non-literal: sweep cannot enumerate
+
+
+def missing_name() -> None:
+    fault_point()  # type: ignore[call-arg]

@@ -1,0 +1,13 @@
+"""Fixture: registered fault_point call sites the rule accepts."""
+
+from repro.testing.faults import fault_point
+
+
+def durable_append(frame: bytes) -> bytes:
+    fault_point("wal.append")
+    fault_point("wal.fsync")
+    return frame
+
+
+def install_epoch() -> None:
+    fault_point("registry.publish")

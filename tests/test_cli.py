@@ -573,6 +573,57 @@ class TestServe:
         assert "snapshot fault-ins, no freeze" in out
         assert FrozenGraph  # snapshot CLI produced the .frozen.snap above
 
+    def test_serve_wal_dir_round_trip(
+        self, tmp_path, graph_file, quiet_server, capsys
+    ):
+        wal_dir = str(tmp_path / "wal")
+        code = main(["serve", "--port", "0", "--graph", graph_file,
+                     "--wal-dir", wal_dir, "--fsync", "always",
+                     "--checkpoint-every", "8"])
+        assert code == 0
+        capsys.readouterr()
+        # second boot, same command line: recovery runs (clean shutdown,
+        # so nothing replays) and the --graph seed file must yield to the
+        # recovered state instead of colliding with it
+        code = main(["serve", "--port", "0", "--graph", graph_file,
+                     "--wal-dir", wal_dir])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recovered 'fig1': replayed 0 batch(es)" in out
+        assert "skipped 'fig1': already recovered from the WAL" in out
+
+    def test_serve_wal_ctrl_c_seals_the_log(
+        self, tmp_path, graph_file, monkeypatch, capsys
+    ):
+        from repro.server.app import QueryServer
+
+        def interrupted(self):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(QueryServer, "serve_forever", interrupted)
+        code = main(["serve", "--port", "0", "--graph", graph_file,
+                     "--wal-dir", str(tmp_path / "wal")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shutting down" in out
+        assert "sealing WAL" in out
+
+    def test_serve_fault_arming_from_env(
+        self, tmp_path, graph_file, quiet_server, capsys, monkeypatch
+    ):
+        from repro.testing.faults import disarm_faults, fault_stats
+
+        monkeypatch.setenv("REPRO_FAULTS", "wal.fsync=crash@999")
+        try:
+            code = main(["serve", "--port", "0", "--graph", graph_file,
+                         "--wal-dir", str(tmp_path / "wal")])
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "fault injection armed" in out
+            assert fault_stats()["armed"] == {"wal.fsync": 999}
+        finally:
+            disarm_faults()
+
     def test_serve_preload_missing_graph(self, tmp_path, quiet_server, capsys):
         store = str(tmp_path / "store")
         code = main(["serve", "--port", "0", "--store", store,

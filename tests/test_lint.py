@@ -38,6 +38,7 @@ CORPUS = {
     ),
     "version-bump-discipline": ("bad/version_bad.py", "good/version_good.py"),
     "error-wrapping": ("bad/engine/storage.py", "good/engine/storage.py"),
+    "fault-point-registered": ("bad/faults_bad.py", "good/faults_good.py"),
 }
 
 

@@ -200,13 +200,28 @@ class TestCorruption:
             store.load_oracle("x")
 
     def test_empty_file(self, snap):
+        # A zero-length file is a torn header write, not an mmap quirk:
+        # the distinct "truncated header" error fires before mmap would
+        # fail with its own "cannot mmap an empty file" ValueError.
         snap.write_bytes(b"")
-        with pytest.raises(StorageError, match="truncated snapshot file"):
+        with pytest.raises(StorageError, match="truncated header"):
             load_frozen_file(snap)
+        with pytest.raises(StorageError, match="truncated header"):
+            snapshot_file_info(snap)
 
     def test_truncated_header(self, snap):
         snap.write_bytes(snap.read_bytes()[:16])
-        with pytest.raises(StorageError, match="smaller than the 40-byte header"):
+        with pytest.raises(
+            StorageError, match="truncated header.*smaller than the 40-byte header"
+        ):
+            load_frozen_file(snap)
+        with pytest.raises(StorageError, match="truncated header"):
+            snapshot_file_info(snap)
+
+    @pytest.mark.parametrize("size", [1, 8, 39])
+    def test_every_sub_header_size_is_distinct(self, snap, size):
+        snap.write_bytes(snap.read_bytes()[:size])
+        with pytest.raises(StorageError, match="truncated header"):
             load_frozen_file(snap)
 
     def test_bad_magic(self, snap):
