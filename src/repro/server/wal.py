@@ -61,7 +61,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterator
 
-from repro.errors import WalError
+from repro.errors import StorageError, WalError
 from repro.graph.io import atomic_write_text
 from repro.testing.faults import fault_point
 
@@ -159,17 +159,25 @@ class WriteAheadLog:
         # Scan what a previous process left behind: last LSN, per-segment
         # LSN ranges (for truncation) and the torn-tail diagnosis.
         self._segment_index: dict[int, tuple[int, int]] = {}
+        #: highest segment number kept on disk by the startup scan —
+        #: includes record-less segments (header + torn first record)
+        #: that never enter ``_segment_index``, so the next segment this
+        #: process opens can never collide with a crash artifact.
+        self._max_disk_seq = 0
         #: byte size of the most recent batch frame (checkpoint debounce)
         self.last_frame_bytes = 0
         self.torn_tail_bytes = 0
         last_lsn: int | None = None
         for seq, path in self._segment_paths():
-            if path.stat().st_size == 0:
+            size = path.stat().st_size
+            if size == 0 or size == _SEGMENT_HEADER.size:
                 # A crash between creating the segment and writing its
-                # header; it holds nothing, and leaving it would collide
-                # with the next segment this process opens.
+                # first record (empty: before the header reached the OS;
+                # header-sized: after).  It holds nothing, and leaving it
+                # would collide with the next segment this process opens.
                 path.unlink()
                 continue
+            self._max_disk_seq = max(self._max_disk_seq, seq)
             lsns = [record.lsn for record, _ in self._read_segment(path, last_lsn)]
             if lsns:
                 self._segment_index[seq] = (min(lsns), max(lsns))
@@ -269,17 +277,22 @@ class WriteAheadLog:
         self._open_next_segment()
 
     def _open_next_segment(self) -> None:
-        seq = max(self._segment_index, default=self._active_seq) + 1
+        seq = max(self._segment_index, default=0)
+        seq = max(seq, self._active_seq, self._max_disk_seq) + 1
         path = self.directory / f"{seq:08d}{_SEGMENT_SUFFIX}"
         # Unbuffered on purpose: every frame reaches the OS in the append
         # call itself, so a *process* crash (the fault-injection model)
         # loses nothing ever acknowledged — no userspace buffer whose
         # flush-on-GC timing could make crash simulations nondeterministic.
-        handle = open(path, "xb", buffering=0)
+        try:
+            handle = open(path, "xb", buffering=0)
+        except OSError as exc:
+            raise WalError(f"cannot create WAL segment {path}: {exc}") from exc
         handle.write(_SEGMENT_HEADER.pack(SEGMENT_MAGIC, WAL_FORMAT_VERSION, 0))
         self._active = handle
         self._active_seq = seq
         self._active_size = _SEGMENT_HEADER.size
+        fault_point("wal.open-segment")
 
     def sync(self) -> None:
         """Force everything appended so far to media (any policy)."""
@@ -620,10 +633,14 @@ class Checkpointer:
                 self._dirty.discard(graph)
             try:
                 self.checkpoint(graph)
-            except (WalError, OSError) as exc:
+            except (StorageError, OSError) as exc:
                 # A failed checkpoint must not take the service down: the
                 # WAL suffix still covers everything since the last good
                 # one, so durability holds — only replay gets longer.
+                # StorageError covers WalError *and* a plain store failure
+                # from save_graph/save_snapshot — in background mode an
+                # escape here kills the checkpointer thread for good, in
+                # inline mode it fails an already-committed publish.
                 with self._lock:
                     self.counters["failures"] += 1
                     self.last_error = f"{type(exc).__name__}: {exc}"

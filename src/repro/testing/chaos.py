@@ -23,7 +23,7 @@ execution (see :mod:`repro.testing.faults`).
 Scenario shape: tiny WAL segments force rotation/seal on nearly every
 append, ``fsync="always"`` makes the fsync point fire per batch, and an
 *inline* checkpointer (no background thread) hits the checkpoint points
-on the publish path itself — so all ten registered points fire.
+on the publish path itself — so all eleven registered points fire.
 """
 
 from __future__ import annotations

@@ -51,6 +51,7 @@ FAULT_POINTS = frozenset(
         "wal.fsync",           # before fdatasync/fsync of the segment
         "wal.rotate",          # sealed segment closed, next not yet open
         "wal.seal",            # before the seal record of a segment
+        "wal.open-segment",    # segment created + header written, no records yet
         # epoch publishing (repro.server.registry)
         "registry.apply",      # between primitives applying to scratch
         "registry.publish",    # master adopted, epoch not yet built

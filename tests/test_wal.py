@@ -32,6 +32,7 @@ from repro.server.wal import (
     checkpoint_artifact,
 )
 from repro.server.wire import decode_updates, encode_update
+from repro.testing.faults import armed
 
 BATCH = [{"op": "add-node", "node": "x", "attrs": {}}]
 
@@ -184,6 +185,46 @@ class TestRotation:
         log.close()
         reopened = WriteAheadLog(tmp_path / "wal")
         assert reopened.stats()["segments"] == 2
+        reopened.close()
+
+    def test_reopen_after_crash_before_first_record(self, tmp_path):
+        # drop the handle without sealing: the directory holds exactly one
+        # header-only segment — what a crash between segment creation and
+        # the first append leaves behind.  Reopening must not collide with
+        # it (regression: FileExistsError permanently blocked startup).
+        WriteAheadLog(tmp_path / "wal", fsync="none")
+        reopened = WriteAheadLog(tmp_path / "wal")
+        assert reopened.append("g", BATCH, 0) == 1
+        assert [r.lsn for r in reopened.records()] == [1]
+        reopened.close()
+
+    def test_header_only_next_segment_is_a_tolerated_crash_artifact(self, tmp_path):
+        log = WriteAheadLog(tmp_path / "wal", fsync="none")
+        for _ in range(3):
+            log.append("g", BATCH, 0)
+        # a crash after writing the next segment's header, before any record
+        (tmp_path / "wal" / "00000002.wal").write_bytes(
+            struct.pack("<8sHH4x", SEGMENT_MAGIC, 1, 0)
+        )
+        reopened = WriteAheadLog(tmp_path / "wal")
+        assert [r.lsn for r in reopened.records()] == [1, 2, 3]
+        assert reopened.append("g", BATCH, 0) == 4
+        reopened.close()
+
+    def test_record_less_torn_segment_does_not_collide_on_reopen(self, tmp_path):
+        log = WriteAheadLog(tmp_path / "wal", fsync="none")
+        for _ in range(3):
+            log.append("g", BATCH, 0)
+        # a crash mid-way through the *first* record of the next segment:
+        # bigger than a bare header, but record-less — it survives the scan
+        # (torn tail) without ever entering the LSN index
+        (tmp_path / "wal" / "00000002.wal").write_bytes(
+            struct.pack("<8sHH4x", SEGMENT_MAGIC, 1, 0) + b"\x01"
+        )
+        reopened = WriteAheadLog(tmp_path / "wal")
+        assert reopened.stats()["active_segment"] == 3
+        assert [r.lsn for r in reopened.records()] == [1, 2, 3]
+        assert reopened.append("g", BATCH, 0) == 4
         reopened.close()
 
     def test_alien_file_in_wal_dir_rejected(self, tmp_path):
@@ -458,6 +499,56 @@ class TestCheckpointer:
         registry.register("g", small_graph())
         registry.publish("g", [NodeInsertion.with_attrs("only")])
         assert wal.read_checkpoints()["g"]["lsn"] == 1
+        wal.close()
+
+    def test_inline_storage_error_is_recorded_not_raised(self, stack):
+        # regression: a plain StorageError from the store (not a WalError)
+        # escaped _drain_dirty and failed an already-committed publish
+        registry, wal, _store, cp = stack
+        registry.register("g", small_graph())
+        with armed("checkpoint.snapshot", action="storage-error"):
+            for index in range(2):  # every_batches=2 → inline checkpoint
+                registry.publish("g", [NodeInsertion.with_attrs(f"x{index}")])
+        stats = cp.stats()
+        assert stats["failures"] == 1
+        assert "StorageError" in stats["last_error"]
+        # durability held: the baseline checkpoint + WAL suffix still
+        # cover both batches, and the next window checkpoints normally
+        assert wal.read_checkpoints()["g"]["lsn"] == 0
+        registry.publish("g", [NodeInsertion.with_attrs("x2")])
+        assert wal.read_checkpoints()["g"]["lsn"] == 3
+
+    def test_background_storage_error_keeps_the_thread_alive(self, tmp_path):
+        # regression: an uncaught StorageError killed the checkpointer
+        # thread, silently stopping checkpoints/truncation forever
+        import time
+
+        store = GraphStore(tmp_path / "store")
+        wal = WriteAheadLog(tmp_path / "wal", fsync="none")
+        registry = SnapshotRegistry(store=store, wal=wal)
+        checkpointer = Checkpointer(
+            registry, wal, store, every_batches=1, background=True
+        )
+        registry.attach_checkpointer(checkpointer)
+        registry.register("g", small_graph())
+        with armed("checkpoint.snapshot", action="storage-error"):
+            registry.publish("g", [NodeInsertion.with_attrs("bad")])
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if checkpointer.stats()["failures"] == 1:
+                    break
+                time.sleep(0.01)
+        assert checkpointer.stats()["failures"] == 1
+        # the thread survived: once the fault clears, the next publish is
+        # checkpointed as usual
+        registry.publish("g", [NodeInsertion.with_attrs("good")])
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if wal.read_checkpoints()["g"]["lsn"] == 2:
+                break
+            time.sleep(0.01)
+        assert wal.read_checkpoints()["g"]["lsn"] == 2
+        checkpointer.close(final_checkpoint=False)
         wal.close()
 
     def test_validation(self, stack):
